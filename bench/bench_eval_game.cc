@@ -1,0 +1,138 @@
+// E11 — Theorem 25 + Prop 24: evaluating semantically acyclic CQs.
+//
+// Under guarded tgds, SemAcEval is solved by the existential 1-cover game
+// directly on (q, D) — polynomial, no chase. We sweep |D| and compare the
+// game evaluation against (a) brute-force backtracking and (b) the fpt
+// reformulate-then-Yannakakis pipeline.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "core/homomorphism.h"
+#include "core/parser.h"
+#include "eval/semac_eval.h"
+#include "gen/generators.h"
+
+namespace semacyc {
+namespace {
+
+struct Workload {
+  ConjunctiveQuery q;
+  DependencySet sigma;
+  Instance database;
+  std::vector<Term> domain;
+};
+
+/// q(x) over a guarded Σ that regenerates the E-triangle from T; the
+/// database holds `n` T-triangles (satisfying Σ) plus noise edges.
+Workload MakeWorkload(int n, uint64_t seed) {
+  Workload w;
+  w.q = MustParseQuery("q(x) :- T(x,y), E(y,z), E(z,x)");
+  w.sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  Generator gen(seed);
+  Predicate T = Predicate::Get("T", 2);
+  Predicate E = Predicate::Get("E", 2);
+  for (int i = 0; i < n; ++i) {
+    std::string s = std::to_string(i);
+    Term a = Term::Constant("a" + s), b = Term::Constant("b" + s),
+         c = Term::Constant("c" + s);
+    w.database.Insert(Atom(T, {a, b}));
+    w.database.Insert(Atom(E, {b, c}));
+    w.database.Insert(Atom(E, {c, a}));
+    w.domain.push_back(a);
+  }
+  // Noise: E-only chains (no T), satisfying Σ vacuously.
+  for (int i = 0; i < n; ++i) {
+    Term u = Term::Constant("u" + std::to_string(i));
+    Term v = Term::Constant("v" + std::to_string(i));
+    w.database.Insert(Atom(E, {u, v}));
+    w.domain.push_back(u);
+  }
+  return w;
+}
+
+void ShapeReport() {
+  bench::Banner(
+      "E11 / Theorem 25 + Prop 24 — SemAcEval under guarded tgds",
+      "the 1-cover game on (q, D) decides t ∈ q(D) in polynomial time "
+      "(no chase); the fpt pipeline is O(|D| · f(|q|+|Σ|))");
+  bench::Table table({"|D|", "tuples probed", "game = brute force?",
+                      "game (us)", "brute (us)", "fpt eval (us)"});
+  for (int n : {8, 16, 32, 64}) {
+    Workload w = MakeWorkload(n, 5);
+    auto time_us = [](auto&& fn) {
+      auto start = std::chrono::steady_clock::now();
+      fn();
+      auto stop = std::chrono::steady_clock::now();
+      return std::chrono::duration_cast<std::chrono::microseconds>(stop -
+                                                                   start)
+          .count();
+    };
+    bool agree = true;
+    long game_us = 0, brute_us = 0;
+    for (Term t : w.domain) {
+      bool game = false, brute = false;
+      game_us += time_us([&] { game = GuardedGameEvaluate(w.q, w.database, {t}); });
+      brute_us += time_us([&] { brute = EvaluatesTo(w.q, w.database, {t}); });
+      if (game != brute) agree = false;
+    }
+    SemAcOptions options;
+    long fpt_us = time_us([&] {
+      FptEvalResult fpt = FptEvaluate(w.q, w.sigma, w.database, options);
+      benchmark::DoNotOptimize(fpt.evaluation.answers.size());
+    });
+    table.AddRow({std::to_string(w.database.size()),
+                  std::to_string(w.domain.size()), agree ? "yes" : "NO",
+                  std::to_string(game_us), std::to_string(brute_us),
+                  std::to_string(fpt_us)});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: the game agrees with brute force on every probed\n"
+      "tuple; the game scales polynomially in |D| (the Prop 29 fixpoint)\n"
+      "and the fpt pipeline's per-database cost stays linear (Prop 24).\n");
+}
+
+void BM_GuardedGame(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<int>(state.range(0)), 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GuardedGameEvaluate(w.q, w.database, {w.domain[i++ % w.domain.size()]}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GuardedGame)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_BruteForce(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<int>(state.range(0)), 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluatesTo(w.q, w.database, {w.domain[i++ % w.domain.size()]}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BruteForce)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_FptPipeline(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<int>(state.range(0)), 5);
+  SemAcOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FptEvaluate(w.q, w.sigma, w.database, options).evaluation.answers.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FptPipeline)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+}  // namespace
+}  // namespace semacyc
+
+int main(int argc, char** argv) {
+  semacyc::ShapeReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

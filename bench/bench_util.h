@@ -1,0 +1,60 @@
+#ifndef SEMACYC_BENCH_BENCH_UTIL_H_
+#define SEMACYC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace semacyc::bench {
+
+/// Minimal fixed-width table printer for the "shape reports" every bench
+/// emits before the google-benchmark timings: the rows that mirror what
+/// the paper's figure/example/claim predicts vs. what this build measured.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace semacyc::bench
+
+#endif  // SEMACYC_BENCH_BENCH_UTIL_H_

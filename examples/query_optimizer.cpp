@@ -1,0 +1,62 @@
+// A miniature semantic query optimizer built on the library:
+// given a workload of queries and a set of integrity constraints, each
+// query is (1) minimized to its core, (2) tested for semantic acyclicity
+// under the constraints, and (3) routed to the cheapest evaluator.
+#include <cstdio>
+
+#include "core/core_min.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "deps/classify.h"
+#include "semacyc/decider.h"
+
+using namespace semacyc;
+
+int main() {
+  // A toy "social commerce" schema with constraints of different classes.
+  DependencySet sigma = MustParseDependencySet(
+      // Inclusion dependency (linear, guarded): buyers are users.
+      "Buys(u,p) -> User(u).\n"
+      // Full, non-recursive: wishlist + stock means a reserved pair.
+      "Wishes(u,p), InStock(p) -> Reserved(u,p).\n"
+      // Key (egd): a product has one seller.
+      "SoldBy(p,s), SoldBy(p,t) -> s = t.");
+  TgdClassification cls = Classify(sigma.tgds);
+  std::printf("constraint classes: %s; egds: %zu\n\n",
+              cls.ToString().c_str(), sigma.egds.size());
+
+  const char* workload[] = {
+      // Redundant atom: folds away in the core.
+      "q(u) :- User(u), Buys(u,p), Buys(u,p2)",
+      // Cyclic, rescued by the Reserved tgd.
+      "q(u,p) :- Wishes(u,p), InStock(p), Reserved(u,p)",
+      // Cyclic triangle, not rescued by anything.
+      "q(u) :- Follows(u,v), Follows(v,w), Follows(w,u)",
+      // Key-based rescue: two SoldBy atoms merge.
+      "q(p) :- SoldBy(p,s), SoldBy(p,t), Partner(s,t)",
+  };
+
+  std::printf("%-55s %-9s %-9s %-10s %s\n", "query", "core", "semAc",
+              "strategy", "plan");
+  for (const char* text : workload) {
+    ConjunctiveQuery q = MustParseQuery(text);
+    ConjunctiveQuery core = ComputeCore(q);
+    SemAcResult decision = DecideSemanticAcyclicity(q, sigma);
+    const char* plan = "generic join (NP)";
+    if (decision.answer == SemAcAnswer::kYes) {
+      plan = "Yannakakis on witness (linear)";
+    } else if (decision.answer == SemAcAnswer::kUnknown) {
+      plan = "generic join (undecided)";
+    }
+    std::printf("%-55s %zu->%zu     %-9s %-10s %s\n", text, q.size(),
+                core.size(), ToString(decision.answer),
+                decision.strategy.c_str(), plan);
+    if (decision.witness.has_value()) {
+      std::printf("    witness: %s\n", decision.witness->ToString().c_str());
+    }
+  }
+  std::printf(
+      "\nQueries 1, 2 and 4 get linear-time plans (minimization, tgd\n"
+      "rescue, key rescue); the genuine triangle keeps the generic plan.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Command-line driver: decide semantic acyclicity for a query under a
+// dependency set.
+//
+//   semacyc_cli '<query>' '<dependencies>'
+//   semacyc_cli 'q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)' \
+//               'Interest(x,z), Class(y,z) -> Owns(x,y).'
+//
+// Exit code: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
+#include <cstdio>
+
+#include "core/core_min.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "deps/classify.h"
+#include "semacyc/decider.h"
+
+using namespace semacyc;
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s '<query>' '<dependencies>'\n"
+                 "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
+                 "  dependencies: tgds 'body -> head' and egds 'body -> x = y',\n"
+                 "                separated by '.'; may be empty ('')\n",
+                 argv[0]);
+    return 3;
+  }
+  ParseResult<ConjunctiveQuery> q = ParseQuery(argv[1]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n", q.error.c_str());
+    return 3;
+  }
+  ParseResult<DependencySet> sigma = ParseDependencySet(argv[2]);
+  if (!sigma.ok()) {
+    std::fprintf(stderr, "dependency parse error: %s\n", sigma.error.c_str());
+    return 3;
+  }
+
+  std::printf("query:      %s\n", q->ToString().c_str());
+  std::printf("acyclic:    %s\n", IsAcyclic(*q.value) ? "yes" : "no");
+  ConjunctiveQuery core = ComputeCore(*q.value);
+  std::printf("core size:  %zu (of %zu)\n", core.size(), q->size());
+  if (sigma->HasTgds()) {
+    std::printf("tgd classes: %s\n", Classify(sigma->tgds).ToString().c_str());
+  }
+  if (sigma->HasEgds()) {
+    std::printf("egds:       %zu%s\n", sigma->egds.size(),
+                IsK2Set(sigma->egds) ? " (K2: keys over arity <= 2)" : "");
+  }
+
+  SemAcResult result = DecideSemanticAcyclicity(*q.value, *sigma.value);
+  std::printf("semantically acyclic: %s (strategy: %s, exact: %s)\n",
+              ToString(result.answer), result.strategy.c_str(),
+              result.exact ? "yes" : "no");
+  if (result.witness.has_value()) {
+    std::printf("witness:    %s\n", result.witness->ToString().c_str());
+  }
+  switch (result.answer) {
+    case SemAcAnswer::kYes:
+      return 0;
+    case SemAcAnswer::kNo:
+      return 1;
+    case SemAcAnswer::kUnknown:
+      return 2;
+  }
+  return 2;
+}

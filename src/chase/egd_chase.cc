@@ -1,0 +1,67 @@
+#include "chase/egd_chase.h"
+
+#include <cassert>
+
+#include "core/homomorphism.h"
+
+namespace semacyc {
+namespace {
+
+/// Finds one violating homomorphism for `egd` (body maps, equality fails).
+std::optional<Substitution> FindViolation(const Instance& instance,
+                                          const Egd& egd) {
+  HomOptions options;
+  options.max_solutions = 0;
+  HomResult result = FindHomomorphisms(egd.body(), instance, options);
+  for (Substitution& h : result.solutions) {
+    if (Apply(h, egd.lhs()) != Apply(h, egd.rhs())) return std::move(h);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+EgdChaseResult ChaseEgds(const Instance& start, const std::vector<Egd>& egds,
+                         Substitution* term_map) {
+  EgdChaseResult result;
+  result.instance = start;
+  if (egds.empty()) return result;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const Egd& egd : egds) {
+      while (true) {
+        std::optional<Substitution> h = FindViolation(result.instance, egd);
+        if (!h.has_value()) break;
+        Term a = Apply(*h, egd.lhs());
+        Term b = Apply(*h, egd.rhs());
+        assert(a != b);
+        if (a.IsConstant() && b.IsConstant()) {
+          result.failed = true;
+          return result;
+        }
+        // Constant wins; otherwise keep `a` as representative.
+        Term keep = a, drop = b;
+        if (b.IsConstant()) {
+          keep = b;
+          drop = a;
+        }
+        result.instance.ReplaceTerm(drop, keep);
+        if (term_map != nullptr) {
+          // Re-point everything that resolved to `drop`.
+          for (auto& [from, to] : *term_map) {
+            if (to == drop) to = keep;
+          }
+          (*term_map)[drop] = keep;
+        }
+        ++result.merges;
+        result.changed = true;
+        progress = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,71 @@
+#include "chase/query_chase.h"
+
+#include <cassert>
+
+#include "core/homomorphism.h"
+
+namespace semacyc {
+
+const char* ToString(Tri t) {
+  switch (t) {
+    case Tri::kYes:
+      return "yes";
+    case Tri::kNo:
+      return "no";
+    case Tri::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+QueryChaseResult ChaseQuery(const ConjunctiveQuery& q,
+                            const DependencySet& sigma,
+                            const ChaseOptions& options) {
+  FrozenQuery frozen = Freeze(q, TermKind::kNull);
+  ChaseResult chase = Chase(frozen.instance, sigma, options);
+  QueryChaseResult result;
+  result.instance = std::move(chase.instance);
+  result.saturated = chase.saturated;
+  result.failed = chase.failed;
+  result.steps = chase.steps;
+  for (const auto& [var, frozen_term] : frozen.var_to_frozen) {
+    result.var_to_frozen[var] = chase.Resolve(frozen_term);
+  }
+  result.frozen_head.reserve(frozen.frozen_head.size());
+  for (Term t : frozen.frozen_head) {
+    result.frozen_head.push_back(chase.Resolve(t));
+  }
+  return result;
+}
+
+Tri ContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                   const DependencySet& sigma, const ChaseOptions& options) {
+  assert(q1.arity() == q2.arity());
+  QueryChaseResult chased = ChaseQuery(q1, sigma, options);
+  if (chased.failed) return Tri::kYes;  // q1 is empty on every model of Σ
+  if (EvaluatesTo(q2, chased.instance, chased.frozen_head)) return Tri::kYes;
+  return chased.saturated ? Tri::kNo : Tri::kUnknown;
+}
+
+Tri EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                    const DependencySet& sigma, const ChaseOptions& options) {
+  Tri forward = ContainedUnder(q1, q2, sigma, options);
+  if (forward == Tri::kNo) return Tri::kNo;
+  Tri backward = ContainedUnder(q2, q1, sigma, options);
+  if (backward == Tri::kNo) return Tri::kNo;
+  if (forward == Tri::kYes && backward == Tri::kYes) return Tri::kYes;
+  return Tri::kUnknown;
+}
+
+Tri ContainedUnder(const ConjunctiveQuery& q, const UnionQuery& Q,
+                   const DependencySet& sigma, const ChaseOptions& options) {
+  QueryChaseResult chased = ChaseQuery(q, sigma, options);
+  if (chased.failed) return Tri::kYes;
+  for (const ConjunctiveQuery& d : Q.disjuncts()) {
+    if (d.arity() != q.arity()) continue;
+    if (EvaluatesTo(d, chased.instance, chased.frozen_head)) return Tri::kYes;
+  }
+  return chased.saturated ? Tri::kNo : Tri::kUnknown;
+}
+
+}  // namespace semacyc

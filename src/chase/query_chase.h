@@ -1,0 +1,54 @@
+#ifndef SEMACYC_CHASE_QUERY_CHASE_H_
+#define SEMACYC_CHASE_QUERY_CHASE_H_
+
+#include "chase/tgd_chase.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// chase(q, Σ): the chase of the canonical database of q (§2). Variables
+/// are frozen to fresh *nulls* — the paper's "special constants treated as
+/// nulls" — so that egds may merge them.
+struct QueryChaseResult {
+  Instance instance;
+  /// Images of the head terms after any egd merges.
+  std::vector<Term> frozen_head;
+  /// Final representative of each query variable.
+  Substitution var_to_frozen;
+  bool saturated = false;
+  bool failed = false;
+  size_t steps = 0;
+};
+
+QueryChaseResult ChaseQuery(const ConjunctiveQuery& q,
+                            const DependencySet& sigma,
+                            const ChaseOptions& options = {});
+
+/// Three-valued answers for chase-based decision procedures whose chase
+/// may have been truncated.
+enum class Tri { kYes, kNo, kUnknown };
+
+const char* ToString(Tri t);
+
+/// q1 ⊆Σ q2 via Lemma 1: c(x̄) ∈ q2(chase(q1, Σ)).
+///
+///  * kYes is always sound: a homomorphism into a chase prefix extends to
+///    the full chase result; a failing chase makes containment vacuous.
+///  * kNo is reported only when the chase saturated (exact).
+///  * kUnknown when the chase was truncated and no homomorphism was found.
+Tri ContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                   const DependencySet& sigma, const ChaseOptions& options = {});
+
+/// q1 ≡Σ q2 (both containments).
+Tri EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                    const DependencySet& sigma,
+                    const ChaseOptions& options = {});
+
+/// UCQ generalization used by §8.1: q ⊆Σ Q iff some disjunct of Q maps
+/// into chase(q, Σ).
+Tri ContainedUnder(const ConjunctiveQuery& q, const UnionQuery& Q,
+                   const DependencySet& sigma, const ChaseOptions& options = {});
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CHASE_QUERY_CHASE_H_

@@ -1,0 +1,74 @@
+#ifndef SEMACYC_CHASE_TGD_CHASE_H_
+#define SEMACYC_CHASE_TGD_CHASE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "chase/dependency.h"
+#include "core/instance.h"
+
+namespace semacyc {
+
+/// Chase configuration.
+struct ChaseOptions {
+  enum class Variant {
+    /// Standard/restricted chase: fire a trigger only when the head is not
+    /// already satisfied by an extension of the trigger (§2 semantics).
+    kRestricted,
+    /// Oblivious chase: fire every trigger exactly once. Used for the
+    /// worst-case constructions (Examples 2 and 3).
+    kOblivious,
+  };
+  Variant variant = Variant::kRestricted;
+
+  /// Stop after this many trigger firings (0 = unlimited).
+  size_t max_steps = 200000;
+  /// Stop once the instance holds this many atoms (0 = unlimited).
+  size_t max_atoms = 2000000;
+  /// Stop after this many chase rounds / null-generation depth
+  /// (0 = unlimited). A "round" adds all triggers visible at round start.
+  size_t max_rounds = 0;
+};
+
+/// Outcome of a chase run.
+struct ChaseResult {
+  Instance instance;
+  /// True iff the chase reached a fixpoint: no applicable trigger remains.
+  /// When false, `instance` is a finite prefix of some (possibly infinite)
+  /// chase result.
+  bool saturated = false;
+  /// True iff an egd tried to merge two distinct genuine constants.
+  bool failed = false;
+  size_t steps = 0;
+  size_t rounds = 0;
+  /// For egd chases: the accumulated term merges, mapping each original
+  /// term to its final representative.
+  Substitution term_map;
+
+  /// Resolves a term through `term_map` (identity if unmapped).
+  Term Resolve(Term t) const;
+
+  std::string Summary() const;
+};
+
+/// Chases `start` with tgds only. Fair scheduling (round-robin over rounds,
+/// anchored on newly derived atoms), so every applicable trigger is
+/// eventually fired.
+ChaseResult ChaseTgds(const Instance& start, const std::vector<Tgd>& tgds,
+                      const ChaseOptions& options = {});
+
+/// Chases `start` with a full dependency set (tgds + egds interleaved:
+/// each tgd round is followed by an egd fixpoint).
+ChaseResult Chase(const Instance& start, const DependencySet& sigma,
+                  const ChaseOptions& options = {});
+
+/// Does `instance` satisfy the dependency set? (Definition in §2: for tgds
+/// via containment of the body query in the head query; for egds via
+/// absence of violating homomorphisms.)
+bool Satisfies(const Instance& instance, const DependencySet& sigma);
+bool Satisfies(const Instance& instance, const Tgd& tgd);
+bool Satisfies(const Instance& instance, const Egd& egd);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CHASE_TGD_CHASE_H_

@@ -1,0 +1,105 @@
+#include "core/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/homomorphism.h"
+
+namespace semacyc {
+
+bool AreIsomorphic(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  if (q1.arity() != q2.arity()) return false;
+  if (q1.body().size() != q2.body().size()) return false;
+  if (q1.Variables().size() != q2.Variables().size()) return false;
+
+  // Head correspondence must be position-wise; constants must agree.
+  Substitution fixed;
+  for (size_t i = 0; i < q1.head().size(); ++i) {
+    Term a = q1.head()[i];
+    Term b = q2.head()[i];
+    if (a.IsVariable() != b.IsVariable()) return false;
+    if (!a.IsVariable()) {
+      if (a != b) return false;
+      continue;
+    }
+    auto it = fixed.find(a);
+    if (it != fixed.end()) {
+      if (it->second != b) return false;
+    } else {
+      fixed.emplace(a, b);
+    }
+  }
+
+  Instance target;
+  target.InsertAll(q2.body());
+  HomOptions options;
+  options.fixed = std::move(fixed);
+  options.injective = true;
+  HomResult result = FindHomomorphisms(q1.body(), target, options);
+  if (!result.found) return false;
+  // Injective on terms + equal atom counts: check the atom map is onto.
+  const Substitution& h = result.solutions.front();
+  std::unordered_set<Atom, AtomHash> image;
+  for (const Atom& a : q1.body()) image.insert(Apply(h, a));
+  return image.size() == q2.body().size();
+}
+
+std::string StructuralKey(const ConjunctiveQuery& q) {
+  // Atom shapes: predicate plus the intra-atom equality pattern plus which
+  // positions are constants / head variables.
+  std::unordered_map<Term, int> head_pos;
+  for (size_t i = 0; i < q.head().size(); ++i) {
+    head_pos.emplace(q.head()[i], static_cast<int>(i));
+  }
+  // Per-variable occurrence multiset: (pred id, position) sorted.
+  std::unordered_map<Term, std::vector<std::pair<uint32_t, int>>> occ;
+  for (const Atom& a : q.body()) {
+    for (size_t pos = 0; pos < a.arity(); ++pos) {
+      Term t = a.arg(pos);
+      if (t.IsVariable()) {
+        occ[t].push_back({a.predicate().id(), static_cast<int>(pos)});
+      }
+    }
+  }
+  std::unordered_map<Term, std::string> var_sig;
+  for (auto& [v, list] : occ) {
+    std::sort(list.begin(), list.end());
+    std::string s;
+    for (auto& [p, i] : list) {
+      s += std::to_string(p) + ":" + std::to_string(i) + ";";
+    }
+    auto it = head_pos.find(v);
+    s += it == head_pos.end() ? "E" : ("H" + std::to_string(it->second));
+    var_sig[v] = s;
+  }
+  std::vector<std::string> atom_keys;
+  for (const Atom& a : q.body()) {
+    std::string s = std::to_string(a.predicate().id()) + "(";
+    // Intra-atom equality pattern + variable signatures.
+    for (size_t pos = 0; pos < a.arity(); ++pos) {
+      Term t = a.arg(pos);
+      if (t.IsConstant()) {
+        s += "c" + std::to_string(t.raw_bits());
+      } else {
+        size_t first = pos;
+        for (size_t k = 0; k < pos; ++k) {
+          if (a.arg(k) == t) {
+            first = k;
+            break;
+          }
+        }
+        s += "v" + std::to_string(first) + "[" + var_sig[t] + "]";
+      }
+      s += ",";
+    }
+    s += ")";
+    atom_keys.push_back(std::move(s));
+  }
+  std::sort(atom_keys.begin(), atom_keys.end());
+  std::string key = "A" + std::to_string(q.arity()) + "|";
+  for (const std::string& s : atom_keys) key += s + "&";
+  return key;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,22 @@
+#ifndef SEMACYC_CORE_CANONICAL_H_
+#define SEMACYC_CORE_CANONICAL_H_
+
+#include <string>
+
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Exact isomorphism test between two CQs: a bijective variable renaming
+/// mapping head position-wise and body onto body. Used to deduplicate
+/// rewriting frontiers and witness candidates.
+bool AreIsomorphic(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// A cheap structural fingerprint that is invariant under variable renaming
+/// (isomorphic queries get equal keys; unequal keys imply non-isomorphic).
+/// Collisions are resolved with AreIsomorphic.
+std::string StructuralKey(const ConjunctiveQuery& q);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_CANONICAL_H_

@@ -1,0 +1,40 @@
+#include "core/containment.h"
+
+#include <cassert>
+
+namespace semacyc {
+
+bool ContainedInClassic(const ConjunctiveQuery& q1,
+                        const ConjunctiveQuery& q2) {
+  assert(q1.arity() == q2.arity());
+  FrozenQuery frozen = Freeze(q1);
+  return EvaluatesTo(q2, frozen.instance, frozen.frozen_head);
+}
+
+bool EquivalentClassic(const ConjunctiveQuery& q1,
+                       const ConjunctiveQuery& q2) {
+  return ContainedInClassic(q1, q2) && ContainedInClassic(q2, q1);
+}
+
+bool FrozenQuerySatisfies(const ConjunctiveQuery& q, const UnionQuery& Q) {
+  FrozenQuery frozen = Freeze(q);
+  for (const ConjunctiveQuery& d : Q.disjuncts()) {
+    if (EvaluatesTo(d, frozen.instance, frozen.frozen_head)) return true;
+  }
+  return false;
+}
+
+bool ContainedInClassic(const ConjunctiveQuery& q, const UnionQuery& Q) {
+  // For a CQ lhs, containment in a UCQ reduces to evaluating the UCQ over
+  // the canonical database (the classic Sagiv–Yannakakis argument).
+  return FrozenQuerySatisfies(q, Q);
+}
+
+bool ContainedInClassic(const UnionQuery& Q1, const UnionQuery& Q2) {
+  for (const ConjunctiveQuery& d : Q1.disjuncts()) {
+    if (!ContainedInClassic(d, Q2)) return false;
+  }
+  return true;
+}
+
+}  // namespace semacyc

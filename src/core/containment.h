@@ -1,0 +1,31 @@
+#ifndef SEMACYC_CORE_CONTAINMENT_H_
+#define SEMACYC_CORE_CONTAINMENT_H_
+
+#include "core/homomorphism.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Classical (constraint-free) CQ containment, Chandra–Merlin: q1 ⊆ q2 iff
+/// there is a homomorphism from q2 to the frozen q1 mapping head to head.
+bool ContainedInClassic(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// q1 ≡ q2 over all databases.
+bool EquivalentClassic(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Containment of a CQ in a UCQ (no constraints): q ⊆ Q iff q ⊆ some
+/// disjunct? No — iff the frozen q satisfies Q. (For CQs vs UCQs the
+/// disjunct-wise test is complete, which this function exploits.)
+bool ContainedInClassic(const ConjunctiveQuery& q, const UnionQuery& Q);
+
+/// UCQ ⊆ UCQ (no constraints): every disjunct of Q1 contained in Q2.
+bool ContainedInClassic(const UnionQuery& Q1, const UnionQuery& Q2);
+
+/// Evaluates a UCQ over the frozen canonical database of `q` and reports
+/// whether the frozen head is an answer; the building block of
+/// rewriting-based containment (Definition 2 of the paper).
+bool FrozenQuerySatisfies(const ConjunctiveQuery& q, const UnionQuery& Q);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_CONTAINMENT_H_

@@ -1,0 +1,55 @@
+#include "core/core_min.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/homomorphism.h"
+
+namespace semacyc {
+namespace {
+
+/// Searches for a proper retract of q: a homomorphism from q's body into a
+/// strict subset of its own atoms that fixes the head variables. Returns
+/// the retract's image as a new body if found.
+std::optional<std::vector<Atom>> ProperRetract(
+    const std::vector<Term>& head, const std::vector<Atom>& body) {
+  for (size_t skip = 0; skip < body.size(); ++skip) {
+    Instance target;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i != skip) target.Insert(body[i]);
+    }
+    Substitution fixed;
+    for (Term h : head) {
+      if (h.IsVariable()) fixed.emplace(h, h);
+    }
+    std::optional<Substitution> h = FindHomomorphism(body, target, fixed);
+    if (!h.has_value()) continue;
+    // The image of the endomorphism is the new (smaller) body.
+    std::vector<Atom> image;
+    std::unordered_set<Atom, AtomHash> seen;
+    for (const Atom& a : body) {
+      Atom mapped = Apply(*h, a);
+      if (seen.insert(mapped).second) image.push_back(mapped);
+    }
+    if (image.size() < body.size()) return image;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ConjunctiveQuery ComputeCore(const ConjunctiveQuery& q) {
+  std::vector<Atom> body = q.body();
+  while (true) {
+    std::optional<std::vector<Atom>> smaller = ProperRetract(q.head(), body);
+    if (!smaller.has_value()) break;
+    body = std::move(*smaller);
+  }
+  return ConjunctiveQuery(q.head(), std::move(body));
+}
+
+bool IsCore(const ConjunctiveQuery& q) {
+  return !ProperRetract(q.head(), q.body()).has_value();
+}
+
+}  // namespace semacyc

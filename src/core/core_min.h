@@ -1,0 +1,19 @@
+#ifndef SEMACYC_CORE_CORE_MIN_H_
+#define SEMACYC_CORE_CORE_MIN_H_
+
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Computes the core of `q`: the unique (up to isomorphism) minimal
+/// equivalent subquery [Hell & Nešetřil]. In the constraint-free setting a
+/// CQ is semantically acyclic iff its core is acyclic (§1), so this is both
+/// the classical minimization routine and the Σ = ∅ decision procedure.
+ConjunctiveQuery ComputeCore(const ConjunctiveQuery& q);
+
+/// True iff q equals its own core (no proper retract exists).
+bool IsCore(const ConjunctiveQuery& q);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_CORE_MIN_H_

@@ -1,0 +1,91 @@
+#include "core/gaifman.h"
+
+#include <algorithm>
+
+namespace semacyc {
+
+GaifmanGraph GaifmanGraph::Of(const std::vector<Atom>& atoms,
+                              ConnectingTerms connecting) {
+  GaifmanGraph g;
+  Hypergraph hg = Hypergraph::FromAtoms(atoms, connecting);
+  for (const auto& edge : hg.edges) {
+    for (Term a : edge) {
+      g.adjacency_[a];  // ensure isolated vertices appear
+      for (Term b : edge) {
+        if (a != b) g.adjacency_[a].insert(b);
+      }
+    }
+  }
+  return g;
+}
+
+GaifmanGraph GaifmanGraph::Of(const Instance& instance,
+                              ConnectingTerms connecting) {
+  return Of(instance.atoms(), connecting);
+}
+
+size_t GaifmanGraph::EdgeCount() const {
+  size_t twice = 0;
+  for (const auto& [v, nbrs] : adjacency_) twice += nbrs.size();
+  return twice / 2;
+}
+
+bool GaifmanGraph::HasEdge(Term a, Term b) const {
+  auto it = adjacency_.find(a);
+  return it != adjacency_.end() && it->second.count(b) > 0;
+}
+
+const std::unordered_set<Term>& GaifmanGraph::Neighbors(Term t) const {
+  static const std::unordered_set<Term>* empty =
+      new std::unordered_set<Term>();
+  auto it = adjacency_.find(t);
+  return it == adjacency_.end() ? *empty : it->second;
+}
+
+bool GaifmanGraph::IsClique(const std::vector<Term>& terms) const {
+  for (size_t i = 0; i < terms.size(); ++i) {
+    for (size_t j = i + 1; j < terms.size(); ++j) {
+      if (!HasEdge(terms[i], terms[j])) return false;
+    }
+  }
+  return true;
+}
+
+size_t GaifmanGraph::GreedyCliqueLowerBound() const {
+  // Order vertices by degree (descending) and grow a clique greedily.
+  std::vector<Term> verts;
+  verts.reserve(adjacency_.size());
+  for (const auto& [v, _] : adjacency_) verts.push_back(v);
+  std::sort(verts.begin(), verts.end(), [this](Term a, Term b) {
+    return Neighbors(a).size() > Neighbors(b).size();
+  });
+  std::vector<Term> clique;
+  for (Term v : verts) {
+    bool compatible = true;
+    for (Term c : clique) {
+      if (!HasEdge(v, c)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) clique.push_back(v);
+  }
+  return clique.size();
+}
+
+bool GaifmanGraph::IsConnected() const {
+  if (adjacency_.empty()) return true;
+  std::unordered_set<Term> seen;
+  std::vector<Term> stack = {adjacency_.begin()->first};
+  seen.insert(stack[0]);
+  while (!stack.empty()) {
+    Term v = stack.back();
+    stack.pop_back();
+    for (Term n : Neighbors(v)) {
+      if (seen.insert(n).second) stack.push_back(n);
+    }
+  }
+  return seen.size() == adjacency_.size();
+}
+
+}  // namespace semacyc

@@ -1,0 +1,44 @@
+#ifndef SEMACYC_CORE_GAIFMAN_H_
+#define SEMACYC_CORE_GAIFMAN_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/instance.h"
+
+namespace semacyc {
+
+/// The Gaifman graph of an atom set: vertices are connecting terms, with an
+/// edge between two terms iff they co-occur in some atom (§3.2 of the
+/// paper). Used to measure how badly a chase destroys query structure
+/// (Examples 2 and 5: cliques and grids appear).
+class GaifmanGraph {
+ public:
+  static GaifmanGraph Of(const std::vector<Atom>& atoms,
+                         ConnectingTerms connecting);
+  static GaifmanGraph Of(const Instance& instance, ConnectingTerms connecting);
+
+  size_t VertexCount() const { return adjacency_.size(); }
+  size_t EdgeCount() const;
+
+  bool HasEdge(Term a, Term b) const;
+  const std::unordered_set<Term>& Neighbors(Term t) const;
+
+  /// True if every pair of the given terms is adjacent.
+  bool IsClique(const std::vector<Term>& terms) const;
+
+  /// Greedy lower bound on the max clique size (exact on small graphs is
+  /// not needed; Example 2 constructs explicit cliques).
+  size_t GreedyCliqueLowerBound() const;
+
+  bool IsConnected() const;
+
+ private:
+  std::unordered_map<Term, std::unordered_set<Term>> adjacency_;
+};
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_GAIFMAN_H_

@@ -1,0 +1,77 @@
+#ifndef SEMACYC_CORE_HOMOMORPHISM_H_
+#define SEMACYC_CORE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Options for the homomorphism search.
+struct HomOptions {
+  /// Pre-bound mappings (e.g. head variables to target constants). Terms
+  /// bound here are used verbatim; they need not be "mappable" kinds.
+  Substitution fixed;
+  /// Whether source nulls are treated as mappable (like variables). When
+  /// false, nulls must map to themselves. Variables are always mappable;
+  /// constants never are (they map identically).
+  bool map_nulls = true;
+  /// Require the term mapping to be injective (isomorphism checks).
+  bool injective = false;
+  /// Stop after this many solutions. 0 means "no cap" (use with on_solution
+  /// or all-solutions collection; beware of exponential counts).
+  size_t max_solutions = 1;
+  /// Abort the search after this many backtracking steps (0 = unlimited).
+  /// When the budget is exhausted the search reports "not found"; callers
+  /// that need exactness must leave this at 0.
+  size_t step_budget = 0;
+};
+
+/// Result of a homomorphism search.
+struct HomResult {
+  bool found = false;
+  /// True if the search was cut short by step_budget (found may be false
+  /// merely because the budget ran out).
+  bool budget_exhausted = false;
+  std::vector<Substitution> solutions;
+};
+
+/// Searches for homomorphisms h from `from` into `to`: Ri(h(v̄i)) ∈ to for
+/// each atom, h identity on constants (§2). Backtracking with
+/// most-constrained-first atom ordering, candidates narrowed through the
+/// instance's (predicate, position, term) index.
+HomResult FindHomomorphisms(const std::vector<Atom>& from, const Instance& to,
+                            const HomOptions& options = {});
+
+/// First homomorphism, if any.
+std::optional<Substitution> FindHomomorphism(const std::vector<Atom>& from,
+                                             const Instance& to,
+                                             const Substitution& fixed = {});
+
+/// True iff a homomorphism exists.
+bool HasHomomorphism(const std::vector<Atom>& from, const Instance& to,
+                     const Substitution& fixed = {});
+
+/// Evaluates q over the instance: the set of tuples h(x̄) over all
+/// homomorphisms h from q into `instance` (§2). Deduplicated.
+std::vector<std::vector<Term>> EvaluateQuery(const ConjunctiveQuery& q,
+                                             const Instance& instance,
+                                             size_t max_answers = 0);
+
+/// Decision version: t̄ ∈ q(I)?
+bool EvaluatesTo(const ConjunctiveQuery& q, const Instance& instance,
+                 const std::vector<Term>& tuple);
+
+/// True iff the Boolean evaluation of q over `instance` is nonempty.
+bool EvaluatesTrue(const ConjunctiveQuery& q, const Instance& instance);
+
+/// Homomorphic equivalence of instances (nulls mappable, constants fixed):
+/// used for chase(q,Σ) ≡ chase(q',Σ) checks (proof of Theorem 7).
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_HOMOMORPHISM_H_

@@ -1,0 +1,132 @@
+#include "core/hypergraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace semacyc {
+
+Hypergraph Hypergraph::FromAtoms(const std::vector<Atom>& atoms,
+                                 ConnectingTerms connecting) {
+  Hypergraph hg;
+  hg.edges.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    std::vector<Term> verts;
+    for (Term t : a.DistinctTerms()) {
+      bool connects = false;
+      switch (connecting) {
+        case ConnectingTerms::kNullsOnly:
+          connects = t.IsNull();
+          break;
+        case ConnectingTerms::kVariables:
+          connects = t.IsVariable();
+          break;
+        case ConnectingTerms::kAllTerms:
+          connects = true;
+          break;
+      }
+      if (connects) verts.push_back(t);
+    }
+    hg.edges.push_back(std::move(verts));
+  }
+  return hg;
+}
+
+GyoResult RunGyo(const Hypergraph& hg) {
+  const int m = static_cast<int>(hg.edges.size());
+  GyoResult result;
+  result.parent.assign(m, -1);
+  if (m == 0) {
+    result.acyclic = true;
+    return result;
+  }
+
+  std::vector<bool> removed(m, false);
+  // Per-vertex count of remaining edges containing it.
+  std::unordered_map<Term, int> vertex_count;
+  for (const auto& edge : hg.edges) {
+    for (Term v : edge) ++vertex_count[v];
+  }
+
+  int remaining = m;
+  bool progress = true;
+  while (progress && remaining > 1) {
+    progress = false;
+    for (int e = 0; e < m && remaining > 1; ++e) {
+      if (removed[e]) continue;
+      // Vertices of e shared with some other remaining edge.
+      std::vector<Term> shared;
+      for (Term v : hg.edges[e]) {
+        if (vertex_count[v] >= 2) shared.push_back(v);
+      }
+      // Find a witness edge f != e whose vertex set contains `shared`.
+      int witness = -1;
+      for (int f = 0; f < m; ++f) {
+        if (f == e || removed[f]) continue;
+        bool contains_all = true;
+        for (Term v : shared) {
+          if (std::find(hg.edges[f].begin(), hg.edges[f].end(), v) ==
+              hg.edges[f].end()) {
+            contains_all = false;
+            break;
+          }
+        }
+        if (contains_all) {
+          witness = f;
+          break;
+        }
+      }
+      if (witness < 0) continue;
+      removed[e] = true;
+      result.parent[e] = witness;
+      result.elimination_order.push_back(e);
+      for (Term v : hg.edges[e]) --vertex_count[v];
+      --remaining;
+      progress = true;
+    }
+  }
+
+  result.acyclic = (remaining <= 1);
+  if (result.acyclic) {
+    for (int e = 0; e < m; ++e) {
+      if (!removed[e]) result.elimination_order.push_back(e);
+    }
+  }
+  return result;
+}
+
+bool IsAcyclic(const std::vector<Atom>& atoms, ConnectingTerms connecting) {
+  return RunGyo(Hypergraph::FromAtoms(atoms, connecting)).acyclic;
+}
+
+bool IsAcyclic(const ConjunctiveQuery& q) {
+  return IsAcyclic(q.body(), ConnectingTerms::kVariables);
+}
+
+bool IsAcyclicInstance(const Instance& instance) {
+  return IsAcyclic(instance.atoms(), ConnectingTerms::kNullsOnly);
+}
+
+bool IsAcyclicChase(const Instance& instance) {
+  return IsAcyclic(instance.atoms(), ConnectingTerms::kAllTerms);
+}
+
+std::optional<JoinTree> BuildJoinTree(const std::vector<Atom>& atoms,
+                                      ConnectingTerms connecting) {
+  GyoResult gyo = RunGyo(Hypergraph::FromAtoms(atoms, connecting));
+  if (!gyo.acyclic) return std::nullopt;
+  // Link forest roots into a single chain (components share no connecting
+  // terms, so this preserves the running-intersection property).
+  int first_root = -1;
+  for (size_t i = 0; i < gyo.parent.size(); ++i) {
+    if (gyo.parent[i] != -1) continue;
+    if (first_root == -1) {
+      first_root = static_cast<int>(i);
+    } else {
+      gyo.parent[i] = first_root;
+    }
+  }
+  return JoinTree(atoms, gyo.parent);
+}
+
+}  // namespace semacyc

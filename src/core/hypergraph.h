@@ -1,0 +1,63 @@
+#ifndef SEMACYC_CORE_HYPERGRAPH_H_
+#define SEMACYC_CORE_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "core/atom.h"
+#include "core/instance.h"
+#include "core/join_tree.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Which terms act as *connecting* vertices when testing acyclicity.
+///
+/// The paper (§2) defines acyclicity of an instance through join trees whose
+/// connectedness condition ranges over the *nulls* of the instance; the
+/// acyclicity of a CQ replaces every variable by a fresh null first, so for
+/// queries every variable connects. The semantic-acyclicity pipeline works
+/// with chases of frozen queries in which the canonical constants c(x) play
+/// the role of variables ("special constants treated as nulls"), hence
+/// kAllTerms.
+enum class ConnectingTerms {
+  kNullsOnly,   // literal §2 definition for instances
+  kVariables,   // CQ bodies: variables connect, constants do not
+  kAllTerms,    // frozen-query chases: every term connects
+};
+
+/// A hypergraph: one hyperedge (list of distinct connecting vertices) per
+/// atom. Vertices are terms.
+struct Hypergraph {
+  std::vector<std::vector<Term>> edges;
+
+  static Hypergraph FromAtoms(const std::vector<Atom>& atoms,
+                              ConnectingTerms connecting);
+};
+
+/// Result of the GYO ear-removal reduction.
+struct GyoResult {
+  bool acyclic = false;
+  /// When acyclic: a join forest over atom indices, parent[i] == -1 for
+  /// roots. Roots of distinct connected components are siblings.
+  std::vector<int> parent;
+  /// The order in which ears were removed (last entries removed last).
+  std::vector<int> elimination_order;
+};
+
+/// Runs the GYO (Graham / Yu–Özsoyoğlu) reduction; O(m^2 · a) per pass.
+GyoResult RunGyo(const Hypergraph& hg);
+
+/// Convenience wrappers.
+bool IsAcyclic(const std::vector<Atom>& atoms, ConnectingTerms connecting);
+bool IsAcyclic(const ConjunctiveQuery& q);                 // kVariables
+bool IsAcyclicInstance(const Instance& instance);          // kNullsOnly
+bool IsAcyclicChase(const Instance& instance);             // kAllTerms
+
+/// Builds a join tree for an acyclic atom set; returns std::nullopt when the
+/// atoms are cyclic. The tree spans all atoms (forest roots get chained).
+std::optional<JoinTree> BuildJoinTree(const std::vector<Atom>& atoms,
+                                      ConnectingTerms connecting);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_HYPERGRAPH_H_

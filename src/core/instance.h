@@ -1,0 +1,100 @@
+#ifndef SEMACYC_CORE_INSTANCE_H_
+#define SEMACYC_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/atom.h"
+
+namespace semacyc {
+
+/// A (finite) instance: a duplicate-free bag of ground atoms over constants
+/// and nulls (variables are permitted too so that frozen queries can be
+/// manipulated uniformly; see QueryChase).
+///
+/// The instance maintains two access paths used throughout the library:
+///   * per-predicate atom lists (`AtomsOf`), and
+///   * a (predicate, position, term) inverted index (`FindCandidates`)
+///     feeding the homomorphism solver and the chase trigger scan.
+///
+/// Atoms are append-only except for `ReplaceTerm`, which the egd chase uses
+/// to merge terms; that operation rebuilds the affected indexes.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Inserts an atom; returns true iff it was not already present.
+  bool Insert(const Atom& atom);
+  /// Inserts every atom of `atoms`.
+  void InsertAll(const std::vector<Atom>& atoms);
+
+  bool Contains(const Atom& atom) const;
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  /// All atoms, in insertion order. Indices into this vector are stable
+  /// (ReplaceTerm mutates atoms in place).
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(size_t i) const { return atoms_[i]; }
+
+  /// Indices of the atoms with the given predicate.
+  const std::vector<uint32_t>& AtomsOf(Predicate pred) const;
+
+  /// Indices of atoms with `pred` whose argument at `position` is `t`.
+  /// Returns nullptr when no such atom exists.
+  const std::vector<uint32_t>* FindCandidates(Predicate pred, size_t position,
+                                              Term t) const;
+
+  /// The set of distinct predicates occurring in the instance.
+  std::vector<Predicate> Predicates() const;
+
+  /// The active domain: every term occurring in some atom.
+  std::vector<Term> ActiveDomain() const;
+
+  /// Indices of all atoms mentioning term `t`.
+  std::vector<uint32_t> AtomsMentioning(Term t) const;
+
+  /// Replaces every occurrence of `from` by `to`, deduplicating collapsed
+  /// atoms. Used by the egd chase. Returns the number of atoms changed.
+  size_t ReplaceTerm(Term from, Term to);
+
+  /// Restricts the instance to the atoms whose indices are listed.
+  Instance Restrict(const std::vector<uint32_t>& atom_indices) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Instance& a, const Instance& b);
+
+ private:
+  void IndexAtom(uint32_t idx);
+
+  std::vector<Atom> atoms_;
+  std::unordered_set<Atom, AtomHash> atom_set_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_predicate_;
+
+  struct PosKey {
+    uint32_t pred;
+    uint32_t position;
+    Term term;
+    bool operator==(const PosKey& o) const {
+      return pred == o.pred && position == o.position && term == o.term;
+    }
+  };
+  struct PosKeyHash {
+    size_t operator()(const PosKey& k) const {
+      size_t seed = std::hash<uint32_t>{}(k.pred);
+      HashCombine(&seed, std::hash<uint32_t>{}(k.position));
+      HashCombine(&seed, TermHash{}(k.term));
+      return seed;
+    }
+  };
+  std::unordered_map<PosKey, std::vector<uint32_t>, PosKeyHash> by_position_;
+};
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_INSTANCE_H_

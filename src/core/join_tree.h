@@ -1,0 +1,52 @@
+#ifndef SEMACYC_CORE_JOIN_TREE_H_
+#define SEMACYC_CORE_JOIN_TREE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/atom.h"
+
+namespace semacyc {
+
+/// A join tree of a set of atoms (§2): nodes are the atoms themselves; for
+/// every connecting term t, the nodes whose atom mentions t induce a
+/// connected subtree.
+///
+/// Stored as a rooted forest over atom indices that has been linked into a
+/// single tree (safe because distinct components share no connecting terms).
+class JoinTree {
+ public:
+  JoinTree() = default;
+  JoinTree(std::vector<Atom> atoms, std::vector<int> parent);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<int>& parent() const { return parent_; }
+  const std::vector<std::vector<int>>& children() const { return children_; }
+  int root() const { return root_; }
+  size_t size() const { return atoms_.size(); }
+
+  /// Nodes in a top-down (parent before child) order.
+  std::vector<int> TopDownOrder() const;
+  /// Nodes in a bottom-up (child before parent) order.
+  std::vector<int> BottomUpOrder() const;
+
+  /// Checks the running-intersection property for the given terms: for each
+  /// term in `connecting`, the atoms mentioning it must induce a connected
+  /// subtree. Returns false on any violation.
+  bool Validate(const std::vector<Term>& connecting) const;
+  /// Validates over every term occurring in the atoms.
+  bool ValidateAllTerms() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  int root_ = -1;
+};
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_JOIN_TREE_H_

@@ -1,0 +1,88 @@
+#include "core/term.h"
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <unordered_map>
+
+namespace semacyc {
+namespace {
+
+/// Process-wide interning table for named terms (constants and variables).
+/// Guarded by a mutex; hot paths deal in integer handles only, so contention
+/// is limited to parsing and fresh-symbol creation.
+class SymbolTable {
+ public:
+  static SymbolTable& Get() {
+    static SymbolTable* table = new SymbolTable();
+    return *table;
+  }
+
+  uint32_t Intern(TermKind kind, const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& map = maps_[static_cast<int>(kind)];
+    auto it = map.find(name);
+    if (it != map.end()) return it->second;
+    auto& names = names_[static_cast<int>(kind)];
+    uint32_t id = static_cast<uint32_t>(names.size());
+    names.push_back(name);
+    map.emplace(name, id);
+    return id;
+  }
+
+  const std::string& NameOf(TermKind kind, uint32_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& names = names_[static_cast<int>(kind)];
+    assert(index < names.size());
+    return names[index];
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, uint32_t> maps_[3];
+  std::vector<std::string> names_[3];
+};
+
+std::atomic<uint32_t> g_null_counter{0};
+
+}  // namespace
+
+Term Term::Make(TermKind kind, uint32_t index) {
+  assert(index < (1u << 30));
+  return Term((static_cast<uint32_t>(kind) << 30) | index);
+}
+
+Term Term::Constant(const std::string& name) {
+  return Make(TermKind::kConstant,
+              SymbolTable::Get().Intern(TermKind::kConstant, name));
+}
+
+Term Term::Variable(const std::string& name) {
+  return Make(TermKind::kVariable,
+              SymbolTable::Get().Intern(TermKind::kVariable, name));
+}
+
+Term Term::FreshNull() {
+  return Make(TermKind::kNull, g_null_counter.fetch_add(1));
+}
+
+Term Term::NullAt(uint32_t index) { return Make(TermKind::kNull, index); }
+
+const std::string& Term::name() const {
+  assert(IsValid() && kind() != TermKind::kNull);
+  return SymbolTable::Get().NameOf(kind(), index());
+}
+
+std::string Term::ToString() const {
+  if (!IsValid()) return "<invalid>";
+  switch (kind()) {
+    case TermKind::kConstant:
+    case TermKind::kVariable:
+      return name();
+    case TermKind::kNull:
+      return "_:" + std::to_string(index());
+  }
+  return "<unreachable>";
+}
+
+}  // namespace semacyc

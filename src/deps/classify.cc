@@ -1,0 +1,163 @@
+#include "deps/classify.h"
+
+#include <algorithm>
+
+#include "deps/nonrecursive.h"
+#include "deps/sticky.h"
+#include "deps/weakly_acyclic.h"
+
+namespace semacyc {
+
+const char* ToString(TgdClass c) {
+  switch (c) {
+    case TgdClass::kFull:
+      return "full";
+    case TgdClass::kGuarded:
+      return "guarded";
+    case TgdClass::kLinear:
+      return "linear";
+    case TgdClass::kInclusion:
+      return "inclusion";
+    case TgdClass::kNonRecursive:
+      return "non-recursive";
+    case TgdClass::kSticky:
+      return "sticky";
+    case TgdClass::kWeaklyAcyclic:
+      return "weakly-acyclic";
+  }
+  return "?";
+}
+
+bool TgdClassification::Is(TgdClass c) const {
+  switch (c) {
+    case TgdClass::kFull:
+      return full;
+    case TgdClass::kGuarded:
+      return guarded;
+    case TgdClass::kLinear:
+      return linear;
+    case TgdClass::kInclusion:
+      return inclusion;
+    case TgdClass::kNonRecursive:
+      return non_recursive;
+    case TgdClass::kSticky:
+      return sticky;
+    case TgdClass::kWeaklyAcyclic:
+      return weakly_acyclic;
+  }
+  return false;
+}
+
+std::string TgdClassification::ToString() const {
+  std::string out;
+  auto add = [&out](bool flag, const char* name) {
+    if (flag) {
+      if (!out.empty()) out += ", ";
+      out += name;
+    }
+  };
+  add(full, "full");
+  add(guarded, "guarded");
+  add(linear, "linear");
+  add(inclusion, "inclusion");
+  add(non_recursive, "non-recursive");
+  add(sticky, "sticky");
+  add(weakly_acyclic, "weakly-acyclic");
+  if (out.empty()) out = "(none)";
+  return out;
+}
+
+bool IsFullSet(const std::vector<Tgd>& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsFull(); });
+}
+
+bool IsGuardedSet(const std::vector<Tgd>& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsGuarded(); });
+}
+
+bool IsLinearSet(const std::vector<Tgd>& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsLinear(); });
+}
+
+bool IsInclusionSet(const std::vector<Tgd>& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsInclusionDependency(); });
+}
+
+TgdClassification Classify(const std::vector<Tgd>& tgds) {
+  TgdClassification out;
+  out.full = IsFullSet(tgds);
+  out.guarded = IsGuardedSet(tgds);
+  out.linear = IsLinearSet(tgds);
+  out.inclusion = IsInclusionSet(tgds);
+  out.non_recursive = IsNonRecursive(tgds);
+  out.sticky = IsSticky(tgds);
+  out.weakly_acyclic = IsWeaklyAcyclic(tgds);
+  return out;
+}
+
+bool RecognizedFd::IsKey() const {
+  std::vector<int> covered = lhs;
+  covered.push_back(rhs);
+  std::sort(covered.begin(), covered.end());
+  covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+  return static_cast<int>(covered.size()) == predicate.arity();
+}
+
+std::optional<RecognizedFd> RecognizeFd(const Egd& egd) {
+  if (egd.body().size() != 2) return std::nullopt;
+  const Atom& a = egd.body()[0];
+  const Atom& b = egd.body()[1];
+  if (a.predicate() != b.predicate()) return std::nullopt;
+  RecognizedFd fd;
+  fd.predicate = a.predicate();
+  for (size_t i = 0; i < a.arity(); ++i) {
+    Term ta = a.arg(i);
+    Term tb = b.arg(i);
+    if (!ta.IsVariable() || !tb.IsVariable()) return std::nullopt;
+    if (ta == tb) {
+      fd.lhs.push_back(static_cast<int>(i));
+    } else if ((ta == egd.lhs() && tb == egd.rhs()) ||
+               (ta == egd.rhs() && tb == egd.lhs())) {
+      if (fd.rhs != -1) return std::nullopt;  // equated pair must be unique
+      fd.rhs = static_cast<int>(i);
+    }
+    // Positions with distinct non-equated variables are "don't care"
+    // attributes; they are fine for an FD A -> {rhs}.
+  }
+  if (fd.rhs == -1) return std::nullopt;
+  // The equated variables must not occur anywhere else (otherwise the egd is
+  // not a plain FD).
+  int occurrences_l = 0, occurrences_r = 0;
+  for (const Atom& atom : egd.body()) {
+    for (Term t : atom.args()) {
+      if (t == egd.lhs()) ++occurrences_l;
+      if (t == egd.rhs()) ++occurrences_r;
+    }
+  }
+  if (occurrences_l != 1 || occurrences_r != 1) return std::nullopt;
+  return fd;
+}
+
+bool IsK2Set(const std::vector<Egd>& egds) {
+  for (const Egd& e : egds) {
+    std::optional<RecognizedFd> fd = RecognizeFd(e);
+    if (!fd.has_value()) return false;
+    if (fd->predicate.arity() > 2) return false;
+    if (!fd->IsKey()) return false;
+  }
+  return true;
+}
+
+bool IsUnaryFdSet(const std::vector<Egd>& egds) {
+  for (const Egd& e : egds) {
+    std::optional<RecognizedFd> fd = RecognizeFd(e);
+    if (!fd.has_value() || !fd->IsUnary()) return false;
+  }
+  return true;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,74 @@
+#ifndef SEMACYC_DEPS_CLASSIFY_H_
+#define SEMACYC_DEPS_CLASSIFY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chase/dependency.h"
+
+namespace semacyc {
+
+/// The syntactic classes of sets of tgds from §2 of the paper.
+enum class TgdClass {
+  kFull,          // F:  no existential head variables
+  kGuarded,       // G:  some body atom contains all body variables
+  kLinear,        // L:  single body atom
+  kInclusion,     // ID: linear, single head atom, no repeated variables
+  kNonRecursive,  // NR: acyclic predicate graph
+  kSticky,        // S:  sticky marking has no repeated marked variable
+  kWeaklyAcyclic, // WA: position dependency graph, no special cycle
+};
+
+const char* ToString(TgdClass c);
+
+/// Per-set classification report.
+struct TgdClassification {
+  bool full = false;
+  bool guarded = false;
+  bool linear = false;
+  bool inclusion = false;
+  bool non_recursive = false;
+  bool sticky = false;
+  bool weakly_acyclic = false;
+
+  bool Is(TgdClass c) const;
+  std::string ToString() const;
+};
+
+/// Classifies a set of tgds against every implemented class.
+TgdClassification Classify(const std::vector<Tgd>& tgds);
+
+/// Individual set-level checks.
+bool IsFullSet(const std::vector<Tgd>& tgds);
+bool IsGuardedSet(const std::vector<Tgd>& tgds);
+bool IsLinearSet(const std::vector<Tgd>& tgds);
+bool IsInclusionSet(const std::vector<Tgd>& tgds);
+
+/// ---- Egd-side recognizers (§6). ----
+
+/// A recognized functional dependency shape: body is two atoms of the same
+/// predicate; `lhs` = positions where both atoms share a variable; the
+/// equated pair sits at position `rhs` of the two atoms.
+struct RecognizedFd {
+  Predicate predicate;
+  std::vector<int> lhs;
+  int rhs = -1;
+
+  bool IsKey() const;
+  bool IsUnary() const { return lhs.size() == 1; }
+};
+
+/// Tries to interpret an egd as a functional dependency R : A -> {b}.
+std::optional<RecognizedFd> RecognizeFd(const Egd& egd);
+
+/// K2 (§6.2): every egd is a key over a unary or binary predicate.
+bool IsK2Set(const std::vector<Egd>& egds);
+
+/// Unary FDs over unconstrained signatures (Theorem 23 extension /
+/// [Figueira, LICS'16]).
+bool IsUnaryFdSet(const std::vector<Egd>& egds);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_DEPS_CLASSIFY_H_

@@ -1,0 +1,56 @@
+#include "deps/connecting.h"
+
+namespace semacyc {
+namespace {
+
+std::vector<Atom> StarAtoms(const std::vector<Atom>& atoms, Term w) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    std::vector<Term> args = a.args();
+    args.push_back(w);
+    out.emplace_back(ConnectingOperator::Star(a.predicate()), std::move(args));
+  }
+  return out;
+}
+
+}  // namespace
+
+Predicate ConnectingOperator::Star(Predicate p) {
+  return Predicate::Get(p.name() + "_star", p.arity() + 1);
+}
+
+Predicate ConnectingOperator::Aux() { return Predicate::Get("aux", 2); }
+
+ConjunctiveQuery ConnectingOperator::ConnectLeft(const ConjunctiveQuery& q) {
+  Term w = FreshVariable();
+  std::vector<Atom> body = StarAtoms(q.body(), w);
+  body.push_back(Atom(Aux(), {w, w}));
+  return ConjunctiveQuery(q.head(), std::move(body));
+}
+
+ConjunctiveQuery ConnectingOperator::ConnectRight(const ConjunctiveQuery& q) {
+  Term w = FreshVariable();
+  Term u = FreshVariable();
+  Term v = FreshVariable();
+  std::vector<Atom> body = StarAtoms(q.body(), w);
+  body.push_back(Atom(Aux(), {w, u}));
+  body.push_back(Atom(Aux(), {u, v}));
+  body.push_back(Atom(Aux(), {v, w}));
+  return ConjunctiveQuery(q.head(), std::move(body));
+}
+
+Tgd ConnectingOperator::Connect(const Tgd& tgd) {
+  Term w = FreshVariable();
+  return Tgd(StarAtoms(tgd.body(), w), StarAtoms(tgd.head(), w));
+}
+
+DependencySet ConnectingOperator::Connect(const DependencySet& sigma) {
+  DependencySet out;
+  out.tgds.reserve(sigma.tgds.size());
+  for (const Tgd& t : sigma.tgds) out.tgds.push_back(Connect(t));
+  out.egds = sigma.egds;  // the operator is defined for tgds (§4)
+  return out;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,34 @@
+#ifndef SEMACYC_DEPS_CONNECTING_H_
+#define SEMACYC_DEPS_CONNECTING_H_
+
+#include "chase/dependency.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// The connecting operator of §4 (lower-bound machinery): a generic
+/// polynomial-time reduction from AcBoolCont(C) to RestCont(C) for every
+/// class C closed under connecting.
+///
+/// Every atom R(v̄) becomes R*(v̄, w) for a fresh variable w shared by the
+/// whole query/tgd; c(q) additionally carries aux(w,w), and c(q') carries
+/// an aux-triangle aux(w,u), aux(u,v), aux(v,w), which makes c(q') cyclic
+/// in an essential way (not semantically acyclic under c(Σ)).
+struct ConnectingOperator {
+  /// c(q): starred atoms plus aux(w,w). Preserves acyclicity of q.
+  static ConjunctiveQuery ConnectLeft(const ConjunctiveQuery& q);
+  /// c(q'): starred atoms plus the aux triangle.
+  static ConjunctiveQuery ConnectRight(const ConjunctiveQuery& q);
+  /// c(Σ): each tgd gets the extra w position on every atom.
+  static Tgd Connect(const Tgd& tgd);
+  static DependencySet Connect(const DependencySet& sigma);
+
+  /// The starred predicate R* of R (arity + 1).
+  static Predicate Star(Predicate p);
+  /// The binary aux predicate.
+  static Predicate Aux();
+};
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_DEPS_CONNECTING_H_

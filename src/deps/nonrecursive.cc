@@ -1,0 +1,89 @@
+#include "deps/nonrecursive.h"
+
+#include <algorithm>
+
+namespace semacyc {
+
+PredicateGraph PredicateGraph::Of(const std::vector<Tgd>& tgds) {
+  PredicateGraph g;
+  auto node_of = [&g](Predicate p) {
+    auto it = std::find(g.nodes.begin(), g.nodes.end(), p);
+    if (it != g.nodes.end()) return static_cast<int>(it - g.nodes.begin());
+    g.nodes.push_back(p);
+    return static_cast<int>(g.nodes.size() - 1);
+  };
+  for (const Tgd& tgd : tgds) {
+    for (const Atom& b : tgd.body()) {
+      int from = node_of(b.predicate());
+      for (const Atom& h : tgd.head()) {
+        int to = node_of(h.predicate());
+        if (std::find(g.edges.begin(), g.edges.end(),
+                      std::make_pair(from, to)) == g.edges.end()) {
+          g.edges.push_back({from, to});
+        }
+      }
+    }
+  }
+  return g;
+}
+
+bool PredicateGraph::HasDirectedCycle() const {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<std::vector<int>> adj(n);
+  for (auto [a, b] : edges) adj[a].push_back(b);
+  // 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<int> state(n, 0);
+  std::vector<std::pair<int, size_t>> stack;
+  for (int start = 0; start < n; ++start) {
+    if (state[start] != 0) continue;
+    stack.push_back({start, 0});
+    state[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < adj[node].size()) {
+        int child = adj[node][next++];
+        if (state[child] == 1) return true;
+        if (state[child] == 0) {
+          state[child] = 1;
+          stack.push_back({child, 0});
+        }
+      } else {
+        state[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> PredicateGraph::Strata() const {
+  if (HasDirectedCycle()) return {};
+  const int n = static_cast<int>(nodes.size());
+  std::vector<int> strata(n, 0);
+  // Longest-path layering by repeated relaxation (graphs are tiny).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [a, b] : edges) {
+      if (strata[b] < strata[a] + 1) {
+        strata[b] = strata[a] + 1;
+        changed = true;
+      }
+    }
+  }
+  return strata;
+}
+
+bool IsNonRecursive(const std::vector<Tgd>& tgds) {
+  return !PredicateGraph::Of(tgds).HasDirectedCycle();
+}
+
+size_t NonRecursiveChaseDepthBound(const std::vector<Tgd>& tgds) {
+  PredicateGraph g = PredicateGraph::Of(tgds);
+  std::vector<int> strata = g.Strata();
+  int max_stratum = 0;
+  for (int s : strata) max_stratum = std::max(max_stratum, s);
+  return static_cast<size_t>(max_stratum) + 2;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,33 @@
+#ifndef SEMACYC_DEPS_NONRECURSIVE_H_
+#define SEMACYC_DEPS_NONRECURSIVE_H_
+
+#include <vector>
+
+#include "chase/dependency.h"
+
+namespace semacyc {
+
+/// The predicate graph of a set of tgds: an edge R -> S whenever R occurs
+/// in the body and S in the head of the same tgd.
+struct PredicateGraph {
+  std::vector<Predicate> nodes;
+  std::vector<std::pair<int, int>> edges;  // indices into nodes
+
+  static PredicateGraph Of(const std::vector<Tgd>& tgds);
+  bool HasDirectedCycle() const;
+  /// Topological strata: stratum of a predicate = longest path to it.
+  /// Empty when cyclic.
+  std::vector<int> Strata() const;
+};
+
+/// NR (§2): the predicate graph is a DAG.
+bool IsNonRecursive(const std::vector<Tgd>& tgds);
+
+/// Upper bound on the chase rounds needed to saturate a non-recursive set
+/// (number of strata of the predicate graph + 1); used to size chase
+/// budgets so NR chases always run to saturation.
+size_t NonRecursiveChaseDepthBound(const std::vector<Tgd>& tgds);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_DEPS_NONRECURSIVE_H_

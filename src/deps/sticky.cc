@@ -1,0 +1,104 @@
+#include "deps/sticky.h"
+
+namespace semacyc {
+
+StickyMarking ComputeStickyMarking(const std::vector<Tgd>& tgds) {
+  StickyMarking marking;
+  marking.marked.resize(tgds.size());
+
+  // Base step: variable occurs in the body but not in every head atom.
+  for (size_t t = 0; t < tgds.size(); ++t) {
+    for (Term v : tgds[t].body_variables()) {
+      bool in_every_head_atom = true;
+      for (const Atom& h : tgds[t].head()) {
+        if (!h.Mentions(v)) {
+          in_every_head_atom = false;
+          break;
+        }
+      }
+      if (!in_every_head_atom) marking.marked[t].insert(v);
+    }
+  }
+
+  auto collect_positions = [&]() {
+    std::set<std::pair<uint32_t, int>> positions;
+    for (size_t t = 0; t < tgds.size(); ++t) {
+      for (const Atom& b : tgds[t].body()) {
+        for (size_t i = 0; i < b.arity(); ++i) {
+          if (b.arg(i).IsVariable() && marking.marked[t].count(b.arg(i))) {
+            positions.insert({b.predicate().id(), static_cast<int>(i)});
+          }
+        }
+      }
+    }
+    return positions;
+  };
+
+  // Propagation to fixpoint: head variable at a marked position becomes
+  // marked in its own body.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<std::pair<uint32_t, int>> positions = collect_positions();
+    for (size_t t = 0; t < tgds.size(); ++t) {
+      // Universally quantified head variables = frontier variables.
+      std::set<Term> frontier(tgds[t].frontier().begin(),
+                              tgds[t].frontier().end());
+      for (const Atom& h : tgds[t].head()) {
+        for (size_t i = 0; i < h.arity(); ++i) {
+          Term u = h.arg(i);
+          if (!u.IsVariable() || !frontier.count(u)) continue;
+          if (!positions.count({h.predicate().id(), static_cast<int>(i)})) {
+            continue;
+          }
+          if (marking.marked[t].insert(u).second) changed = true;
+        }
+      }
+    }
+  }
+  marking.marked_positions = collect_positions();
+
+  // Sticky test: no tgd body has two occurrences of a marked variable.
+  for (size_t t = 0; t < tgds.size() && marking.violating_tgd < 0; ++t) {
+    for (Term v : marking.marked[t]) {
+      int occurrences = 0;
+      for (const Atom& b : tgds[t].body()) {
+        for (Term arg : b.args()) {
+          if (arg == v) ++occurrences;
+        }
+      }
+      if (occurrences >= 2) {
+        marking.violating_tgd = static_cast<int>(t);
+        marking.violating_variable = v;
+        break;
+      }
+    }
+  }
+  return marking;
+}
+
+bool IsSticky(const std::vector<Tgd>& tgds) {
+  return ComputeStickyMarking(tgds).IsSticky();
+}
+
+std::string StickyMarking::ToString(const std::vector<Tgd>& tgds) const {
+  std::string out;
+  for (size_t t = 0; t < tgds.size(); ++t) {
+    out += tgds[t].ToString() + "   marked: {";
+    bool first = true;
+    for (Term v : marked[t]) {
+      if (!first) out += ",";
+      out += v.ToString();
+      first = false;
+    }
+    out += "}\n";
+  }
+  out += IsSticky() ? "=> sticky" : "=> NOT sticky";
+  if (!IsSticky()) {
+    out += " (tgd " + std::to_string(violating_tgd) + ", variable " +
+           violating_variable.ToString() + ")";
+  }
+  return out;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,46 @@
+#ifndef SEMACYC_DEPS_STICKY_H_
+#define SEMACYC_DEPS_STICKY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chase/dependency.h"
+
+namespace semacyc {
+
+/// The sticky marking procedure of Calì–Gottlob–Pieris, as sketched in §2
+/// and Figure 1(b) of the paper.
+///
+///   * Base step: mark (every body occurrence of) each variable of a tgd
+///     that fails to occur in *every* head atom of that tgd.
+///   * Propagation: if a marked variable occurs in some tgd body at
+///     position (R, i), then for every tgd whose head contains a
+///     universally quantified variable u at (R, i), mark u in that tgd's
+///     body. Iterate to fixpoint.
+///
+/// The set is sticky iff no tgd body contains two occurrences of a marked
+/// variable.
+struct StickyMarking {
+  /// marked[t] = the marked body variables of tgds[t].
+  std::vector<std::set<Term>> marked;
+  /// The marked body positions (predicate id, argument index).
+  std::set<std::pair<uint32_t, int>> marked_positions;
+  /// Index of the first tgd violating stickiness, or -1.
+  int violating_tgd = -1;
+  /// The violating (doubly occurring marked) variable, when any.
+  Term violating_variable;
+
+  bool IsSticky() const { return violating_tgd < 0; }
+  std::string ToString(const std::vector<Tgd>& tgds) const;
+};
+
+/// Runs the marking procedure.
+StickyMarking ComputeStickyMarking(const std::vector<Tgd>& tgds);
+
+/// S (§2): the set passes the sticky test.
+bool IsSticky(const std::vector<Tgd>& tgds);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_DEPS_STICKY_H_

@@ -1,0 +1,78 @@
+#include "deps/weakly_acyclic.h"
+
+#include <map>
+#include <set>
+
+namespace semacyc {
+namespace {
+
+using Position = std::pair<uint32_t, int>;  // (predicate id, argument index)
+
+struct PositionGraph {
+  std::set<Position> nodes;
+  std::set<std::pair<Position, Position>> regular;
+  std::set<std::pair<Position, Position>> special;
+};
+
+PositionGraph BuildPositionGraph(const std::vector<Tgd>& tgds) {
+  PositionGraph g;
+  for (const Tgd& tgd : tgds) {
+    std::set<Term> frontier(tgd.frontier().begin(), tgd.frontier().end());
+    std::set<Term> existential(tgd.existential_variables().begin(),
+                               tgd.existential_variables().end());
+    for (const Atom& b : tgd.body()) {
+      for (size_t i = 0; i < b.arity(); ++i) {
+        Term x = b.arg(i);
+        if (!x.IsVariable()) continue;
+        Position p{b.predicate().id(), static_cast<int>(i)};
+        g.nodes.insert(p);
+        if (!frontier.count(x)) continue;
+        for (const Atom& h : tgd.head()) {
+          for (size_t j = 0; j < h.arity(); ++j) {
+            Position q{h.predicate().id(), static_cast<int>(j)};
+            g.nodes.insert(q);
+            Term y = h.arg(j);
+            if (y == x) g.regular.insert({p, q});
+            if (y.IsVariable() && existential.count(y)) {
+              g.special.insert({p, q});
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds) {
+  PositionGraph g = BuildPositionGraph(tgds);
+  // A cycle through a special edge exists iff for some special edge
+  // (u, v) there is a path v ->* u using any edges. Compute reachability
+  // by Floyd–Warshall-style closure over the (small) node set.
+  std::vector<Position> nodes(g.nodes.begin(), g.nodes.end());
+  const int n = static_cast<int>(nodes.size());
+  std::map<Position, int> index;
+  for (int i = 0; i < n; ++i) index[nodes[i]] = i;
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  auto add_edges = [&](const std::set<std::pair<Position, Position>>& edges) {
+    for (const auto& [a, b] : edges) reach[index[a]][index[b]] = true;
+  };
+  add_edges(g.regular);
+  add_edges(g.special);
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (int j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  for (const auto& [u, v] : g.special) {
+    if (u == v || reach[index[v]][index[u]]) return false;
+  }
+  return true;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,23 @@
+#ifndef SEMACYC_DEPS_WEAKLY_ACYCLIC_H_
+#define SEMACYC_DEPS_WEAKLY_ACYCLIC_H_
+
+#include <vector>
+
+#include "chase/dependency.h"
+
+namespace semacyc {
+
+/// The position dependency graph of Fagin et al. [16]: nodes are positions
+/// (R, i); for each tgd and each body occurrence of a frontier variable x
+/// at position p:
+///   * a regular edge p -> p' for every head occurrence of x at p';
+///   * a special edge p => p'' for every head position p'' holding an
+///     existentially quantified variable.
+/// The set is weakly acyclic iff no cycle goes through a special edge.
+/// Weak acyclicity guarantees chase termination; the class contains all
+/// full tgds and is therefore ruled out for SemAc by Theorem 7.
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_DEPS_WEAKLY_ACYCLIC_H_

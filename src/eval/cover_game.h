@@ -1,0 +1,38 @@
+#ifndef SEMACYC_EVAL_COVER_GAME_H_
+#define SEMACYC_EVAL_COVER_GAME_H_
+
+#include <vector>
+
+#include "core/instance.h"
+
+namespace semacyc {
+
+/// The existential 1-cover game of Chen–Dalmau [13], via the Lemma 28
+/// characterization: the duplicator wins on (I, t̄) vs (I', t̄') iff there
+/// is a mapping H assigning to each atom of I a nonempty set of same-
+/// predicate atoms of I' such that
+///   (1) head components map position-wise t̄ -> t̄', and
+///   (2) every chosen image is compatible, on shared terms, with some
+///       choice for every other atom of I.
+/// Computed as an arc-consistency fixpoint; polynomial (Prop 29).
+///
+/// Genuine constants are rigid (homomorphisms are the identity on C);
+/// nulls and the frozen "@" constants of queries are flexible.
+struct CoverGameResult {
+  bool duplicator_wins = false;
+  /// Surviving candidate images per atom of I (diagnostics).
+  std::vector<std::vector<uint32_t>> strategy;
+  size_t iterations = 0;
+};
+
+CoverGameResult SolveCoverGame(const Instance& I, const std::vector<Term>& t,
+                               const Instance& J,
+                               const std::vector<Term>& t_prime);
+
+/// Convenience: (I,t̄) ≡∃1c (J,t̄').
+bool DuplicatorWins(const Instance& I, const std::vector<Term>& t,
+                    const Instance& J, const std::vector<Term>& t_prime);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_EVAL_COVER_GAME_H_

@@ -1,0 +1,45 @@
+#include "eval/semac_eval.h"
+
+#include "chase/query_chase.h"
+
+namespace semacyc {
+
+bool GuardedGameEvaluate(const ConjunctiveQuery& q, const Instance& database,
+                         const std::vector<Term>& tuple) {
+  FrozenQuery frozen = Freeze(q, TermKind::kNull);
+  return DuplicatorWins(frozen.instance, frozen.frozen_head, database, tuple);
+}
+
+Tri GameEvaluateViaChase(const ConjunctiveQuery& q, const DependencySet& sigma,
+                         const Instance& database,
+                         const std::vector<Term>& tuple,
+                         const ChaseOptions& options) {
+  QueryChaseResult chase = ChaseQuery(q, sigma, options);
+  if (chase.failed) return Tri::kNo;  // q empty on every model of Σ
+  bool wins =
+      DuplicatorWins(chase.instance, chase.frozen_head, database, tuple);
+  if (!chase.saturated) {
+    // A win on a chase prefix may be lost on the full chase (the spoiler
+    // gains atoms), so only a loss is definitive... and not even that:
+    // more atoms also never help the duplicator. Either way the prefix
+    // answer is only a heuristic; report kUnknown unless saturated.
+    return Tri::kUnknown;
+  }
+  return wins ? Tri::kYes : Tri::kNo;
+}
+
+FptEvalResult FptEvaluate(const ConjunctiveQuery& q,
+                          const DependencySet& sigma, const Instance& database,
+                          const SemAcOptions& options) {
+  FptEvalResult result;
+  SemAcResult decision = DecideSemanticAcyclicity(q, sigma, options);
+  if (decision.answer != SemAcAnswer::kYes || !decision.witness.has_value()) {
+    return result;
+  }
+  result.reformulated = true;
+  result.witness = *decision.witness;
+  result.evaluation = EvaluateAcyclic(result.witness, database);
+  return result;
+}
+
+}  // namespace semacyc

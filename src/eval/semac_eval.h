@@ -1,0 +1,42 @@
+#ifndef SEMACYC_EVAL_SEMAC_EVAL_H_
+#define SEMACYC_EVAL_SEMAC_EVAL_H_
+
+#include "eval/cover_game.h"
+#include "eval/yannakakis.h"
+#include "semacyc/decider.h"
+
+namespace semacyc {
+
+/// §7: evaluating a semantically acyclic CQ over a database satisfying Σ.
+
+/// Theorem 25 (with Prop 31 / Lemma 32): when q is semantically acyclic
+/// under a guarded Σ and D |= Σ, t̄ ∈ q(D) iff the duplicator wins the
+/// existential 1-cover game on (q, x̄) vs (D, t̄) — the chase is not
+/// needed, so the whole check is polynomial.
+bool GuardedGameEvaluate(const ConjunctiveQuery& q, const Instance& database,
+                         const std::vector<Term>& tuple);
+
+/// Prop 31 (general Σ): t̄ ∈ q(D) iff (chase(q,Σ), x̄) ≡∃1c (D, t̄).
+/// Exact when the chase saturates; kUnknown otherwise.
+Tri GameEvaluateViaChase(const ConjunctiveQuery& q, const DependencySet& sigma,
+                         const Instance& database,
+                         const std::vector<Term>& tuple,
+                         const ChaseOptions& options = {});
+
+/// Prop 24: the fixed-parameter-tractable pipeline — find an equivalent
+/// acyclic q' (double-exponential in |q|+|Σ|, but independent of D), then
+/// run Yannakakis on q'.
+struct FptEvalResult {
+  /// Whether an acyclic reformulation was found.
+  bool reformulated = false;
+  ConjunctiveQuery witness;
+  YannakakisResult evaluation;
+};
+
+FptEvalResult FptEvaluate(const ConjunctiveQuery& q,
+                          const DependencySet& sigma, const Instance& database,
+                          const SemAcOptions& options = {});
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_EVAL_SEMAC_EVAL_H_

@@ -1,0 +1,272 @@
+#include "eval/yannakakis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/hypergraph.h"
+
+namespace semacyc {
+namespace {
+
+/// A node relation: tuples over the distinct variables of one query atom.
+struct NodeRelation {
+  std::vector<Term> vars;                  // distinct variables of the atom
+  std::vector<std::vector<Term>> tuples;   // bindings aligned with vars
+};
+
+/// Matches of `atom` in `db` as bindings over the atom's distinct vars.
+NodeRelation MatchAtom(const Atom& atom, const Instance& db) {
+  NodeRelation rel;
+  for (Term t : atom.args()) {
+    if (t.IsVariable() &&
+        std::find(rel.vars.begin(), rel.vars.end(), t) == rel.vars.end()) {
+      rel.vars.push_back(t);
+    }
+  }
+  for (uint32_t idx : db.AtomsOf(atom.predicate())) {
+    const Atom& fact = db.atom(idx);
+    std::unordered_map<Term, Term, TermHash> binding;
+    bool ok = true;
+    for (size_t i = 0; i < atom.arity() && ok; ++i) {
+      Term pattern = atom.arg(i);
+      Term value = fact.arg(i);
+      if (pattern.IsVariable()) {
+        auto [it, inserted] = binding.emplace(pattern, value);
+        if (!inserted && it->second != value) ok = false;
+      } else if (pattern != value) {
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    std::vector<Term> tuple;
+    tuple.reserve(rel.vars.size());
+    for (Term v : rel.vars) tuple.push_back(binding[v]);
+    rel.tuples.push_back(std::move(tuple));
+  }
+  return rel;
+}
+
+std::vector<Term> SharedVars(const NodeRelation& a, const NodeRelation& b) {
+  std::vector<Term> out;
+  for (Term v : a.vars) {
+    if (std::find(b.vars.begin(), b.vars.end(), v) != b.vars.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::string KeyOf(const std::vector<Term>& tuple,
+                  const std::vector<int>& positions) {
+  std::string key;
+  for (int p : positions) {
+    key += std::to_string(tuple[static_cast<size_t>(p)].raw_bits()) + ",";
+  }
+  return key;
+}
+
+std::vector<int> PositionsOf(const std::vector<Term>& vars,
+                             const std::vector<Term>& subset) {
+  std::vector<int> out;
+  for (Term v : subset) {
+    auto it = std::find(vars.begin(), vars.end(), v);
+    assert(it != vars.end());
+    out.push_back(static_cast<int>(it - vars.begin()));
+  }
+  return out;
+}
+
+/// Keeps in `target` only tuples whose shared-variable projection appears
+/// in `source` (semi-join target ⋉ source).
+void SemiJoin(NodeRelation* target, const NodeRelation& source,
+              size_t* probes) {
+  std::vector<Term> shared = SharedVars(*target, source);
+  if (shared.empty()) {
+    if (source.tuples.empty()) target->tuples.clear();
+    return;
+  }
+  std::vector<int> src_pos = PositionsOf(source.vars, shared);
+  std::vector<int> dst_pos = PositionsOf(target->vars, shared);
+  std::unordered_set<std::string> keys;
+  for (const auto& t : source.tuples) keys.insert(KeyOf(t, src_pos));
+  std::vector<std::vector<Term>> kept;
+  for (auto& t : target->tuples) {
+    ++*probes;
+    if (keys.count(KeyOf(t, dst_pos))) kept.push_back(std::move(t));
+  }
+  target->tuples = std::move(kept);
+}
+
+}  // namespace
+
+YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
+                                 const Instance& database) {
+  YannakakisResult result;
+  std::optional<JoinTree> tree =
+      BuildJoinTree(q.body(), ConnectingTerms::kVariables);
+  if (!tree.has_value()) return result;
+  result.ok = true;
+
+  if (q.body().empty()) {
+    // The empty conjunction is true with the (constant-only) head.
+    result.answers.push_back(q.head());
+    return result;
+  }
+
+  const size_t n = q.body().size();
+  std::vector<NodeRelation> rels(n);
+  for (size_t i = 0; i < n; ++i) rels[i] = MatchAtom(q.body()[i], database);
+
+  std::vector<int> bottom_up = tree->BottomUpOrder();
+  std::vector<int> top_down = tree->TopDownOrder();
+
+  // Bottom-up semi-joins: parent ⋉ child.
+  for (int node : bottom_up) {
+    int parent = tree->parent()[node];
+    if (parent >= 0) {
+      SemiJoin(&rels[parent], rels[node], &result.semijoin_probes);
+    }
+  }
+  // Top-down: child ⋉ parent.
+  for (int node : top_down) {
+    for (int child : tree->children()[node]) {
+      SemiJoin(&rels[child], rels[node], &result.semijoin_probes);
+    }
+  }
+
+  // Answer computation: bottom-up join keeping only head variables plus
+  // the variables connecting to the parent.
+  std::unordered_set<Term> free_vars;
+  for (Term h : q.head()) {
+    if (h.IsVariable()) free_vars.insert(h);
+  }
+
+  // For each node, the set of variables its DP relation carries.
+  std::vector<std::vector<Term>> carry(n);
+  std::vector<NodeRelation> dp(n);
+  for (int node : bottom_up) {
+    // Join node relation with all children's DP relations.
+    NodeRelation acc;
+    acc.vars = rels[node].vars;
+    acc.tuples = rels[node].tuples;
+    for (int child : tree->children()[node]) {
+      // Hash join acc ⋈ dp[child] on shared vars.
+      NodeRelation joined;
+      joined.vars = acc.vars;
+      for (Term v : dp[child].vars) {
+        if (std::find(joined.vars.begin(), joined.vars.end(), v) ==
+            joined.vars.end()) {
+          joined.vars.push_back(v);
+        }
+      }
+      std::vector<Term> shared = SharedVars(acc, dp[child]);
+      std::vector<int> left_pos = PositionsOf(acc.vars, shared);
+      std::vector<int> right_pos = PositionsOf(dp[child].vars, shared);
+      std::unordered_map<std::string, std::vector<const std::vector<Term>*>>
+          index;
+      for (const auto& t : dp[child].tuples) {
+        index[KeyOf(t, right_pos)].push_back(&t);
+      }
+      std::vector<int> extra;  // positions of dp[child] vars not in acc
+      for (size_t i = 0; i < dp[child].vars.size(); ++i) {
+        if (std::find(acc.vars.begin(), acc.vars.end(), dp[child].vars[i]) ==
+            acc.vars.end()) {
+          extra.push_back(static_cast<int>(i));
+        }
+      }
+      for (const auto& t : acc.tuples) {
+        auto it = index.find(KeyOf(t, left_pos));
+        if (it == index.end()) continue;
+        for (const std::vector<Term>* rt : it->second) {
+          std::vector<Term> merged = t;
+          for (int p : extra) merged.push_back((*rt)[static_cast<size_t>(p)]);
+          joined.tuples.push_back(std::move(merged));
+        }
+      }
+      acc = std::move(joined);
+    }
+    // Project to head vars + connector with parent.
+    int parent = tree->parent()[node];
+    std::unordered_set<Term> keep;
+    for (Term v : acc.vars) {
+      if (free_vars.count(v)) keep.insert(v);
+    }
+    if (parent >= 0) {
+      for (Term v : rels[parent].vars) {
+        if (std::find(acc.vars.begin(), acc.vars.end(), v) != acc.vars.end()) {
+          keep.insert(v);
+        }
+      }
+    }
+    NodeRelation projected;
+    for (Term v : acc.vars) {
+      if (keep.count(v)) projected.vars.push_back(v);
+    }
+    std::vector<int> proj_pos = PositionsOf(acc.vars, projected.vars);
+    std::unordered_set<std::string> seen;
+    for (const auto& t : acc.tuples) {
+      std::vector<Term> p;
+      p.reserve(proj_pos.size());
+      for (int pos : proj_pos) p.push_back(t[static_cast<size_t>(pos)]);
+      std::string key = KeyOf(p, PositionsOf(projected.vars, projected.vars));
+      if (seen.insert(key).second) projected.tuples.push_back(std::move(p));
+    }
+    dp[node] = std::move(projected);
+  }
+
+  // Assemble answers from the root DP relation.
+  const NodeRelation& root = dp[static_cast<size_t>(tree->root())];
+  std::unordered_set<std::string> out_seen;
+  for (const auto& t : root.tuples) {
+    std::vector<Term> answer;
+    answer.reserve(q.head().size());
+    bool ok = true;
+    for (Term h : q.head()) {
+      if (!h.IsVariable()) {
+        answer.push_back(h);
+        continue;
+      }
+      auto it = std::find(root.vars.begin(), root.vars.end(), h);
+      if (it == root.vars.end()) {
+        ok = false;  // head var not in root carry: should not happen for
+        break;       // connected queries; fall through defensively
+      }
+      answer.push_back(t[static_cast<size_t>(it - root.vars.begin())]);
+    }
+    if (!ok) continue;
+    std::string key;
+    for (Term a : answer) key += std::to_string(a.raw_bits()) + ",";
+    if (out_seen.insert(key).second) result.answers.push_back(answer);
+  }
+  return result;
+}
+
+int EvaluateAcyclicBoolean(const ConjunctiveQuery& q,
+                           const Instance& database) {
+  YannakakisResult result;
+  std::optional<JoinTree> tree =
+      BuildJoinTree(q.body(), ConnectingTerms::kVariables);
+  if (!tree.has_value()) return -1;
+  if (q.body().empty()) return 1;
+
+  const size_t n = q.body().size();
+  std::vector<NodeRelation> rels(n);
+  for (size_t i = 0; i < n; ++i) {
+    rels[i] = MatchAtom(q.body()[i], database);
+    if (rels[i].tuples.empty()) return 0;
+  }
+  size_t probes = 0;
+  for (int node : tree->BottomUpOrder()) {
+    int parent = tree->parent()[node];
+    if (parent >= 0) {
+      SemiJoin(&rels[parent], rels[node], &probes);
+      if (rels[parent].tuples.empty()) return 0;
+    }
+  }
+  return rels[static_cast<size_t>(tree->root())].tuples.empty() ? 0 : 1;
+}
+
+}  // namespace semacyc

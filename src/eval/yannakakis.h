@@ -1,0 +1,33 @@
+#ifndef SEMACYC_EVAL_YANNAKAKIS_H_
+#define SEMACYC_EVAL_YANNAKAKIS_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Yannakakis' algorithm [27]: evaluates an *acyclic* CQ over a database by
+/// a full semi-join reduction along a join tree (bottom-up then top-down)
+/// followed by a bottom-up join-and-project answer computation. Boolean
+/// acyclic queries run in O(|q|·|D|).
+struct YannakakisResult {
+  /// False iff the query was cyclic (nothing evaluated).
+  bool ok = false;
+  std::vector<std::vector<Term>> answers;
+  /// Number of tuple-level semi-join probes (cost accounting for benches).
+  size_t semijoin_probes = 0;
+};
+
+YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
+                                 const Instance& database);
+
+/// Boolean fast path: stops after the bottom-up reduction.
+/// Returns kUnknownCyclic (-1) when q is cyclic, else 0/1.
+int EvaluateAcyclicBoolean(const ConjunctiveQuery& q,
+                           const Instance& database);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_EVAL_YANNAKAKIS_H_

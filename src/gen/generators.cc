@@ -1,0 +1,382 @@
+#include "gen/generators.h"
+
+#include <cassert>
+
+#include "core/hypergraph.h"
+
+namespace semacyc {
+
+int Generator::Uniform(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(rng_);
+}
+
+ConjunctiveQuery Generator::RandomAcyclicQuery(int num_atoms, int arity,
+                                               int num_predicates,
+                                               const std::string& prefix) {
+  std::vector<Predicate> preds;
+  for (int i = 0; i < num_predicates; ++i) {
+    preds.push_back(Predicate::Get(prefix + std::to_string(i), arity));
+  }
+  std::vector<Atom> body;
+  std::vector<std::vector<Term>> node_vars;
+  for (int i = 0; i < num_atoms; ++i) {
+    std::vector<Term> args;
+    if (i == 0) {
+      for (int a = 0; a < arity; ++a) args.push_back(FreshVariable());
+    } else {
+      // Share one variable with a random earlier atom; fresh elsewhere.
+      int parent = Uniform(0, i - 1);
+      Term shared =
+          node_vars[parent][static_cast<size_t>(Uniform(0, arity - 1))];
+      int shared_pos = Uniform(0, arity - 1);
+      for (int a = 0; a < arity; ++a) {
+        args.push_back(a == shared_pos ? shared : FreshVariable());
+      }
+    }
+    node_vars.push_back(args);
+    body.emplace_back(preds[static_cast<size_t>(Uniform(0, num_predicates - 1))],
+                      args);
+  }
+  ConjunctiveQuery q({}, std::move(body));
+  assert(IsAcyclic(q));
+  return q;
+}
+
+ConjunctiveQuery Generator::CycleQuery(int length, const std::string& pred) {
+  Predicate e = Predicate::Get(pred, 2);
+  std::vector<Term> vars;
+  for (int i = 0; i < length; ++i) {
+    vars.push_back(Term::Variable("c" + std::to_string(i)));
+  }
+  std::vector<Atom> body;
+  for (int i = 0; i < length; ++i) {
+    body.push_back(Atom(e, {vars[static_cast<size_t>(i)],
+                            vars[static_cast<size_t>((i + 1) % length)]}));
+  }
+  return ConjunctiveQuery({}, std::move(body));
+}
+
+ConjunctiveQuery Generator::CliqueQuery(int n, const std::string& pred) {
+  Predicate e = Predicate::Get(pred, 2);
+  std::vector<Term> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(Term::Variable("k" + std::to_string(i)));
+  }
+  std::vector<Atom> body;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) {
+        body.push_back(Atom(e, {vars[static_cast<size_t>(i)],
+                                vars[static_cast<size_t>(j)]}));
+      }
+    }
+  }
+  return ConjunctiveQuery({}, std::move(body));
+}
+
+Instance Generator::RandomDatabase(const std::vector<Predicate>& predicates,
+                                   int num_atoms, int domain_size,
+                                   const std::string& const_prefix) {
+  std::vector<Term> domain;
+  for (int i = 0; i < domain_size; ++i) {
+    domain.push_back(Term::Constant(const_prefix + std::to_string(i)));
+  }
+  Instance db;
+  // Attempt cap: with small domains the number of distinct atoms is
+  // bounded (sum of domain^arity), so requesting more must not spin.
+  long attempts = static_cast<long>(num_atoms) * 50 + 1000;
+  while (static_cast<int>(db.size()) < num_atoms && attempts-- > 0) {
+    Predicate p = predicates[static_cast<size_t>(
+        Uniform(0, static_cast<int>(predicates.size()) - 1))];
+    std::vector<Term> args;
+    for (int a = 0; a < p.arity(); ++a) {
+      args.push_back(domain[static_cast<size_t>(Uniform(0, domain_size - 1))]);
+    }
+    db.Insert(Atom(p, std::move(args)));
+  }
+  return db;
+}
+
+std::vector<Tgd> Generator::RandomInclusionDependencies(
+    const std::vector<Predicate>& predicates, int count) {
+  std::vector<Tgd> out;
+  for (int i = 0; i < count; ++i) {
+    Predicate from = predicates[static_cast<size_t>(
+        Uniform(0, static_cast<int>(predicates.size()) - 1))];
+    Predicate to = predicates[static_cast<size_t>(
+        Uniform(0, static_cast<int>(predicates.size()) - 1))];
+    std::vector<Term> body_args;
+    for (int a = 0; a < from.arity(); ++a) body_args.push_back(FreshVariable());
+    // Head: each position either a distinct body variable or existential.
+    std::vector<Term> head_args;
+    for (int a = 0; a < to.arity(); ++a) {
+      if (!body_args.empty() && Uniform(0, 1) == 0) {
+        // Use a body variable not yet used in the head (ID: no repeats).
+        std::vector<Term> unused;
+        for (Term b : body_args) {
+          bool used = false;
+          for (Term h : head_args) {
+            if (h == b) used = true;
+          }
+          if (!used) unused.push_back(b);
+        }
+        if (!unused.empty()) {
+          head_args.push_back(unused[static_cast<size_t>(
+              Uniform(0, static_cast<int>(unused.size()) - 1))]);
+          continue;
+        }
+      }
+      head_args.push_back(FreshVariable());
+    }
+    out.emplace_back(std::vector<Atom>{Atom(from, body_args)},
+                     std::vector<Atom>{Atom(to, head_args)});
+    assert(out.back().IsInclusionDependency());
+  }
+  return out;
+}
+
+std::vector<Tgd> Generator::RandomGuardedTgds(
+    const std::vector<Predicate>& predicates, int count, int body_atoms) {
+  std::vector<Tgd> out;
+  for (int i = 0; i < count; ++i) {
+    // Guard: the widest predicate, with distinct variables.
+    Predicate guard = predicates[0];
+    for (Predicate p : predicates) {
+      if (p.arity() > guard.arity()) guard = p;
+    }
+    std::vector<Term> guard_args;
+    for (int a = 0; a < guard.arity(); ++a) {
+      guard_args.push_back(FreshVariable());
+    }
+    std::vector<Atom> body = {Atom(guard, guard_args)};
+    for (int b = 1; b < body_atoms; ++b) {
+      Predicate p = predicates[static_cast<size_t>(
+          Uniform(0, static_cast<int>(predicates.size()) - 1))];
+      std::vector<Term> args;
+      for (int a = 0; a < p.arity(); ++a) {
+        args.push_back(guard_args[static_cast<size_t>(
+            Uniform(0, guard.arity() - 1))]);
+      }
+      body.push_back(Atom(p, std::move(args)));
+    }
+    Predicate hp = predicates[static_cast<size_t>(
+        Uniform(0, static_cast<int>(predicates.size()) - 1))];
+    std::vector<Term> head_args;
+    for (int a = 0; a < hp.arity(); ++a) {
+      if (Uniform(0, 2) == 0) {
+        head_args.push_back(FreshVariable());  // existential
+      } else {
+        head_args.push_back(guard_args[static_cast<size_t>(
+            Uniform(0, guard.arity() - 1))]);
+      }
+    }
+    out.emplace_back(std::move(body),
+                     std::vector<Atom>{Atom(hp, std::move(head_args))});
+    assert(out.back().IsGuarded());
+  }
+  return out;
+}
+
+MusicStoreWorkload MakeMusicStoreWorkload(uint64_t seed, int customers,
+                                          int records, int styles,
+                                          double interest_prob) {
+  MusicStoreWorkload w;
+  w.customers = customers;
+  w.records = records;
+  w.styles = styles;
+  Predicate interest = Predicate::Get("Interest", 2);
+  Predicate cls = Predicate::Get("Class", 2);
+  Predicate owns = Predicate::Get("Owns", 2);
+
+  Term x = Term::Variable("x");
+  Term y = Term::Variable("y");
+  Term z = Term::Variable("z");
+  w.q = ConjunctiveQuery(
+      {x, y},
+      {Atom(interest, {x, z}), Atom(cls, {y, z}), Atom(owns, {x, y})});
+  w.sigma.tgds.emplace_back(
+      std::vector<Atom>{Atom(interest, {x, z}), Atom(cls, {y, z})},
+      std::vector<Atom>{Atom(owns, {x, y})});
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> style_of(0, styles - 1);
+  std::vector<Term> style_terms, customer_terms, record_terms;
+  for (int s = 0; s < styles; ++s) {
+    style_terms.push_back(Term::Constant("style" + std::to_string(s)));
+  }
+  for (int c = 0; c < customers; ++c) {
+    customer_terms.push_back(Term::Constant("cust" + std::to_string(c)));
+  }
+  for (int r = 0; r < records; ++r) {
+    record_terms.push_back(Term::Constant("rec" + std::to_string(r)));
+    w.database.Insert(Atom(
+        cls, {record_terms.back(),
+              style_terms[static_cast<size_t>(style_of(rng))]}));
+  }
+  for (int c = 0; c < customers; ++c) {
+    for (int s = 0; s < styles; ++s) {
+      if (coin(rng) < interest_prob) {
+        w.database.Insert(
+            Atom(interest, {customer_terms[static_cast<size_t>(c)],
+                            style_terms[static_cast<size_t>(s)]}));
+      }
+    }
+  }
+  // Close under the compulsive-collector tgd so database |= sigma.
+  for (int c = 0; c < customers; ++c) {
+    for (int r = 0; r < records; ++r) {
+      for (int s = 0; s < styles; ++s) {
+        Atom i_atom(interest, {customer_terms[static_cast<size_t>(c)],
+                               style_terms[static_cast<size_t>(s)]});
+        Atom c_atom(cls, {record_terms[static_cast<size_t>(r)],
+                          style_terms[static_cast<size_t>(s)]});
+        if (w.database.Contains(i_atom) && w.database.Contains(c_atom)) {
+          w.database.Insert(
+              Atom(owns, {customer_terms[static_cast<size_t>(c)],
+                          record_terms[static_cast<size_t>(r)]}));
+        }
+      }
+    }
+  }
+  return w;
+}
+
+KeyGridWorkload MakeKeyGridWorkload(int n) {
+  KeyGridWorkload w;
+  w.n = n;
+  Predicate H = Predicate::Get("H", 2);
+  Predicate V = Predicate::Get("V", 2);
+  Predicate R = Predicate::Get("R", 4);
+
+  // ǫ1: R(x,y,z,w), R(x,y,z,w') -> w = w'.
+  {
+    Term x = Term::Variable("e1x"), y = Term::Variable("e1y"),
+         z = Term::Variable("e1z"), u = Term::Variable("e1w"),
+         v = Term::Variable("e1v");
+    w.sigma.egds.emplace_back(
+        std::vector<Atom>{Atom(R, {x, y, z, u}), Atom(R, {x, y, z, v})}, u,
+        v);
+  }
+  // ǫ2: H(x,y), H(x,z) -> y = z.
+  {
+    Term x = Term::Variable("e2x"), y = Term::Variable("e2y"),
+         z = Term::Variable("e2z");
+    w.sigma.egds.emplace_back(
+        std::vector<Atom>{Atom(H, {x, y}), Atom(H, {x, z})}, y, z);
+  }
+
+  auto var = [](const std::string& name) { return Term::Variable(name); };
+  std::vector<Atom> body;
+  // Left column l_0..l_n.
+  std::vector<Term> l;
+  for (int i = 0; i <= n; ++i) {
+    l.push_back(var("l" + std::to_string(i)));
+    if (i > 0) body.push_back(Atom(V, {l[static_cast<size_t>(i - 1)],
+                                       l[static_cast<size_t>(i)]}));
+  }
+  w.left_column = l;
+
+  // Split-square gadgets, row-major. T[i][c], W1[i][c], W2[i][c].
+  auto T = [&](int i, int c) {
+    return var("t_" + std::to_string(i) + "_" + std::to_string(c));
+  };
+  auto W1 = [&](int i, int c) {
+    return var("w1_" + std::to_string(i) + "_" + std::to_string(c));
+  };
+  auto W2 = [&](int i, int c) {
+    return var("w2_" + std::to_string(i) + "_" + std::to_string(c));
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < n; ++c) {
+      Term tl = (c == 0) ? l[static_cast<size_t>(i)] : T(i, c - 1);
+      Term bl = (c == 0) ? l[static_cast<size_t>(i + 1)] : W2(i, c - 1);
+      Term tr = T(i, c);
+      Term w1 = W1(i, c);
+      Term w2 = W2(i, c);
+      body.push_back(Atom(H, {tl, tr}));        // top edge
+      body.push_back(Atom(H, {bl, w1}));        // bottom edge (split BR #1)
+      body.push_back(Atom(V, {tr, w2}));        // right edge (split BR #2)
+      body.push_back(Atom(R, {tl, tr, bl, w1}));
+      body.push_back(Atom(R, {tl, tr, bl, w2}));
+    }
+  }
+  w.q = ConjunctiveQuery({}, std::move(body));
+  assert(IsAcyclic(w.q));
+  return w;
+}
+
+KeySquareWorkload MakeKeySquareWorkload() {
+  KeySquareWorkload w;
+  Predicate R = Predicate::Get("R2", 2);
+  Predicate S = Predicate::Get("S3", 3);
+  Term x = Term::Variable("x"), y = Term::Variable("y"),
+       z = Term::Variable("z"), u = Term::Variable("w"),
+       v = Term::Variable("v");
+  w.q = ConjunctiveQuery({}, {Atom(R, {x, y}), Atom(S, {x, y, z}),
+                              Atom(S, {x, z, u}), Atom(S, {x, u, v}),
+                              Atom(R, {x, v})});
+  Term kx = Term::Variable("kx"), ky = Term::Variable("ky"),
+       kz = Term::Variable("kz");
+  w.sigma.egds.emplace_back(
+      std::vector<Atom>{Atom(R, {kx, ky}), Atom(R, {kx, kz})}, ky, kz);
+  return w;
+}
+
+CliqueChaseWorkload MakeCliqueChaseWorkload(int n) {
+  CliqueChaseWorkload w;
+  w.n = n;
+  Predicate P = Predicate::Get("P", 1);
+  Predicate R = Predicate::Get("Rclq", 2);
+  std::vector<Atom> body;
+  for (int i = 0; i < n; ++i) {
+    body.push_back(Atom(P, {Term::Variable("x" + std::to_string(i))}));
+  }
+  w.q = ConjunctiveQuery({}, std::move(body));
+  Term x = Term::Variable("cx"), y = Term::Variable("cy");
+  w.sigma.tgds.emplace_back(
+      std::vector<Atom>{Atom(P, {x}), Atom(P, {y})},
+      std::vector<Atom>{Atom(R, {x, y})});
+  return w;
+}
+
+StickyBlowupWorkload MakeStickyBlowupWorkload(int n) {
+  StickyBlowupWorkload w;
+  w.n = n;
+  const int arity = n + 2;
+  std::vector<Predicate> P;
+  for (int i = 0; i <= n; ++i) {
+    P.push_back(Predicate::Get("Pblow" + std::to_string(i), arity));
+  }
+  Term Z = Term::Variable("Z"), O = Term::Variable("O");
+  for (int i = 1; i <= n; ++i) {
+    // P_i(x1..x_{i-1}, Z, x_{i+1}..x_n, Z, O),
+    // P_i(x1..x_{i-1}, O, x_{i+1}..x_n, Z, O) -> P_{i-1}(.., Z, .., Z, O).
+    std::vector<Term> base;
+    for (int j = 1; j <= n; ++j) {
+      base.push_back(Term::Variable("bx" + std::to_string(j)));
+    }
+    auto make_args = [&](Term at_i) {
+      std::vector<Term> args = base;
+      args[static_cast<size_t>(i - 1)] = at_i;
+      args.push_back(Z);
+      args.push_back(O);
+      return args;
+    };
+    std::vector<Atom> body = {
+        Atom(P[static_cast<size_t>(i)], make_args(Z)),
+        Atom(P[static_cast<size_t>(i)], make_args(O))};
+    std::vector<Atom> head = {Atom(P[static_cast<size_t>(i - 1)],
+                                   make_args(Z))};
+    w.sigma.tgds.emplace_back(std::move(body), std::move(head));
+  }
+  Term zero = Term::Constant("0");
+  Term one = Term::Constant("1");
+  std::vector<Term> qargs(static_cast<size_t>(arity - 1), zero);
+  qargs.push_back(one);
+  w.q = ConjunctiveQuery({}, {Atom(P[0], qargs)});
+  return w;
+}
+
+}  // namespace semacyc

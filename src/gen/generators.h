@@ -1,0 +1,120 @@
+#ifndef SEMACYC_GEN_GENERATORS_H_
+#define SEMACYC_GEN_GENERATORS_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "chase/dependency.h"
+#include "core/instance.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Deterministic workload generators for tests and benchmarks — the
+/// synthetic substitute for the paper's non-existent datasets (DESIGN.md,
+/// "Substitutions").
+class Generator {
+ public:
+  explicit Generator(uint64_t seed) : rng_(seed) {}
+
+  std::mt19937_64& rng() { return rng_; }
+  /// Uniform integer in [lo, hi].
+  int Uniform(int lo, int hi);
+
+  /// A random acyclic CQ built from a random join tree: atom i shares one
+  /// variable with its parent atom and owns fresh variables elsewhere.
+  ConjunctiveQuery RandomAcyclicQuery(int num_atoms, int arity,
+                                      int num_predicates,
+                                      const std::string& pred_prefix = "R");
+
+  /// The canonical cyclic query: a directed cycle x1 -> x2 -> ... -> x1.
+  ConjunctiveQuery CycleQuery(int length, const std::string& pred = "E");
+
+  /// The n-clique query over a binary edge predicate (maximally cyclic).
+  ConjunctiveQuery CliqueQuery(int n, const std::string& pred = "E");
+
+  /// A random database over the given predicates: `num_atoms` atoms with
+  /// arguments drawn uniformly from `domain_size` constants.
+  Instance RandomDatabase(const std::vector<Predicate>& predicates,
+                          int num_atoms, int domain_size,
+                          const std::string& const_prefix = "d");
+
+  /// Random inclusion dependencies between the given predicates
+  /// (projection of one predicate into another, no repeated variables).
+  std::vector<Tgd> RandomInclusionDependencies(
+      const std::vector<Predicate>& predicates, int count);
+
+  /// Random guarded tgds: bodies with a guard atom over all variables plus
+  /// side atoms over subsets; single-atom heads with optional existentials.
+  std::vector<Tgd> RandomGuardedTgds(const std::vector<Predicate>& predicates,
+                                     int count, int body_atoms);
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Example 1 of the paper, scaled: the music-store schema with the
+/// compulsive-collector tgd, a database satisfying it, and the cyclic core
+/// query q(x,y) that becomes acyclic under the tgd.
+struct MusicStoreWorkload {
+  ConjunctiveQuery q;    // q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)
+  DependencySet sigma;   // Interest(x,z), Class(y,z) -> Owns(x,y)
+  Instance database;     // satisfies sigma by construction
+  int customers = 0;
+  int records = 0;
+  int styles = 0;
+};
+
+MusicStoreWorkload MakeMusicStoreWorkload(uint64_t seed, int customers,
+                                          int records, int styles,
+                                          double interest_prob);
+
+/// Example 5 / Figure 4, scaled: an acyclic query over H/V/R whose chase
+/// under two keys (an arity-4 key and a binary key — deliberately not K2)
+/// contains a full (n+1) x (n+1) grid. The construction is a row-major
+/// chain of "split squares": each square's bottom-right corner exists
+/// twice (w1 via the bottom H-edge, w2 via the right V-edge); ǫ1 merges
+/// the copies and ǫ2 knits neighbouring rows (see bench_fig4_key_grid).
+struct KeyGridWorkload {
+  ConjunctiveQuery q;            // acyclic by construction (GYO-verified)
+  DependencySet sigma;           // ǫ1: R key on {1,2,3}; ǫ2: H key on {1}
+  int n = 0;                     // cells per side
+  /// Names of the left-column variables l_0..l_n (for inspection).
+  std::vector<Term> left_column;
+};
+
+KeyGridWorkload MakeKeyGridWorkload(int n);
+
+/// Example 4: q = R(x,y), S(x,y,z), S(x,z,w), S(x,w,v), R(x,v) with the
+/// key R(x,y), R(x,z) -> y = z; one chase step destroys acyclicity.
+struct KeySquareWorkload {
+  ConjunctiveQuery q;
+  DependencySet sigma;
+};
+
+KeySquareWorkload MakeKeySquareWorkload();
+
+/// Example 2: q = P(x1), ..., P(xn); τ = P(x), P(y) -> R(x,y); the chase
+/// puts an n-clique into the Gaifman graph.
+struct CliqueChaseWorkload {
+  ConjunctiveQuery q;
+  DependencySet sigma;
+  int n = 0;
+};
+
+CliqueChaseWorkload MakeCliqueChaseWorkload(int n);
+
+/// Example 3: the sticky set whose UCQ rewritings necessarily have a
+/// disjunct with 2^n atoms (f_S is exponential in the arity).
+struct StickyBlowupWorkload {
+  ConjunctiveQuery q;    // Boolean: P0(0,...,0,0,1)
+  DependencySet sigma;   // n sticky tgds over arity-(n+2) predicates
+  int n = 0;
+};
+
+StickyBlowupWorkload MakeStickyBlowupWorkload(int n);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_GEN_GENERATORS_H_

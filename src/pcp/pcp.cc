@@ -1,0 +1,111 @@
+#include "pcp/pcp.h"
+
+#include <deque>
+#include <map>
+
+namespace semacyc {
+
+PcpInstance PcpInstance::MadeEven() const {
+  auto doubled = [](const std::string& w) {
+    std::string out;
+    for (char c : w) {
+      out += c;
+      out += c;
+    }
+    return out;
+  };
+  PcpInstance out;
+  for (const std::string& w : top) out.top.push_back(doubled(w));
+  for (const std::string& w : bottom) out.bottom.push_back(doubled(w));
+  return out;
+}
+
+bool PcpInstance::AllEven() const {
+  for (const std::string& w : top) {
+    if (w.size() % 2 != 0) return false;
+  }
+  for (const std::string& w : bottom) {
+    if (w.size() % 2 != 0) return false;
+  }
+  return true;
+}
+
+std::string PcpInstance::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < top.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ": (" + top[i] + ", " + bottom[i] +
+           ")\n";
+  }
+  return out;
+}
+
+std::optional<PcpSolution> SolvePcpBounded(const PcpInstance& instance,
+                                           size_t max_word_len) {
+  // State: (side, overhang): side = +1 when the top string is ahead by
+  // `overhang`, -1 when the bottom is. Start state: empty overhang but not
+  // yet started (must take at least one tile).
+  struct State {
+    int side;
+    std::string overhang;
+    bool operator<(const State& o) const {
+      return std::tie(side, overhang) < std::tie(o.side, o.overhang);
+    }
+  };
+  struct Entry {
+    State state;
+    std::vector<int> indices;
+    size_t matched;  // length of agreed prefix so far
+  };
+
+  auto try_tile = [&](const Entry& e, int i,
+                      Entry* out) -> std::optional<bool> {
+    // Returns nullopt if the tile clashes; true if solved; false if new
+    // state produced.
+    std::string topw = e.state.side >= 0 ? e.state.overhang + instance.top[i]
+                                         : instance.top[i];
+    std::string botw = e.state.side >= 0
+                           ? instance.bottom[i]
+                           : e.state.overhang + instance.bottom[i];
+    size_t common = std::min(topw.size(), botw.size());
+    for (size_t k = 0; k < common; ++k) {
+      if (topw[k] != botw[k]) return std::nullopt;
+    }
+    out->indices = e.indices;
+    out->indices.push_back(i);
+    out->matched = e.matched + common;
+    if (topw.size() == botw.size()) {
+      out->state = {0, ""};
+      return true;  // solved
+    }
+    if (topw.size() > botw.size()) {
+      out->state = {+1, topw.substr(common)};
+    } else {
+      out->state = {-1, botw.substr(common)};
+    }
+    return false;
+  };
+
+  std::deque<Entry> queue;
+  std::map<State, bool> seen;
+  queue.push_back({{0, ""}, {}, 0});
+  while (!queue.empty()) {
+    Entry e = std::move(queue.front());
+    queue.pop_front();
+    for (int i = 0; i < static_cast<int>(instance.size()); ++i) {
+      Entry next;
+      std::optional<bool> step = try_tile(e, i, &next);
+      if (!step.has_value()) continue;
+      if (*step && !next.indices.empty()) {
+        PcpSolution solution;
+        solution.indices = next.indices;
+        for (int idx : solution.indices) solution.word += instance.top[idx];
+        return solution;
+      }
+      if (next.matched + next.state.overhang.size() > max_word_len) continue;
+      if (seen.emplace(next.state, true).second) queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,38 @@
+#ifndef SEMACYC_PCP_PCP_H_
+#define SEMACYC_PCP_PCP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace semacyc {
+
+/// An instance of the Post correspondence problem over {a,b}: two equally
+/// long lists of words (§3, proof of Theorem 7).
+struct PcpInstance {
+  std::vector<std::string> top;
+  std::vector<std::string> bottom;
+
+  size_t size() const { return top.size(); }
+  /// The paper assumes all words have even length (wlog: a -> aa, b -> bb).
+  PcpInstance MadeEven() const;
+  bool AllEven() const;
+  std::string ToString() const;
+};
+
+/// A solution: indices i1..im with top[i1]..top[im] == bottom[i1]..bottom[im].
+struct PcpSolution {
+  std::vector<int> indices;
+  std::string word;
+};
+
+/// Bounded BFS over overhang states. Finds a shortest solution whose
+/// matched word is at most `max_word_len` long; nullopt if none exists in
+/// that bound (the unbounded problem is undecidable, which is the point of
+/// Theorem 7).
+std::optional<PcpSolution> SolvePcpBounded(const PcpInstance& instance,
+                                           size_t max_word_len);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_PCP_PCP_H_

@@ -1,0 +1,156 @@
+#include "pcp/reduction.h"
+
+#include <cassert>
+
+#include "chase/query_chase.h"
+#include "core/homomorphism.h"
+
+namespace semacyc {
+namespace {
+
+Predicate Pa() { return Predicate::Get("Pa", 2); }
+Predicate Pb() { return Predicate::Get("Pb", 2); }
+Predicate Phash() { return Predicate::Get("Phash", 2); }
+Predicate Pstar() { return Predicate::Get("Pstar", 2); }
+Predicate Sync() { return Predicate::Get("sync", 2); }
+Predicate Start() { return Predicate::Get("start", 1); }
+Predicate End() { return Predicate::Get("end", 1); }
+
+Predicate Letter(char c) { return c == 'a' ? Pa() : Pb(); }
+
+/// Expands P_w(x, y) into a chain Pa1(x,x1), ..., Pat(x_{t-1}, y) with
+/// fresh intermediate variables (the paper's shorthand).
+void AppendWordPath(const std::string& word, Term from, Term to,
+                    std::vector<Atom>* atoms) {
+  assert(!word.empty());
+  Term cur = from;
+  for (size_t i = 0; i < word.size(); ++i) {
+    Term next = (i + 1 == word.size()) ? to : FreshVariable();
+    atoms->push_back(Atom(Letter(word[i]), {cur, next}));
+    cur = next;
+  }
+}
+
+}  // namespace
+
+PcpReduction PcpReduction::Build(const PcpInstance& instance) {
+  PcpReduction reduction;
+  reduction.instance_ = instance;
+
+  // ---- The query q (Figure 2). ----
+  Term x = Term::Variable("qx");
+  Term y = Term::Variable("qy");
+  Term z = Term::Variable("qz");
+  Term u = Term::Variable("qu");
+  Term v = Term::Variable("qv");
+  std::vector<Atom> body = {
+      Atom(Start(), {x}),
+      Atom(End(), {v}),
+      Atom(Phash(), {x, y}),
+      Atom(Phash(), {x, z}),
+      Atom(Phash(), {x, u}),
+      Atom(Pa(), {y, z}),
+      Atom(Pa(), {z, u}),
+      Atom(Pstar(), {y, v}),
+      Atom(Pstar(), {z, v}),
+      Atom(Pstar(), {u, v}),
+      Atom(Pb(), {z, y}),
+      Atom(Pb(), {u, z}),
+      Atom(Pa(), {u, y}),
+      Atom(Pb(), {y, u}),
+  };
+  // sync: all pairs over {y, z, u}.
+  for (Term s : {y, z, u}) {
+    for (Term d : {y, z, u}) {
+      body.push_back(Atom(Sync(), {s, d}));
+    }
+  }
+  reduction.q_ = ConjunctiveQuery({}, std::move(body));
+
+  // ---- Σ: initialization rule. ----
+  {
+    Term ix = Term::Variable("ix");
+    Term iy = Term::Variable("iy");
+    reduction.sigma_.tgds.emplace_back(
+        std::vector<Atom>{Atom(Start(), {ix}), Atom(Phash(), {ix, iy})},
+        std::vector<Atom>{Atom(Sync(), {iy, iy})});
+  }
+
+  // ---- Σ: synchronization rules, one per tile. ----
+  for (size_t i = 0; i < instance.size(); ++i) {
+    Term sx = Term::Variable("sx");
+    Term sy = Term::Variable("sy");
+    Term sz = Term::Variable("sz");
+    Term su = Term::Variable("su");
+    std::vector<Atom> tgd_body = {Atom(Sync(), {sx, sy})};
+    AppendWordPath(instance.top[i], sx, sz, &tgd_body);
+    AppendWordPath(instance.bottom[i], sy, su, &tgd_body);
+    reduction.sigma_.tgds.emplace_back(
+        std::move(tgd_body), std::vector<Atom>{Atom(Sync(), {sz, su})});
+  }
+
+  // ---- Σ: finalization rules, one per tile. ----
+  for (size_t i = 0; i < instance.size(); ++i) {
+    Term fx = Term::Variable("fx");
+    Term fy = Term::Variable("fy");
+    Term fz = Term::Variable("fz");
+    Term fu = Term::Variable("fu");
+    Term fv = Term::Variable("fv");
+    Term fy1 = Term::Variable("fy1");
+    Term fy2 = Term::Variable("fy2");
+    std::vector<Atom> tgd_body = {
+        Atom(Start(), {fx}),   Atom(Pa(), {fy, fz}),
+        Atom(Pa(), {fz, fu}),  Atom(Pstar(), {fu, fv}),
+        Atom(End(), {fv}),     Atom(Sync(), {fy1, fy2}),
+    };
+    AppendWordPath(instance.top[i], fy1, fy, &tgd_body);
+    AppendWordPath(instance.bottom[i], fy2, fy, &tgd_body);
+    std::vector<Atom> tgd_head = {
+        Atom(Phash(), {fx, fy}), Atom(Phash(), {fx, fz}),
+        Atom(Phash(), {fx, fu}), Atom(Pstar(), {fy, fv}),
+        Atom(Pstar(), {fz, fv}), Atom(Pb(), {fz, fy}),
+        Atom(Pb(), {fu, fz}),    Atom(Pa(), {fu, fy}),
+        Atom(Pb(), {fy, fu}),
+    };
+    // sync over all pairs of {fy, fz, fu}; the paper's printed rule omits
+    // sync(u,u) — see the header comment.
+    for (Term s : {fy, fz, fu}) {
+      for (Term d : {fy, fz, fu}) {
+        tgd_head.push_back(Atom(Sync(), {s, d}));
+      }
+    }
+    reduction.sigma_.tgds.emplace_back(std::move(tgd_body),
+                                       std::move(tgd_head));
+  }
+
+  return reduction;
+}
+
+ConjunctiveQuery PcpReduction::PathQuery(const std::string& word) {
+  Term x = Term::Variable("px");
+  std::vector<Atom> body = {Atom(Start(), {x})};
+  Term word_start = FreshVariable();
+  body.push_back(Atom(Phash(), {x, word_start}));
+  Term y = FreshVariable();
+  AppendWordPath(word, word_start, y, &body);
+  Term z = FreshVariable();
+  Term u = FreshVariable();
+  Term v = FreshVariable();
+  body.push_back(Atom(Pa(), {y, z}));
+  body.push_back(Atom(Pa(), {z, u}));
+  body.push_back(Atom(Pstar(), {u, v}));
+  body.push_back(Atom(End(), {v}));
+  return ConjunctiveQuery({}, std::move(body));
+}
+
+bool PcpReduction::PathWitnessWorks(const std::string& word) const {
+  ConjunctiveQuery path = PathQuery(word);
+  ChaseOptions options;
+  options.max_steps = 0;  // full tgds over a fixed domain always terminate
+  options.max_atoms = 0;
+  QueryChaseResult chase = ChaseQuery(path, sigma_, options);
+  assert(chase.saturated);
+  return EvaluatesTrue(q_, chase.instance);
+}
+
+}  // namespace semacyc

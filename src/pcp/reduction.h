@@ -1,0 +1,49 @@
+#ifndef SEMACYC_PCP_REDUCTION_H_
+#define SEMACYC_PCP_REDUCTION_H_
+
+#include "chase/dependency.h"
+#include "core/query.h"
+#include "pcp/pcp.h"
+
+namespace semacyc {
+
+/// The Theorem 7 reduction: from a PCP instance to a Boolean CQ q and a
+/// set Σ of *full* tgds over {Pa, Pb, P#, P*, sync, start, end} such that
+/// the instance has a solution iff q is semantically acyclic under Σ.
+/// (This witnesses that SemAc(F) is undecidable even though Cont(F) is
+/// decidable — the paper's headline negative result.)
+///
+/// We implement the proof-sketch version (Figure 2): q is the 5-variable
+/// gadget and the finalization rules create a copy of q in chase(q',Σ)
+/// whenever the path query q' spells a PCP solution. One deviation from
+/// the paper's text: the finalization head as printed omits sync(u,u)
+/// although q contains it (q's sync holds *all* pairs over {y,z,u}); we
+/// add it, otherwise q never maps into chase(q',Σ) and even the forward
+/// direction of the reduction fails on the sketch gadget.
+class PcpReduction {
+ public:
+  static PcpReduction Build(const PcpInstance& instance);
+
+  const ConjunctiveQuery& q() const { return q_; }
+  const DependencySet& sigma() const { return sigma_; }
+  const PcpInstance& instance() const { return instance_; }
+
+  /// The acyclic path query q' of the proof for a candidate solution word
+  /// w: start -> P# -> P_{w[0]} -> ... -> P_{w[t-1]} -> Pa -> Pa -> P* ->
+  /// end. When w is a PCP solution, q ≡Σ q'.
+  static ConjunctiveQuery PathQuery(const std::string& word);
+
+  /// Chases the path query of `word` under Σ and reports whether a copy of
+  /// q appears (i.e., whether chase(q',Σ) ⊨ q) — the forward direction of
+  /// the reduction, checkable because full-tgd chases terminate.
+  bool PathWitnessWorks(const std::string& word) const;
+
+ private:
+  PcpInstance instance_;
+  ConjunctiveQuery q_;
+  DependencySet sigma_;
+};
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_PCP_REDUCTION_H_

@@ -1,0 +1,20 @@
+#include "rewrite/rewrite_containment.h"
+
+#include "core/containment.h"
+
+namespace semacyc {
+
+Tri RewriteContained(const ConjunctiveQuery& q_prime,
+                     const RewriteResult& rewriting_of_q) {
+  if (FrozenQuerySatisfies(q_prime, rewriting_of_q.ucq)) return Tri::kYes;
+  return rewriting_of_q.complete ? Tri::kNo : Tri::kUnknown;
+}
+
+Tri RewriteContained(const ConjunctiveQuery& q_prime,
+                     const ConjunctiveQuery& q, const std::vector<Tgd>& tgds,
+                     const RewriteOptions& options) {
+  RewriteResult rewriting = RewriteToUcq(q, tgds, options);
+  return RewriteContained(q_prime, rewriting);
+}
+
+}  // namespace semacyc

@@ -1,0 +1,23 @@
+#ifndef SEMACYC_REWRITE_REWRITE_CONTAINMENT_H_
+#define SEMACYC_REWRITE_REWRITE_CONTAINMENT_H_
+
+#include "chase/query_chase.h"
+#include "rewrite/ucq_rewriter.h"
+
+namespace semacyc {
+
+/// Containment via UCQ rewriting (Definition 2): q' ⊆Σ q iff
+/// c(x̄') ∈ Q(D_q') for the rewriting Q of q under Σ. Terminating and
+/// exact for UCQ-rewritable classes (NR, S, linear); the chase-based
+/// procedure of chase/query_chase.h may diverge there instead.
+Tri RewriteContained(const ConjunctiveQuery& q_prime,
+                     const ConjunctiveQuery& q, const std::vector<Tgd>& tgds,
+                     const RewriteOptions& options = {});
+
+/// Same, with a precomputed rewriting of q.
+Tri RewriteContained(const ConjunctiveQuery& q_prime,
+                     const RewriteResult& rewriting_of_q);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_REWRITE_REWRITE_CONTAINMENT_H_

@@ -1,0 +1,64 @@
+#include "rewrite/unify.h"
+
+namespace semacyc {
+
+Term TermUnification::Root(Term t) {
+  auto it = parent_.find(t);
+  if (it == parent_.end()) {
+    parent_.emplace(t, t);
+    return t;
+  }
+  // Path compression.
+  Term root = it->second;
+  if (root == t) return t;
+  root = Root(root);
+  parent_[t] = root;
+  return root;
+}
+
+Term TermUnification::Find(Term t) { return Root(t); }
+
+bool TermUnification::Union(Term a, Term b) {
+  Term ra = Root(a);
+  Term rb = Root(b);
+  if (ra == rb) return true;
+  if (ra.IsConstant() && rb.IsConstant()) return false;
+  // Constants become representatives.
+  if (rb.IsConstant()) std::swap(ra, rb);
+  parent_[rb] = ra;
+  return true;
+}
+
+bool TermUnification::UnifyAtoms(const Atom& a, const Atom& b) {
+  if (a.predicate() != b.predicate()) return false;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (!Union(a.arg(i), b.arg(i))) return false;
+  }
+  return true;
+}
+
+Substitution TermUnification::ToSubstitution() {
+  Substitution out;
+  for (const auto& [t, _] : parent_) {
+    Term r = Root(t);
+    if (r != t) out[t] = r;
+  }
+  return out;
+}
+
+std::vector<Term> TermUnification::ClassOf(Term t) {
+  Term root = Root(t);
+  std::vector<Term> out;
+  for (const auto& [term, _] : parent_) {
+    if (Root(term) == root) out.push_back(term);
+  }
+  return out;
+}
+
+std::optional<Substitution> MguOfAtoms(const Atom& a, const Atom& b) {
+  TermUnification u;
+  if (!u.UnifyAtoms(a, b)) return std::nullopt;
+  return u.ToSubstitution();
+}
+
+}  // namespace semacyc

@@ -1,0 +1,38 @@
+#ifndef SEMACYC_REWRITE_UNIFY_H_
+#define SEMACYC_REWRITE_UNIFY_H_
+
+#include <optional>
+
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Union-find based term unification. Variables unify with anything;
+/// two distinct constants clash. Representatives prefer constants so the
+/// final substitution never maps a constant to a variable.
+class TermUnification {
+ public:
+  Term Find(Term t);
+  /// Unifies two terms; returns false on a constant-constant clash.
+  bool Union(Term a, Term b);
+  /// Unifies two atoms argument-wise (predicates must agree).
+  bool UnifyAtoms(const Atom& a, const Atom& b);
+
+  /// The accumulated mapping: every term seen so far maps to its class
+  /// representative.
+  Substitution ToSubstitution();
+
+  /// All terms in the same class as `t` (including `t`).
+  std::vector<Term> ClassOf(Term t);
+
+ private:
+  std::unordered_map<Term, Term, TermHash> parent_;
+  Term Root(Term t);
+};
+
+/// Most general unifier of two atoms, as a substitution, if it exists.
+std::optional<Substitution> MguOfAtoms(const Atom& a, const Atom& b);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_REWRITE_UNIFY_H_

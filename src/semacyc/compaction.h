@@ -1,0 +1,43 @@
+#ifndef SEMACYC_SEMACYC_COMPACTION_H_
+#define SEMACYC_SEMACYC_COMPACTION_H_
+
+#include <optional>
+
+#include "core/hypergraph.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// The compact acyclic query of Lemma 9 / Figure 3.
+struct CompactionResult {
+  /// The acyclic witness query; at most 2·|q| atoms; contains a renamed
+  /// copy of q's image, so (variabilized) it is plainly contained in q
+  /// whenever the image covers q.
+  ConjunctiveQuery witness;
+  /// The sub-instance J ⊆ I the witness was extracted from.
+  Instance sub_instance;
+  /// Number of join-tree nodes kept (|J|).
+  size_t kept_nodes = 0;
+};
+
+/// Lemma 9: given a CQ q, an acyclic instance I (acyclicity over all
+/// terms: I is a frozen-query chase) and a tuple c̄ of terms of I such
+/// that c̄ ∈ q(I), extracts an acyclic sub-instance J ⊆ I with
+/// h(q) ⊆ J and |J| ≤ 2·|q|, and returns it as the query q'(x̄) with
+/// q'(c̄) true in I.
+///
+/// The kept join-tree nodes are: the image of q under a witnessing
+/// homomorphism, the roots of the induced subforest, and its branching
+/// nodes — at most 2·|q| in total. (The paper's Figure 3 keeps leaves
+/// instead of the full image; keeping the image is what makes h(q) ⊆ J
+/// literally true, with the same 2·|q| bound, since every leaf of the
+/// induced subforest is an image node.)
+///
+/// Returns std::nullopt when I is cyclic or c̄ ∉ q(I).
+std::optional<CompactionResult> CompactAcyclicWitness(
+    const ConjunctiveQuery& q, const Instance& acyclic_instance,
+    const std::vector<Term>& target_tuple);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_SEMACYC_COMPACTION_H_

@@ -1,0 +1,72 @@
+#ifndef SEMACYC_SEMACYC_DECIDER_H_
+#define SEMACYC_SEMACYC_DECIDER_H_
+
+#include <optional>
+#include <string>
+
+#include "semacyc/witness_search.h"
+
+namespace semacyc {
+
+/// Answer of the semantic-acyclicity decision procedure.
+enum class SemAcAnswer { kYes, kNo, kUnknown };
+const char* ToString(SemAcAnswer a);
+
+/// Configuration of the decision pipeline (see DESIGN.md §3).
+struct SemAcOptions {
+  ChaseOptions chase;
+  RewriteOptions rewrite;
+  /// Budgets per strategy.
+  size_t image_homs = 5000;
+  size_t subset_budget = 200000;
+  size_t exhaustive_budget = 300000;
+  /// Cap applied on top of the theoretical small-query bound when
+  /// enumerating witnesses exhaustively (the theoretical bound for NR/S is
+  /// the exponential 2·f_C(q,Σ); enumeration beyond ~8 atoms is hopeless).
+  size_t witness_atoms_cap = 8;
+  bool enable_images = true;
+  bool enable_subsets = true;
+  bool enable_exhaustive = true;
+};
+
+/// Result of the decision procedure, with a machine-checkable witness.
+struct SemAcResult {
+  SemAcAnswer answer = SemAcAnswer::kUnknown;
+  /// When kYes: an acyclic CQ q' with q ≡Σ q'.
+  std::optional<ConjunctiveQuery> witness;
+  /// The strategy that produced the answer ("already-acyclic", "core",
+  /// "chase-compaction", "images", "subsets", "exhaustive", ...).
+  std::string strategy;
+  /// The small-query bound used (2·|q| for APC classes, 2·f_C(q,Σ) for
+  /// UCQ-rewritable classes), before the cap.
+  size_t small_query_bound = 0;
+  /// The witness-size bound actually enumerated.
+  size_t bound_used = 0;
+  /// Whether a kNo answer (or the absence of a witness) is definitive.
+  bool exact = false;
+  size_t candidates_tested = 0;
+};
+
+/// Decides whether q is semantically acyclic under Σ.
+///
+/// The pipeline (DESIGN.md §3): trivial acyclicity, core acyclicity
+/// (complete for Σ = ∅), chase-acyclicity with Lemma 9 compaction,
+/// homomorphic-image search, acyclic-subset-of-chase search, and finally
+/// bounded exhaustive witness enumeration. kYes answers always carry a
+/// verified witness; kNo answers are emitted only when the run was exact
+/// (saturated chase or complete rewriting, exhaustive search finished
+/// within budget and within the theoretical bound).
+SemAcResult DecideSemanticAcyclicity(const ConjunctiveQuery& q,
+                                     const DependencySet& sigma,
+                                     const SemAcOptions& options = {});
+
+/// The paper's small-query bound for (q, Σ): 2·|q| when Σ is guarded or a
+/// set of egds (acyclicity-preserving chase classes, Props 8/22), and
+/// 2·f_C(q,Σ) for UCQ-rewritable classes (Prop 15). For sets outside the
+/// studied classes, falls back to 2·|q| (heuristic, flagged non-exact).
+size_t SmallQueryBound(const ConjunctiveQuery& q, const DependencySet& sigma,
+                       bool* theoretically_justified = nullptr);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_SEMACYC_DECIDER_H_

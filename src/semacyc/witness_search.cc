@@ -1,0 +1,431 @@
+#include "semacyc/witness_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "core/canonical.h"
+#include "core/containment.h"
+#include "core/homomorphism.h"
+#include "core/hypergraph.h"
+#include "deps/classify.h"
+#include "deps/nonrecursive.h"
+#include "deps/weakly_acyclic.h"
+#include "rewrite/rewrite_containment.h"
+
+namespace semacyc {
+
+ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
+                                     const DependencySet& sigma,
+                                     const ChaseOptions& chase_options,
+                                     const RewriteOptions& rewrite_options,
+                                     bool try_rewriting)
+    : q_(q), sigma_(sigma), chase_options_(chase_options) {
+  // Static guarantees for the chase-based path: egd-only chases always
+  // terminate; weakly acyclic tgd sets (which subsume NR and all full
+  // sets) guarantee tgd-chase termination.
+  if (!sigma.HasTgds()) {
+    exact_ = true;
+  } else if (!sigma.HasEgds() && IsWeaklyAcyclic(sigma.tgds)) {
+    exact_ = true;
+  }
+  // Rewriting is only worth its (possibly exponential) construction cost
+  // when the chase may diverge — i.e. outside the weakly acyclic classes.
+  if (try_rewriting && !exact_ && !sigma.HasEgds() && sigma.HasTgds()) {
+    TgdClassification cls = Classify(sigma.tgds);
+    if (cls.non_recursive || cls.sticky || cls.linear) {
+      RewriteResult rewriting = RewriteToUcq(q, sigma.tgds, rewrite_options);
+      if (rewriting.complete) {
+        rewriting_ = std::move(rewriting);
+        exact_ = true;
+      }
+    }
+  }
+}
+
+Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate) const {
+  if (rewriting_.has_value()) {
+    return RewriteContained(candidate, *rewriting_);
+  }
+  return ContainedUnder(candidate, q_, sigma_, chase_options_);
+}
+
+namespace {
+
+/// Distinct terms that every candidate sub-instance must mention so the
+/// head is expressible.
+std::vector<Term> RequiredHeadTerms(const QueryChaseResult& chase) {
+  std::vector<Term> out;
+  for (Term t : chase.frozen_head) {
+    if (t.IsConstant() && t.name().rfind("@", 0) != 0) continue;  // genuine
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
+                                              const QueryChaseResult& chase,
+                                              const ContainmentOracle& oracle,
+                                              size_t max_homs) {
+  WitnessSearchOutcome outcome;
+  Substitution fixed;
+  for (size_t i = 0; i < q.head().size(); ++i) {
+    Term h = q.head()[i];
+    if (!h.IsVariable()) continue;
+    fixed.emplace(h, chase.frozen_head[i]);
+  }
+  HomOptions options;
+  options.fixed = fixed;
+  options.max_solutions = max_homs;
+  HomResult homs = FindHomomorphisms(q.body(), chase.instance, options);
+  outcome.exhausted = !homs.budget_exhausted &&
+                      (max_homs == 0 || homs.solutions.size() < max_homs);
+  std::unordered_set<std::string> tested;
+  for (const Substitution& h : homs.solutions) {
+    Instance image;
+    for (const Atom& a : q.body()) image.Insert(Apply(h, a));
+    if (!IsAcyclic(image.atoms(), ConnectingTerms::kAllTerms)) continue;
+    ConjunctiveQuery candidate = QueryFromInstance(image, chase.frozen_head);
+    if (!tested.insert(StructuralKey(candidate)).second) continue;
+    ++outcome.candidates_tested;
+    if (oracle.ContainedInQ(candidate) == Tri::kYes) {
+      outcome.answer = Tri::kYes;
+      outcome.witness = std::move(candidate);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
+                                               const QueryChaseResult& chase,
+                                               const ContainmentOracle& oracle,
+                                               size_t max_atoms,
+                                               size_t budget) {
+  (void)q;  // the chase already encodes q; kept for interface symmetry
+  WitnessSearchOutcome outcome;
+  const auto& atoms = chase.instance.atoms();
+  const size_t m = atoms.size();
+  std::vector<Term> required = RequiredHeadTerms(chase);
+  std::unordered_set<std::string> tested;
+  size_t visits = 0;
+  bool truncated = false;
+
+  // DFS over index-increasing subsets, testing each acyclic subset that
+  // covers the required terms. Small subsets are explored first through
+  // iterative deepening on the subset size.
+  std::vector<uint32_t> subset;
+  std::function<bool(size_t, size_t)> dfs = [&](size_t next,
+                                                size_t limit) -> bool {
+    if (++visits > budget) {
+      truncated = true;
+      return false;
+    }
+    if (!subset.empty()) {
+      Instance sub = chase.instance.Restrict(subset);
+      bool covers = true;
+      for (Term t : required) {
+        if (sub.AtomsMentioning(t).empty()) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers && IsAcyclic(sub.atoms(), ConnectingTerms::kAllTerms)) {
+        ConjunctiveQuery candidate = QueryFromInstance(sub, chase.frozen_head);
+        if (tested.insert(StructuralKey(candidate)).second) {
+          ++outcome.candidates_tested;
+          if (oracle.ContainedInQ(candidate) == Tri::kYes) {
+            outcome.answer = Tri::kYes;
+            outcome.witness = std::move(candidate);
+            return true;
+          }
+        }
+      }
+    }
+    if (subset.size() >= limit) return false;
+    for (size_t i = next; i < m; ++i) {
+      subset.push_back(static_cast<uint32_t>(i));
+      if (dfs(i + 1, limit)) return true;
+      subset.pop_back();
+      if (truncated) return false;
+    }
+    return false;
+  };
+
+  for (size_t limit = 1; limit <= max_atoms && !truncated; ++limit) {
+    subset.clear();
+    if (dfs(0, limit)) return outcome;
+  }
+  outcome.exhausted = !truncated;
+  return outcome;
+}
+
+namespace {
+
+/// Canonical enumerator of acyclic candidate queries (strategy
+/// "exhaustive"); see the header for the completeness contract.
+class CandidateEnumerator {
+ public:
+  CandidateEnumerator(const ConjunctiveQuery& q, const DependencySet& sigma,
+                      const QueryChaseResult& chase,
+                      const ContainmentOracle& oracle, size_t max_atoms,
+                      size_t budget)
+      : q_(q),
+        chase_(chase),
+        oracle_(oracle),
+        max_atoms_(max_atoms),
+        budget_(budget) {
+    // Signature: predicates of q plus head predicates of Σ's tgds (only
+    // those can occur in chase(q,Σ), hence in any witness).
+    std::unordered_set<uint32_t> seen;
+    for (const Atom& a : q.body()) {
+      if (seen.insert(a.predicate().id()).second) {
+        predicates_.push_back(a.predicate());
+      }
+    }
+    for (const Tgd& t : sigma.tgds) {
+      for (const Atom& a : t.head()) {
+        if (seen.insert(a.predicate().id()).second) {
+          predicates_.push_back(a.predicate());
+        }
+      }
+    }
+    // Constants available to candidates: those of q and Σ.
+    std::unordered_set<Term> cseen;
+    for (const Atom& a : q.body()) {
+      for (Term t : a.args()) {
+        if (t.IsConstant() && cseen.insert(t).second) constants_.push_back(t);
+      }
+    }
+    for (const Tgd& t : sigma.tgds) {
+      for (const Atom& a : t.body()) {
+        for (Term arg : a.args()) {
+          if (arg.IsConstant() && cseen.insert(arg).second) {
+            constants_.push_back(arg);
+          }
+        }
+      }
+      for (const Atom& a : t.head()) {
+        for (Term arg : a.args()) {
+          if (arg.IsConstant() && cseen.insert(arg).second) {
+            constants_.push_back(arg);
+          }
+        }
+      }
+    }
+    int max_arity = 1;
+    for (Predicate p : predicates_) {
+      max_arity = std::max(max_arity, p.arity());
+    }
+    // Variable pool: enough for max_atoms atoms of maximal arity.
+    size_t pool = max_atoms_ * static_cast<size_t>(max_arity);
+    for (size_t i = 0; i < pool; ++i) {
+      pool_.push_back(Term::Variable("w$" + std::to_string(i)));
+    }
+  }
+
+  WitnessSearchOutcome Run() {
+    // Enumerate head patterns: set partitions of head positions refining
+    // the equality pattern of the frozen head.
+    const size_t k = q_.head().size();
+    std::vector<int> block(k, -1);
+    EnumerateHeadPatterns(0, &block, 0);
+    outcome_.exhausted = !truncated_;
+    return outcome_;
+  }
+
+ private:
+  void EnumerateHeadPatterns(size_t pos, std::vector<int>* block,
+                             int num_blocks) {
+    if (truncated_ || outcome_.answer == Tri::kYes) return;
+    const size_t k = q_.head().size();
+    if (pos == k) {
+      // Build the head: one fresh variable per block.
+      head_.clear();
+      head_.resize(k);
+      std::vector<Term> block_var(static_cast<size_t>(num_blocks));
+      for (int b = 0; b < num_blocks; ++b) {
+        block_var[b] = Term::Variable("h$" + std::to_string(b));
+      }
+      for (size_t i = 0; i < k; ++i) head_[i] = block_var[(*block)[i]];
+      // Head variables must map to the frozen head position-wise; seed the
+      // candidate search with that binding.
+      atoms_.clear();
+      Search();
+      return;
+    }
+    // Standard restricted-growth enumeration of set partitions.
+    for (int b = 0; b <= num_blocks; ++b) {
+      // Refinement constraint: same block => equal frozen head terms.
+      bool ok = true;
+      for (size_t j = 0; j < pos; ++j) {
+        if ((*block)[j] == b &&
+            chase_.frozen_head[j] != chase_.frozen_head[pos]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      (*block)[pos] = b;
+      EnumerateHeadPatterns(pos + 1, block, std::max(num_blocks, b + 1));
+      (*block)[pos] = -1;
+    }
+  }
+
+  /// Terms usable as atom arguments: head variables, the whole pool (the
+  /// in-order-introduction rule is enforced position-wise in BuildArgs),
+  /// and the known constants.
+  std::vector<Term> ArgChoices() {
+    std::vector<Term> out;
+    std::unordered_set<Term> seen;
+    for (Term h : head_) {
+      if (seen.insert(h).second) out.push_back(h);
+    }
+    for (Term v : pool_) out.push_back(v);
+    for (Term c : constants_) out.push_back(c);
+    return out;
+  }
+
+  std::string EncodeAtom(const Atom& a) {
+    std::string s = std::to_string(a.predicate().id()) + "(";
+    for (Term t : a.args()) s += std::to_string(t.raw_bits()) + ",";
+    return s + ")";
+  }
+
+  size_t CountUsedPool(const std::vector<Atom>& atoms) {
+    size_t used = 0;
+    for (const Atom& a : atoms) {
+      for (Term t : a.args()) {
+        for (size_t i = 0; i < pool_.size(); ++i) {
+          if (t == pool_[i]) used = std::max(used, i + 1);
+        }
+      }
+    }
+    return used;
+  }
+
+  bool HeadCovered() {
+    for (Term h : head_) {
+      bool found = false;
+      for (const Atom& a : atoms_) {
+        if (a.Mentions(h)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  /// The candidate (with current atoms) still maps into the chase with the
+  /// head bound position-wise — the certificate for q ⊆Σ candidate.
+  bool MapsIntoChase() {
+    Substitution fixed;
+    for (size_t i = 0; i < head_.size(); ++i) {
+      fixed[head_[i]] = chase_.frozen_head[i];
+    }
+    return HasHomomorphism(atoms_, chase_.instance, fixed);
+  }
+
+  void TestCandidate() {
+    if (atoms_.empty() || !HeadCovered()) return;
+    if (!IsAcyclic(atoms_, ConnectingTerms::kVariables)) return;
+    ConjunctiveQuery candidate(head_, atoms_);
+    if (!tested_.insert(StructuralKey(candidate)).second) return;
+    ++outcome_.candidates_tested;
+    if (oracle_.ContainedInQ(candidate) == Tri::kYes) {
+      outcome_.answer = Tri::kYes;
+      outcome_.witness = std::move(candidate);
+    }
+  }
+
+  void Search() {
+    if (truncated_ || outcome_.answer == Tri::kYes) return;
+    if (++visits_ > budget_) {
+      truncated_ = true;
+      return;
+    }
+    TestCandidate();
+    if (outcome_.answer == Tri::kYes) return;
+    if (atoms_.size() >= max_atoms_) return;
+    std::string last_code =
+        atoms_.empty() ? std::string() : EncodeAtom(atoms_.back());
+    std::vector<Term> choices = ArgChoices();
+    for (Predicate p : predicates_) {
+      std::vector<Term> args(static_cast<size_t>(p.arity()));
+      BuildArgs(p, 0, &args, choices, last_code);
+      if (truncated_ || outcome_.answer == Tri::kYes) return;
+    }
+  }
+
+  void BuildArgs(Predicate p, size_t pos, std::vector<Term>* args,
+                 const std::vector<Term>& choices,
+                 const std::string& last_code) {
+    if (truncated_ || outcome_.answer == Tri::kYes) return;
+    if (pos == args->size()) {
+      Atom atom(p, *args);
+      // Canonical growth: non-decreasing atom codes; no duplicate atoms.
+      if (!last_code.empty() && EncodeAtom(atom) < last_code) return;
+      for (const Atom& existing : atoms_) {
+        if (existing == atom) return;
+      }
+      atoms_.push_back(atom);
+      if (MapsIntoChase()) Search();
+      atoms_.pop_back();
+      return;
+    }
+    // Fresh pool variables must be introduced in order: recompute the
+    // frontier of used variables for each position.
+    size_t used = CountUsedPool(atoms_);
+    for (size_t i = 0; i < pos; ++i) {
+      for (size_t j = 0; j < pool_.size(); ++j) {
+        if ((*args)[i] == pool_[j]) used = std::max(used, j + 1);
+      }
+    }
+    for (Term t : choices) {
+      // Skip pool variables beyond the next fresh one.
+      bool skip = false;
+      for (size_t j = 0; j < pool_.size(); ++j) {
+        if (t == pool_[j] && j > used) {
+          skip = true;
+          break;
+        }
+      }
+      if (skip) continue;
+      (*args)[pos] = t;
+      BuildArgs(p, pos + 1, args, choices, last_code);
+    }
+  }
+
+  const ConjunctiveQuery& q_;
+  const QueryChaseResult& chase_;
+  const ContainmentOracle& oracle_;
+  size_t max_atoms_;
+  size_t budget_;
+
+  std::vector<Predicate> predicates_;
+  std::vector<Term> constants_;
+  std::vector<Term> pool_;
+  std::vector<Term> head_;
+  std::vector<Atom> atoms_;
+  std::unordered_set<std::string> tested_;
+  size_t visits_ = 0;
+  bool truncated_ = false;
+  WitnessSearchOutcome outcome_;
+};
+
+}  // namespace
+
+WitnessSearchOutcome ExhaustiveWitnessSearch(const ConjunctiveQuery& q,
+                                             const DependencySet& sigma,
+                                             const QueryChaseResult& chase,
+                                             const ContainmentOracle& oracle,
+                                             size_t max_atoms, size_t budget) {
+  CandidateEnumerator enumerator(q, sigma, chase, oracle, max_atoms, budget);
+  return enumerator.Run();
+}
+
+}  // namespace semacyc

@@ -1,0 +1,75 @@
+#ifndef SEMACYC_SEMACYC_WITNESS_SEARCH_H_
+#define SEMACYC_SEMACYC_WITNESS_SEARCH_H_
+
+#include <optional>
+#include <string>
+
+#include "chase/query_chase.h"
+#include "rewrite/ucq_rewriter.h"
+
+namespace semacyc {
+
+/// Oracle answering "candidate ⊆Σ q" for a fixed (q, Σ). When Σ is
+/// tgd-only and the UCQ rewriting of q is complete, candidates are checked
+/// against the cached rewriting (exact, no chase of the candidate needed);
+/// otherwise the candidate is chased (exact when that chase saturates).
+class ContainmentOracle {
+ public:
+  ContainmentOracle(const ConjunctiveQuery& q, const DependencySet& sigma,
+                    const ChaseOptions& chase_options,
+                    const RewriteOptions& rewrite_options,
+                    bool try_rewriting = true);
+
+  /// candidate ⊆Σ q.
+  Tri ContainedInQ(const ConjunctiveQuery& candidate) const;
+  /// True when kNo answers are exact.
+  bool exact() const { return exact_; }
+  /// Whether the cached-rewriting fast path is active.
+  bool uses_rewriting() const { return rewriting_.has_value(); }
+
+ private:
+  const ConjunctiveQuery& q_;
+  const DependencySet& sigma_;
+  ChaseOptions chase_options_;
+  std::optional<RewriteResult> rewriting_;
+  bool exact_ = false;
+};
+
+/// Outcome of one witness-search strategy.
+struct WitnessSearchOutcome {
+  Tri answer = Tri::kUnknown;
+  std::optional<ConjunctiveQuery> witness;
+  /// True when the strategy exhausted its whole search space (as opposed
+  /// to stopping on a budget); needed for kNo claims.
+  bool exhausted = false;
+  size_t candidates_tested = 0;
+};
+
+/// Strategy "images": every homomorphic image of q inside the chase whose
+/// atom set is acyclic is a candidate (q ⊆Σ image holds by construction).
+WitnessSearchOutcome FindWitnessInQueryImages(
+    const ConjunctiveQuery& q, const QueryChaseResult& chase,
+    const ContainmentOracle& oracle, size_t max_homs);
+
+/// Strategy "subsets": acyclic sub-instances of the chase mentioning all
+/// answer terms, up to `max_atoms` atoms (q ⊆Σ subset by construction).
+WitnessSearchOutcome FindWitnessInChaseSubsets(
+    const ConjunctiveQuery& q, const QueryChaseResult& chase,
+    const ContainmentOracle& oracle, size_t max_atoms, size_t budget);
+
+/// Strategy "exhaustive": canonical enumeration of acyclic CQs up to
+/// `max_atoms` atoms over the predicates that can occur in chase(q,Σ),
+/// pruned by requiring a homomorphism into the chase (this certifies
+/// q ⊆Σ candidate). Complete — i.e., a kNo answer is definitive — when
+/// (a) the enumeration exhausted (no budget hit), (b) the chase saturated,
+/// (c) the oracle is exact, and (d) `max_atoms` is at least the paper's
+/// small-query bound. The caller checks (b)–(d).
+WitnessSearchOutcome ExhaustiveWitnessSearch(const ConjunctiveQuery& q,
+                                             const DependencySet& sigma,
+                                             const QueryChaseResult& chase,
+                                             const ContainmentOracle& oracle,
+                                             size_t max_atoms, size_t budget);
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_SEMACYC_WITNESS_SEARCH_H_

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "chase/egd_chase.h"
+#include "chase/query_chase.h"
+#include "chase/tgd_chase.h"
+#include "core/gaifman.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+
+namespace semacyc {
+namespace {
+
+Term C(const std::string& s) { return Term::Constant(s); }
+
+Instance Db(const std::string& atoms) {
+  Instance inst;
+  inst.InsertAll(MustParseAtoms(atoms));
+  return inst;
+}
+
+TEST(TgdChaseTest, FullTgdsTerminate) {
+  DependencySet sigma = MustParseDependencySet("E(x,y), E(y,z) -> E(x,z)");
+  Instance db = Db("E('a','b'), E('b','c'), E('c','d')");
+  ChaseResult result = ChaseTgds(db, sigma.tgds);
+  EXPECT_TRUE(result.saturated);
+  // Transitive closure of a 3-path: 3+2+1 edges.
+  EXPECT_EQ(result.instance.size(), 6u);
+  EXPECT_TRUE(Satisfies(result.instance, sigma));
+}
+
+TEST(TgdChaseTest, ExistentialsCreateNulls) {
+  DependencySet sigma = MustParseDependencySet("P(x) -> E(x,y)");
+  Instance db = Db("P('a')");
+  ChaseResult result = ChaseTgds(db, sigma.tgds);
+  EXPECT_TRUE(result.saturated);
+  EXPECT_EQ(result.instance.size(), 2u);
+  bool has_null = false;
+  for (const Atom& a : result.instance.atoms()) {
+    if (a.MentionsKind(TermKind::kNull)) has_null = true;
+  }
+  EXPECT_TRUE(has_null);
+}
+
+TEST(TgdChaseTest, RestrictedChaseSkipsSatisfiedTriggers) {
+  DependencySet sigma = MustParseDependencySet("P(x) -> E(x,y)");
+  Instance db = Db("P('a'), E('a','b')");
+  ChaseResult result = ChaseTgds(db, sigma.tgds);
+  EXPECT_TRUE(result.saturated);
+  EXPECT_EQ(result.instance.size(), 2u);  // nothing added
+}
+
+TEST(TgdChaseTest, ObliviousChaseFiresAnyway) {
+  DependencySet sigma = MustParseDependencySet("P(x) -> E(x,y)");
+  Instance db = Db("P('a'), E('a','b')");
+  ChaseOptions options;
+  options.variant = ChaseOptions::Variant::kOblivious;
+  ChaseResult result = ChaseTgds(db, sigma.tgds, options);
+  EXPECT_EQ(result.instance.size(), 3u);  // fresh null edge added
+}
+
+TEST(TgdChaseTest, NonTerminatingChaseHitsBudget) {
+  DependencySet sigma = MustParseDependencySet("E(x,y) -> E(y,z)");
+  Instance db = Db("E('a','b')");
+  ChaseOptions options;
+  options.max_rounds = 10;
+  ChaseResult result = ChaseTgds(db, sigma.tgds, options);
+  EXPECT_FALSE(result.saturated);
+  EXPECT_GE(result.instance.size(), 10u);
+}
+
+TEST(TgdChaseTest, FairnessAcrossTgds) {
+  DependencySet sigma =
+      MustParseDependencySet("A(x) -> B(x). B(x) -> Cc(x). Cc(x) -> D(x).");
+  ChaseResult result = ChaseTgds(Db("A('a')"), sigma.tgds);
+  EXPECT_TRUE(result.saturated);
+  EXPECT_EQ(result.instance.size(), 4u);
+}
+
+TEST(TgdChaseTest, ExampleTwoCliqueEmerges) {
+  // Example 2: chase of P(x1)..P(xn) under P(x),P(y) -> R(x,y) yields an
+  // n-clique on the Gaifman graph (and destroys acyclicity).
+  for (int n : {3, 5, 7}) {
+    CliqueChaseWorkload w = MakeCliqueChaseWorkload(n);
+    QueryChaseResult chase = ChaseQuery(w.q, w.sigma);
+    EXPECT_TRUE(chase.saturated);
+    // n unary atoms + n^2 binary atoms (including loops).
+    EXPECT_EQ(chase.instance.size(),
+              static_cast<size_t>(n) + static_cast<size_t>(n) * n);
+    GaifmanGraph g =
+        GaifmanGraph::Of(chase.instance, ConnectingTerms::kAllTerms);
+    EXPECT_GE(g.GreedyCliqueLowerBound(), static_cast<size_t>(n));
+    if (n >= 3) {
+      EXPECT_FALSE(IsAcyclicChase(chase.instance));
+    }
+    EXPECT_TRUE(IsAcyclic(w.q));  // the input was acyclic
+  }
+}
+
+TEST(EgdChaseTest, FunctionalDependencyMergesNulls) {
+  Term n1 = Term::FreshNull(), n2 = Term::FreshNull();
+  Predicate r = Predicate::Get("R", 2);
+  Instance db;
+  db.Insert(Atom(r, {C("a"), n1}));
+  db.Insert(Atom(r, {C("a"), n2}));
+  std::vector<Egd> egds = {MustParseEgd("R(x,y), R(x,z) -> y = z")};
+  Substitution term_map;
+  EgdChaseResult result = ChaseEgds(db, egds, &term_map);
+  EXPECT_FALSE(result.failed);
+  EXPECT_TRUE(result.changed);
+  EXPECT_EQ(result.instance.size(), 1u);
+}
+
+TEST(EgdChaseTest, ConstantBeatsNull) {
+  Term n1 = Term::FreshNull();
+  Predicate r = Predicate::Get("R", 2);
+  Instance db;
+  db.Insert(Atom(r, {C("a"), n1}));
+  db.Insert(Atom(r, {C("a"), C("b")}));
+  std::vector<Egd> egds = {MustParseEgd("R(x,y), R(x,z) -> y = z")};
+  EgdChaseResult result = ChaseEgds(db, egds);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.instance.size(), 1u);
+  EXPECT_TRUE(result.instance.Contains(Atom(r, {C("a"), C("b")})));
+}
+
+TEST(EgdChaseTest, ConstantClashFails) {
+  Instance db = Db("R('a','b'), R('a','c')");
+  std::vector<Egd> egds = {MustParseEgd("R(x,y), R(x,z) -> y = z")};
+  EgdChaseResult result = ChaseEgds(db, egds);
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(EgdChaseTest, CascadingMerges) {
+  // Merging at one level triggers merges at the next.
+  Term n1 = Term::FreshNull(), n2 = Term::FreshNull(), n3 = Term::FreshNull(),
+       n4 = Term::FreshNull();
+  Predicate r = Predicate::Get("R", 2);
+  Instance db;
+  db.Insert(Atom(r, {C("a"), n1}));
+  db.Insert(Atom(r, {C("a"), n2}));
+  db.Insert(Atom(r, {n1, n3}));
+  db.Insert(Atom(r, {n2, n4}));
+  std::vector<Egd> egds = {MustParseEgd("R(x,y), R(x,z) -> y = z")};
+  EgdChaseResult result = ChaseEgds(db, egds);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.instance.size(), 2u);  // chain collapses
+  EXPECT_GE(result.merges, 2u);
+}
+
+TEST(EgdChaseTest, ExampleFourDestroysAcyclicity) {
+  KeySquareWorkload w = MakeKeySquareWorkload();
+  EXPECT_TRUE(IsAcyclic(w.q));
+  QueryChaseResult chase = ChaseQuery(w.q, w.sigma);
+  EXPECT_TRUE(chase.saturated);
+  EXPECT_FALSE(chase.failed);
+  // R(x,y) and R(x,v) merge y = v; the S-chain closes into a cycle.
+  EXPECT_EQ(chase.instance.size(), 4u);
+  EXPECT_FALSE(IsAcyclicChase(chase.instance));
+}
+
+TEST(QueryChaseTest, FrozenHeadTracksMerges) {
+  ConjunctiveQuery q = MustParseQuery("q(y,z) :- R(x,y), R(x,z)");
+  DependencySet sigma = MustParseDependencySet("R(x,y), R(x,z) -> y = z");
+  QueryChaseResult chase = ChaseQuery(q, sigma);
+  EXPECT_TRUE(chase.saturated);
+  EXPECT_EQ(chase.frozen_head[0], chase.frozen_head[1]);
+}
+
+TEST(QueryChaseTest, MixedTgdsAndEgds) {
+  ConjunctiveQuery q = MustParseQuery("A(x)");
+  DependencySet sigma = MustParseDependencySet(
+      "A(x) -> R(x,y).\n"
+      "A(x) -> R(x,z).\n"
+      "R(x,y), R(x,z) -> y = z.");
+  QueryChaseResult chase = ChaseQuery(q, sigma);
+  EXPECT_TRUE(chase.saturated);
+  EXPECT_FALSE(chase.failed);
+  EXPECT_EQ(chase.instance.size(), 2u);  // A(x) + one merged R-atom
+  EXPECT_TRUE(Satisfies(chase.instance, sigma));
+}
+
+TEST(ContainmentUnderTest, ExampleOneEquivalence) {
+  // Example 1: q ≡Σ q' where q drops the Owns atom.
+  ConjunctiveQuery q =
+      MustParseQuery("q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)");
+  ConjunctiveQuery q_prime =
+      MustParseQuery("q(x,y) :- Interest(x,z), Class(y,z)");
+  DependencySet sigma =
+      MustParseDependencySet("Interest(x,z), Class(y,z) -> Owns(x,y)");
+  EXPECT_EQ(EquivalentUnder(q, q_prime, sigma), Tri::kYes);
+  // Without the tgd they are not equivalent.
+  DependencySet empty;
+  EXPECT_EQ(EquivalentUnder(q, q_prime, empty), Tri::kNo);
+}
+
+TEST(ContainmentUnderTest, DirectionalityUnderTgds) {
+  DependencySet sigma = MustParseDependencySet("A(x) -> B(x)");
+  ConjunctiveQuery qa = MustParseQuery("A(x)");
+  ConjunctiveQuery qb = MustParseQuery("B(x)");
+  EXPECT_EQ(ContainedUnder(qa, qb, sigma), Tri::kYes);
+  EXPECT_EQ(ContainedUnder(qb, qa, sigma), Tri::kNo);
+}
+
+TEST(ContainmentUnderTest, TruncatedChaseGivesUnknown) {
+  DependencySet sigma = MustParseDependencySet("E(x,y) -> E(y,z)");
+  ConjunctiveQuery q1 = MustParseQuery("E(x,y)");
+  ConjunctiveQuery q2 = MustParseQuery("Zz(x)");  // never derivable
+  ChaseOptions options;
+  options.max_rounds = 4;
+  EXPECT_EQ(ContainedUnder(q1, q2, sigma, options), Tri::kUnknown);
+}
+
+TEST(ContainmentUnderTest, SoundYesOnTruncatedChase) {
+  DependencySet sigma = MustParseDependencySet("E(x,y) -> E(y,z)");
+  ConjunctiveQuery q1 = MustParseQuery("E(x,y)");
+  ConjunctiveQuery q2 = MustParseQuery("E(x,y), E(y,z)");
+  ChaseOptions options;
+  options.max_rounds = 4;
+  EXPECT_EQ(ContainedUnder(q1, q2, sigma, options), Tri::kYes);
+}
+
+TEST(ContainmentUnderTest, UcqVariant) {
+  DependencySet sigma = MustParseDependencySet("A(x) -> B(x)");
+  ConjunctiveQuery q = MustParseQuery("A(x)");
+  UnionQuery Q({MustParseQuery("Cq(x)"), MustParseQuery("B(x)")});
+  EXPECT_EQ(ContainedUnder(q, Q, sigma), Tri::kYes);
+  UnionQuery Q2({MustParseQuery("Cq(x)")});
+  EXPECT_EQ(ContainedUnder(q, Q2, sigma), Tri::kNo);
+}
+
+TEST(SatisfiesTest, DetectsViolations) {
+  DependencySet sigma = MustParseDependencySet("E(x,y), E(y,z) -> E(x,z)");
+  EXPECT_FALSE(Satisfies(Db("E('a','b'), E('b','c')"), sigma));
+  EXPECT_TRUE(Satisfies(Db("E('a','b'), E('b','c'), E('a','c')"), sigma));
+  DependencySet key = MustParseDependencySet("R(x,y), R(x,z) -> y = z");
+  EXPECT_TRUE(Satisfies(Db("R('a','b')"), key));
+  EXPECT_FALSE(Satisfies(Db("R('a','b'), R('a','c')"), key));
+}
+
+/// Prop 12 property sweep: guarded chases preserve acyclicity (any finite
+/// prefix of the chase of an acyclic query stays acyclic).
+class GuardedApcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GuardedApcSweep, GuardedChasePreservesAcyclicity) {
+  Generator gen(static_cast<uint64_t>(GetParam()));
+  ConjunctiveQuery q = gen.RandomAcyclicQuery(6, 3, 2, "G");
+  std::vector<Predicate> preds = {Predicate::Get("G0", 3),
+                                  Predicate::Get("G1", 3)};
+  DependencySet sigma;
+  sigma.tgds = gen.RandomGuardedTgds(preds, 3, 2);
+  ChaseOptions options;
+  options.max_rounds = 3;  // prefix of a possibly infinite chase
+  options.max_atoms = 4000;
+  QueryChaseResult chase = ChaseQuery(q, sigma, options);
+  EXPECT_TRUE(IsAcyclicChase(chase.instance))
+      << "guarded chase prefix became cyclic (Prop 12 violated)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuardedApcSweep, ::testing::Range(0, 15));
+
+/// Prop 22 property sweep: keys over unary/binary predicates (K2)
+/// preserve acyclicity.
+class K2ApcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(K2ApcSweep, BinaryKeysPreserveAcyclicity) {
+  Generator gen(static_cast<uint64_t>(GetParam()) + 500);
+  ConjunctiveQuery q = gen.RandomAcyclicQuery(8, 2, 3, "K");
+  DependencySet sigma;
+  for (int p = 0; p < 3; ++p) {
+    std::string name = "K" + std::to_string(p);
+    sigma.egds.push_back(
+        MustParseEgd(name + "(x,y), " + name + "(x,z) -> y = z"));
+  }
+  QueryChaseResult chase = ChaseQuery(q, sigma);
+  EXPECT_TRUE(chase.saturated);
+  EXPECT_FALSE(chase.failed);
+  EXPECT_TRUE(IsAcyclicChase(chase.instance))
+      << "K2 chase became cyclic (Prop 22 violated)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, K2ApcSweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace semacyc

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "chase/query_chase.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "deps/classify.h"
+#include "deps/connecting.h"
+#include "deps/nonrecursive.h"
+#include "deps/sticky.h"
+#include "deps/weakly_acyclic.h"
+
+namespace semacyc {
+namespace {
+
+std::vector<Tgd> Tgds(const std::string& text) {
+  return MustParseDependencySet(text).tgds;
+}
+
+TEST(ClassifyTest, FullTgds) {
+  EXPECT_TRUE(IsFullSet(Tgds("E(x,y), E(y,z) -> E(x,z)")));
+  EXPECT_FALSE(IsFullSet(Tgds("E(x,y) -> E(y,z)")));
+}
+
+TEST(ClassifyTest, GuardedTgds) {
+  // Guard = atom containing all body variables.
+  EXPECT_TRUE(IsGuardedSet(Tgds("T(x,y,z), E(x,y) -> S(x,w)")));
+  EXPECT_FALSE(IsGuardedSet(Tgds("E(x,y), E(y,z) -> E(x,z)")));
+  // Single-atom bodies are trivially guarded (linear ⊆ guarded).
+  EXPECT_TRUE(IsGuardedSet(Tgds("E(x,y) -> E(y,w)")));
+}
+
+TEST(ClassifyTest, ExampleOneTgdIsNotGuarded) {
+  EXPECT_FALSE(IsGuardedSet(Tgds("Interest(x,z), Class(y,z) -> Owns(x,y)")));
+}
+
+TEST(ClassifyTest, LinearAndInclusion) {
+  auto linear = Tgds("T(x,y,x) -> S(x,w)");
+  EXPECT_TRUE(IsLinearSet(linear));
+  EXPECT_FALSE(IsInclusionSet(linear));  // repeated variable in body
+  auto id = Tgds("T(x,y,z) -> S(y,w)");
+  EXPECT_TRUE(IsInclusionSet(id));
+  EXPECT_TRUE(IsLinearSet(id));
+  EXPECT_FALSE(IsLinearSet(Tgds("A(x), B(x) -> Cx(x)")));
+}
+
+TEST(ClassifyTest, NonRecursive) {
+  EXPECT_TRUE(IsNonRecursive(Tgds("A(x) -> B(x). B(x) -> Cc(x).")));
+  EXPECT_FALSE(IsNonRecursive(Tgds("A(x) -> B(x). B(x) -> A(x).")));
+  EXPECT_FALSE(IsNonRecursive(Tgds("E(x,y) -> E(y,z)")));  // self-loop
+}
+
+TEST(ClassifyTest, PredicateGraphStrata) {
+  PredicateGraph g =
+      PredicateGraph::Of(Tgds("A(x) -> B(x). B(x) -> Cc(x). A(x) -> Cc(x)."));
+  EXPECT_FALSE(g.HasDirectedCycle());
+  auto strata = g.Strata();
+  ASSERT_EQ(strata.size(), 3u);
+  EXPECT_GE(NonRecursiveChaseDepthBound(
+                Tgds("A(x) -> B(x). B(x) -> Cc(x). A(x) -> Cc(x).")),
+            3u);
+}
+
+TEST(StickyTest, Figure1StickySet) {
+  // Figure 1: {T(x,y,z) -> S(y,w); R(x,y), P(y,z) -> T(x,y,w)} is sticky:
+  // marking: tgd1 marks x,z; propagation marks x in tgd2 (position (T,1));
+  // the doubly-occurring y stays unmarked.
+  auto sticky_set = Tgds("T(x,y,z) -> S(y,w). R(x,y), P(y,z) -> T(x,y,w).");
+  StickyMarking marking = ComputeStickyMarking(sticky_set);
+  EXPECT_TRUE(marking.IsSticky()) << marking.ToString(sticky_set);
+  // tgd1 marks exactly {x, z}.
+  EXPECT_EQ(marking.marked[0].size(), 2u);
+  EXPECT_TRUE(marking.marked[0].count(Term::Variable("x")));
+  EXPECT_TRUE(marking.marked[0].count(Term::Variable("z")));
+  // tgd2 marks {x, z} but not the join variable y.
+  EXPECT_FALSE(marking.marked[1].count(Term::Variable("y")));
+}
+
+TEST(StickyTest, Figure1NonStickySet) {
+  // With head S(x,w) instead: y gets marked through position (T,2) and
+  // occurs twice in tgd2's body -> not sticky.
+  auto non_sticky = Tgds("T(x,y,z) -> S(x,w). R(x,y), P(y,z) -> T(x,y,w).");
+  StickyMarking marking = ComputeStickyMarking(non_sticky);
+  EXPECT_FALSE(marking.IsSticky()) << marking.ToString(non_sticky);
+  EXPECT_EQ(marking.violating_tgd, 1);
+  EXPECT_EQ(marking.violating_variable, Term::Variable("y"));
+}
+
+TEST(StickyTest, JoinlessSetsAreSticky) {
+  EXPECT_TRUE(IsSticky(Tgds("A(x) -> B(x). E(x,y) -> E(y,w).")));
+}
+
+TEST(StickyTest, ImmediateDoubleJoinViolation) {
+  // x is marked (not in head) and occurs twice.
+  EXPECT_FALSE(IsSticky(Tgds("E(x,y), E(x,z) -> A(y)")));
+  // If the join variable reaches the head everywhere, it is sticky.
+  EXPECT_TRUE(IsSticky(Tgds("E(x,y), E(x,z) -> A(x)")));
+}
+
+TEST(StickyTest, ExampleTwoTgdIsSticky) {
+  EXPECT_TRUE(IsSticky(Tgds("P(x), P(y) -> Rclq(x,y)")));
+}
+
+TEST(WeaklyAcyclicTest, FullSetsAreWeaklyAcyclic) {
+  EXPECT_TRUE(IsWeaklyAcyclic(Tgds("E(x,y), E(y,z) -> E(x,z)")));
+}
+
+TEST(WeaklyAcyclicTest, SelfFeedingExistentialIsNot) {
+  EXPECT_FALSE(IsWeaklyAcyclic(Tgds("E(x,y) -> E(y,z)")));
+}
+
+TEST(WeaklyAcyclicTest, AcyclicExistentialFlow) {
+  EXPECT_TRUE(IsWeaklyAcyclic(Tgds("A(x) -> E(x,y). E(x,y) -> B(y).")));
+}
+
+TEST(WeaklyAcyclicTest, TwoStepSpecialCycle) {
+  EXPECT_FALSE(
+      IsWeaklyAcyclic(Tgds("E(x,y) -> F(y,z). F(x,y) -> E(y,z).")));
+}
+
+TEST(ClassifyTest, FullReport) {
+  TgdClassification cls = Classify(Tgds("T(x,y,z) -> S(y,w)"));
+  EXPECT_FALSE(cls.full);
+  EXPECT_TRUE(cls.guarded);
+  EXPECT_TRUE(cls.linear);
+  EXPECT_TRUE(cls.inclusion);
+  EXPECT_TRUE(cls.non_recursive);
+  EXPECT_TRUE(cls.sticky);
+  EXPECT_TRUE(cls.weakly_acyclic);
+  EXPECT_NE(cls.ToString().find("guarded"), std::string::npos);
+}
+
+TEST(FdRecognizerTest, RecognizesKeys) {
+  std::optional<RecognizedFd> fd =
+      RecognizeFd(MustParseEgd("R(x,y), R(x,z) -> y = z"));
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(fd->lhs, std::vector<int>{0});
+  EXPECT_EQ(fd->rhs, 1);
+  EXPECT_TRUE(fd->IsKey());
+  EXPECT_TRUE(fd->IsUnary());
+}
+
+TEST(FdRecognizerTest, NonKeyFd) {
+  // Ternary: first attribute determines second; third is free.
+  std::optional<RecognizedFd> fd =
+      RecognizeFd(MustParseEgd("T(x,y,a), T(x,z,b) -> y = z"));
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_FALSE(fd->IsKey());
+  EXPECT_TRUE(fd->IsUnary());
+}
+
+TEST(FdRecognizerTest, RejectsNonFdShapes) {
+  EXPECT_FALSE(RecognizeFd(MustParseEgd("R(x,y), S(x,z) -> y = z")).has_value());
+  EXPECT_FALSE(
+      RecognizeFd(MustParseEgd("R(x,y), R(y,z), R(x,w) -> w = z")).has_value());
+}
+
+TEST(FdRecognizerTest, K2Recognition) {
+  std::vector<Egd> k2 = {MustParseEgd("R(x,y), R(x,z) -> y = z"),
+                         MustParseEgd("S(y,x), S(z,x) -> y = z")};
+  EXPECT_TRUE(IsK2Set(k2));
+  std::vector<Egd> not_k2 = {
+      MustParseEgd("T(x,y,u), T(x,y,v) -> u = v")};  // arity 3
+  EXPECT_FALSE(IsK2Set(not_k2));
+  EXPECT_TRUE(IsUnaryFdSet(k2));
+}
+
+TEST(FunctionalDependencyTest, ToEgdsExpansion) {
+  FunctionalDependency fd{Predicate::Get("T", 3), {0}, {1, 2}};
+  std::vector<Egd> egds = fd.ToEgds();
+  EXPECT_EQ(egds.size(), 2u);
+  EXPECT_TRUE(fd.IsKey());
+  EXPECT_TRUE(fd.IsUnary());
+}
+
+TEST(ConnectingTest, PreservesClassMembership) {
+  auto guarded = Tgds("T(x,y,z), E(x,y) -> S(x,w)");
+  DependencySet sigma;
+  sigma.tgds = guarded;
+  DependencySet connected = ConnectingOperator::Connect(sigma);
+  EXPECT_TRUE(IsGuardedSet(connected.tgds));
+  EXPECT_TRUE(connected.tgds[0].IsBodyConnected());
+
+  auto linear = Tgds("T(x,y,z) -> S(y,w)");
+  sigma.tgds = linear;
+  EXPECT_TRUE(IsLinearSet(ConnectingOperator::Connect(sigma).tgds));
+  EXPECT_TRUE(IsInclusionSet(ConnectingOperator::Connect(sigma).tgds));
+
+  auto nr = Tgds("A(x) -> B(x). B(x) -> Cc(x).");
+  sigma.tgds = nr;
+  EXPECT_TRUE(IsNonRecursive(ConnectingOperator::Connect(sigma).tgds));
+
+  auto sticky = Tgds("T(x,y,z) -> S(y,w). R(x,y), P(y,z) -> T(x,y,w).");
+  sigma.tgds = sticky;
+  EXPECT_TRUE(IsSticky(ConnectingOperator::Connect(sigma).tgds));
+}
+
+TEST(ConnectingTest, LeftStaysAcyclicRightBecomesCyclic) {
+  ConjunctiveQuery acyclic = MustParseQuery("E(x,y), F(y,z)");
+  ConjunctiveQuery cq = ConnectingOperator::ConnectLeft(acyclic);
+  EXPECT_TRUE(IsAcyclic(cq));
+  EXPECT_TRUE(cq.IsConnected());
+  ConjunctiveQuery cqp = ConnectingOperator::ConnectRight(acyclic);
+  EXPECT_FALSE(IsAcyclic(cqp));  // the aux triangle
+  EXPECT_TRUE(cqp.IsConnected());
+}
+
+TEST(ConnectingTest, ContainmentTransfersThroughTheOperator) {
+  // q ⊆Σ q' iff c(q) ⊆ c(Σ) c(q'): checked on a terminating instance.
+  ConjunctiveQuery q = MustParseQuery("A(x), B(x)");
+  ConjunctiveQuery qp = MustParseQuery("D(x,y), D(y,z), D(z,x)");
+  DependencySet sigma = MustParseDependencySet(
+      "A(x), B(x) -> D(x,x)");
+  // q ⊆Σ qp: chase(q) = {A,B,D(x,x)}; the D-triangle maps (all to x).
+  EXPECT_EQ(ContainedUnder(q, qp, sigma), Tri::kYes);
+  ConjunctiveQuery cq = ConnectingOperator::ConnectLeft(q);
+  ConjunctiveQuery cqp = ConnectingOperator::ConnectRight(qp);
+  DependencySet csigma = ConnectingOperator::Connect(sigma);
+  EXPECT_EQ(ContainedUnder(cq, cqp, csigma), Tri::kYes);
+
+  // And a negative transfer.
+  ConjunctiveQuery qn = MustParseQuery("A(x)");
+  EXPECT_EQ(ContainedUnder(qn, qp, sigma), Tri::kNo);
+  ConjunctiveQuery cqn = ConnectingOperator::ConnectLeft(qn);
+  EXPECT_EQ(ContainedUnder(cqn, cqp, csigma), Tri::kNo);
+}
+
+}  // namespace
+}  // namespace semacyc

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "core/homomorphism.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/compaction.h"
+
+namespace semacyc {
+namespace {
+
+TEST(CompactionTest, IdentityImageOnSmallInstance) {
+  Instance inst;
+  inst.InsertAll(MustParseAtoms("E('a','b'), E('b','c')"));
+  ConjunctiveQuery q = MustParseQuery("E(x,y)");
+  auto result = CompactAcyclicWitness(q, inst, {});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->witness.size(), 2u * q.size());
+  EXPECT_TRUE(IsAcyclic(result->witness));
+}
+
+TEST(CompactionTest, FailsOnCyclicInstance) {
+  Instance inst;
+  Term n1 = Term::FreshNull(), n2 = Term::FreshNull(), n3 = Term::FreshNull();
+  Predicate e = Predicate::Get("E", 2);
+  inst.Insert(Atom(e, {n1, n2}));
+  inst.Insert(Atom(e, {n2, n3}));
+  inst.Insert(Atom(e, {n3, n1}));
+  ConjunctiveQuery q = MustParseQuery("E(x,y)");
+  EXPECT_FALSE(CompactAcyclicWitness(q, inst, {}).has_value());
+}
+
+TEST(CompactionTest, FailsWhenTupleNotInEvaluation) {
+  Instance inst;
+  inst.InsertAll(MustParseAtoms("E('a','b')"));
+  ConjunctiveQuery q = MustParseQuery("q(x) :- E(x,y)");
+  EXPECT_FALSE(
+      CompactAcyclicWitness(q, inst, {Term::Constant("b")}).has_value());
+  EXPECT_TRUE(
+      CompactAcyclicWitness(q, inst, {Term::Constant("a")}).has_value());
+}
+
+TEST(CompactionTest, WitnessContainsImageOfQ) {
+  // The witness must be plainly contained in q (hom from q onto it).
+  Instance inst;
+  inst.InsertAll(
+      MustParseAtoms("E('a','b'), E('b','c'), E('c','d'), F('d')"));
+  ConjunctiveQuery q = MustParseQuery("E(x,y), E(y,z)");
+  auto result = CompactAcyclicWitness(q, inst, {});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(ContainedInClassic(result->witness, q));
+}
+
+/// Figure 3 / Lemma 9 property sweep: random acyclic instances and random
+/// queries mapping into them; the compact witness must be acyclic, obey
+/// the 2·|q| bound, be contained in q, and hold at the target tuple.
+class CompactionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompactionSweep, Lemma9Invariants) {
+  Generator gen(static_cast<uint64_t>(GetParam()) + 10);
+  // Random acyclic instance: freeze a random acyclic query to nulls.
+  ConjunctiveQuery shape = gen.RandomAcyclicQuery(14, 2, 2, "L");
+  FrozenQuery frozen = Freeze(shape, TermKind::kNull);
+  const Instance& inst = frozen.instance;
+  ASSERT_TRUE(IsAcyclic(inst.atoms(), ConnectingTerms::kAllTerms));
+
+  // A query that maps into it: take a connected sub-pattern of the shape.
+  size_t take = 3 + static_cast<size_t>(GetParam()) % 4;
+  std::vector<Atom> sub(shape.body().begin(),
+                        shape.body().begin() +
+                            static_cast<long>(
+                                std::min(take, shape.body().size())));
+  ConjunctiveQuery q({}, sub);
+
+  auto result = CompactAcyclicWitness(q, inst, {});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(IsAcyclic(result->witness));
+  EXPECT_LE(result->witness.size(), 2 * q.size());
+  EXPECT_TRUE(ContainedInClassic(result->witness, q))
+      << "witness must contain q's image";
+  // q'(c̄) holds in I: the witness maps back into the instance.
+  EXPECT_TRUE(HasHomomorphism(result->sub_instance.atoms(), inst));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionSweep, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace semacyc

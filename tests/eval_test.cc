@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/homomorphism.h"
+#include "core/parser.h"
+#include "eval/cover_game.h"
+#include "eval/semac_eval.h"
+#include "eval/yannakakis.h"
+#include "gen/generators.h"
+
+namespace semacyc {
+namespace {
+
+Term C(const std::string& s) { return Term::Constant(s); }
+
+Instance Db(const std::string& atoms) {
+  Instance inst;
+  inst.InsertAll(MustParseAtoms(atoms));
+  return inst;
+}
+
+std::set<std::vector<Term>> AsSet(std::vector<std::vector<Term>> v) {
+  return std::set<std::vector<Term>>(v.begin(), v.end());
+}
+
+TEST(YannakakisTest, SimplePath) {
+  Instance db = Db("E('a','b'), E('b','c'), E('c','d')");
+  ConjunctiveQuery q = MustParseQuery("q(x,z) :- E(x,y), E(y,z)");
+  YannakakisResult result = EvaluateAcyclic(q, db);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(AsSet(result.answers), AsSet(EvaluateQuery(q, db)));
+}
+
+TEST(YannakakisTest, RefusesCyclicQueries) {
+  Generator gen(5);
+  YannakakisResult result = EvaluateAcyclic(gen.CycleQuery(3), Db("E('a','a')"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(EvaluateAcyclicBoolean(gen.CycleQuery(3), Db("E('a','a')")), -1);
+}
+
+TEST(YannakakisTest, BooleanFastPath) {
+  Instance db = Db("E('a','b'), E('b','c')");
+  EXPECT_EQ(EvaluateAcyclicBoolean(MustParseQuery("E(x,y), E(y,z)"), db), 1);
+  EXPECT_EQ(EvaluateAcyclicBoolean(
+                MustParseQuery("E(x,y), E(y,z), E(z,w)"), db),
+            0);
+}
+
+TEST(YannakakisTest, SemiJoinsPruneDanglingTuples) {
+  // A star query where most tuples dangle.
+  Instance db = Db(
+      "R('a','b'), R('a','c'), S('b','x1'), T('c','y1'), "
+      "R('q','w'), S('w','x2')");
+  ConjunctiveQuery q = MustParseQuery("q(u) :- R(u,v), S(v,s), R(u,w), T(w,t)");
+  YannakakisResult result = EvaluateAcyclic(q, db);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0][0], C("a"));
+}
+
+TEST(YannakakisTest, ConstantsInQuery) {
+  Instance db = Db("E('a','b'), E('c','b')");
+  ConjunctiveQuery q = MustParseQuery("q(x) :- E(x,'b')");
+  YannakakisResult result = EvaluateAcyclic(q, db);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.answers.size(), 2u);
+}
+
+TEST(YannakakisTest, DisconnectedQueryCrossProduct) {
+  Instance db = Db("A('x'), B('y'), B('z')");
+  ConjunctiveQuery q = MustParseQuery("q(u,v) :- A(u), B(v)");
+  YannakakisResult result = EvaluateAcyclic(q, db);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.answers.size(), 2u);
+}
+
+/// Property sweep: Yannakakis agrees with the backtracking evaluator on
+/// random acyclic queries and random databases.
+class YannakakisSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(YannakakisSweep, AgreesWithBacktrackingJoin) {
+  Generator gen(static_cast<uint64_t>(GetParam()) + 31);
+  ConjunctiveQuery shape = gen.RandomAcyclicQuery(5, 2, 2, "Y");
+  // Promote up to two variables to the head.
+  std::vector<Term> vars = shape.Variables();
+  std::vector<Term> head;
+  for (size_t i = 0; i < vars.size() && head.size() < 2; i += 3) {
+    head.push_back(vars[i]);
+  }
+  ConjunctiveQuery q(head, shape.body());
+  std::vector<Predicate> preds = {Predicate::Get("Y0", 2),
+                                  Predicate::Get("Y1", 2)};
+  Instance db = gen.RandomDatabase(preds, 40, 5);
+  YannakakisResult fast = EvaluateAcyclic(q, db);
+  ASSERT_TRUE(fast.ok);
+  EXPECT_EQ(AsSet(fast.answers), AsSet(EvaluateQuery(q, db)));
+  int boolean = EvaluateAcyclicBoolean(ConjunctiveQuery({}, q.body()), db);
+  EXPECT_EQ(boolean, EvaluatesTrue(q, db) ? 1 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YannakakisSweep, ::testing::Range(0, 20));
+
+TEST(CoverGameTest, TrivialCases) {
+  Instance empty;
+  EXPECT_TRUE(DuplicatorWins(empty, {}, empty, {}));
+  Instance one = Db("E('a','b')");
+  EXPECT_FALSE(DuplicatorWins(one, {}, empty, {}));
+}
+
+TEST(CoverGameTest, GenuineConstantsAreRigid) {
+  Instance I = Db("E('a','b')");
+  Instance J = Db("E('c','d')");
+  EXPECT_FALSE(DuplicatorWins(I, {}, J, {}));
+  Instance J2 = Db("E('a','b'), E('c','d')");
+  EXPECT_TRUE(DuplicatorWins(I, {}, J2, {}));
+}
+
+TEST(CoverGameTest, AcyclicQueryGameMatchesEvaluation) {
+  // For an acyclic q: duplicator wins on (q,x̄) vs (D,t̄) iff t̄ ∈ q(D).
+  ConjunctiveQuery q = MustParseQuery("q(x) :- E(x,y), E(y,z)");
+  Instance db = Db("E('a','b'), E('b','c')");
+  FrozenQuery frozen = Freeze(q, TermKind::kNull);
+  EXPECT_TRUE(
+      DuplicatorWins(frozen.instance, frozen.frozen_head, db, {C("a")}));
+  EXPECT_FALSE(
+      DuplicatorWins(frozen.instance, frozen.frozen_head, db, {C("c")}));
+}
+
+TEST(CoverGameTest, CyclicQueryGameIsWeaker) {
+  // The 1-cover game only preserves acyclic queries: a triangle query can
+  // win the game on a database with no triangle (odd cycle example).
+  Generator gen(6);
+  ConjunctiveQuery triangle = gen.CycleQuery(3);
+  // A long odd cycle has no triangle but the duplicator wins the 1-cover
+  // game (locally everything looks consistent).
+  Instance c9;
+  Predicate e = Predicate::Get("E", 2);
+  for (int i = 0; i < 9; ++i) {
+    c9.Insert(Atom(e, {C("n" + std::to_string(i)),
+                       C("n" + std::to_string((i + 1) % 9))}));
+  }
+  EXPECT_FALSE(EvaluatesTrue(triangle, c9));
+  FrozenQuery frozen = Freeze(triangle, TermKind::kNull);
+  EXPECT_TRUE(DuplicatorWins(frozen.instance, {}, c9, {}));
+}
+
+TEST(SemAcEvalTest, GuardedGameEvaluationMatchesSemantics) {
+  // Theorem 25 setup: q ≡Σ T(x,y) under the guarded Σ below.
+  ConjunctiveQuery q = MustParseQuery("q(x) :- T(x,y), E(y,z), E(z,x)");
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  // Build a database satisfying Σ.
+  Instance db = Db(
+      "T('u','v'), E('v','w'), E('w','u'), "
+      "T('p','q'), E('q','r'), E('r','p'), E('s','s')");
+  ASSERT_TRUE(Satisfies(db, sigma));
+  // Semantics: q(D) = {u, p} (via the T atoms).
+  EXPECT_TRUE(GuardedGameEvaluate(q, db, {C("u")}));
+  EXPECT_TRUE(GuardedGameEvaluate(q, db, {C("p")}));
+  EXPECT_FALSE(GuardedGameEvaluate(q, db, {C("v")}));
+  EXPECT_FALSE(GuardedGameEvaluate(q, db, {C("s")}));
+  // Cross-check against brute force.
+  for (const char* c : {"u", "v", "w", "p", "q", "r", "s"}) {
+    EXPECT_EQ(GuardedGameEvaluate(q, db, {C(c)}),
+              EvaluatesTo(q, db, {C(c)}))
+        << c;
+  }
+}
+
+TEST(SemAcEvalTest, ChaseGameAgreesWhenSaturated) {
+  ConjunctiveQuery q = MustParseQuery("q(x) :- T(x,y), E(y,z), E(z,x)");
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  Instance db = Db("T('u','v'), E('v','w'), E('w','u')");
+  EXPECT_EQ(GameEvaluateViaChase(q, sigma, db, {C("u")}), Tri::kYes);
+  EXPECT_EQ(GameEvaluateViaChase(q, sigma, db, {C("w")}), Tri::kNo);
+}
+
+TEST(SemAcEvalTest, FptPipelineMatchesBruteForce) {
+  MusicStoreWorkload w = MakeMusicStoreWorkload(11, 6, 8, 3, 0.4);
+  ASSERT_TRUE(Satisfies(w.database, w.sigma));
+  FptEvalResult fpt = FptEvaluate(w.q, w.sigma, w.database);
+  ASSERT_TRUE(fpt.reformulated);
+  ASSERT_TRUE(fpt.evaluation.ok);
+  EXPECT_EQ(AsSet(fpt.evaluation.answers),
+            AsSet(EvaluateQuery(w.q, w.database)));
+}
+
+TEST(SemAcEvalTest, FptPipelineFailsGracefullyOnNonSemAc) {
+  Generator gen(8);
+  ConjunctiveQuery triangle = gen.CycleQuery(3);
+  DependencySet sigma;
+  Instance db = Db("E('a','b')");
+  FptEvalResult fpt = FptEvaluate(triangle, sigma, db);
+  EXPECT_FALSE(fpt.reformulated);
+}
+
+}  // namespace
+}  // namespace semacyc

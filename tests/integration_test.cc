@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chase/query_chase.h"
+#include "core/gaifman.h"
+#include "core/homomorphism.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "deps/classify.h"
+#include "deps/nonrecursive.h"
+#include "deps/sticky.h"
+#include "eval/semac_eval.h"
+#include "eval/yannakakis.h"
+#include "gen/generators.h"
+#include "semacyc/decider.h"
+
+namespace semacyc {
+namespace {
+
+TEST(MusicStoreIntegration, EndToEndReformulationPipeline) {
+  MusicStoreWorkload w = MakeMusicStoreWorkload(42, 10, 15, 4, 0.35);
+  ASSERT_TRUE(Satisfies(w.database, w.sigma));
+  ASSERT_FALSE(IsAcyclic(w.q));
+
+  SemAcResult decision = DecideSemanticAcyclicity(w.q, w.sigma);
+  ASSERT_EQ(decision.answer, SemAcAnswer::kYes);
+  ASSERT_TRUE(IsAcyclic(*decision.witness));
+
+  // The acyclic reformulation returns exactly the same answers on the
+  // constraint-satisfying database.
+  YannakakisResult fast = EvaluateAcyclic(*decision.witness, w.database);
+  ASSERT_TRUE(fast.ok);
+  auto brute = EvaluateQuery(w.q, w.database);
+  std::set<std::vector<Term>> fast_set(fast.answers.begin(),
+                                       fast.answers.end());
+  std::set<std::vector<Term>> brute_set(brute.begin(), brute.end());
+  EXPECT_EQ(fast_set, brute_set);
+  EXPECT_FALSE(brute_set.empty()) << "workload should produce answers";
+}
+
+TEST(MusicStoreIntegration, WitnessDiffersOnUnconstrainedDatabases) {
+  // On a database violating the tgd, q and its Σ-witness may disagree —
+  // equivalence holds only on models of Σ.
+  MusicStoreWorkload w = MakeMusicStoreWorkload(43, 4, 4, 2, 0.5);
+  SemAcResult decision = DecideSemanticAcyclicity(w.q, w.sigma);
+  ASSERT_EQ(decision.answer, SemAcAnswer::kYes);
+  Instance bad;
+  bad.InsertAll(
+      MustParseAtoms("Interest('c0','s0'), Class('r0','s0')"));  // no Owns
+  auto q_answers = EvaluateQuery(w.q, bad);
+  auto w_answers = EvaluateQuery(*decision.witness, bad);
+  EXPECT_TRUE(q_answers.empty());
+  EXPECT_FALSE(w_answers.empty());
+}
+
+TEST(KeyGridIntegration, Figure4GridEmergesFromAcyclicQuery) {
+  for (int n : {1, 2, 3}) {
+    KeyGridWorkload w = MakeKeyGridWorkload(n);
+    ASSERT_TRUE(IsAcyclic(w.q)) << "n=" << n;
+    ASSERT_FALSE(IsK2Set(w.sigma.egds)) << "the R-key has arity 4";
+
+    QueryChaseResult chase = ChaseQuery(w.q, w.sigma);
+    ASSERT_TRUE(chase.saturated);
+    ASSERT_FALSE(chase.failed);
+    if (n >= 2) {
+      EXPECT_FALSE(IsAcyclicChase(chase.instance))
+          << "the chase must become cyclic (n=" << n << ")";
+    }
+
+    // Verify the full (n+1) x (n+1) grid: resolve the grid coordinates.
+    auto p = [&](int r, int c) -> Term {
+      Term var = (c == 0) ? Term::Variable("l" + std::to_string(r))
+                 : (r < n ? Term::Variable("t_" + std::to_string(r) + "_" +
+                                           std::to_string(c - 1))
+                          : Term::Variable("w1_" + std::to_string(r - 1) +
+                                           "_" + std::to_string(c - 1)));
+      auto it = chase.var_to_frozen.find(var);
+      EXPECT_TRUE(it != chase.var_to_frozen.end()) << var.ToString();
+      return it->second;
+    };
+    Predicate H = Predicate::Get("H", 2);
+    Predicate V = Predicate::Get("V", 2);
+    for (int r = 0; r <= n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        EXPECT_TRUE(chase.instance.Contains(Atom(H, {p(r, c), p(r, c + 1)})))
+            << "missing H edge at (" << r << "," << c << "), n=" << n;
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c <= n; ++c) {
+        EXPECT_TRUE(chase.instance.Contains(Atom(V, {p(r, c), p(r + 1, c)})))
+            << "missing V edge at (" << r << "," << c << "), n=" << n;
+      }
+    }
+    // Treewidth proxy: the Gaifman graph of the chase contains the grid,
+    // while the input query's hypergraph was a tree.
+    GaifmanGraph g =
+        GaifmanGraph::Of(chase.instance, ConnectingTerms::kAllTerms);
+    EXPECT_TRUE(g.HasEdge(p(0, 0), p(0, 1)));
+    EXPECT_TRUE(g.HasEdge(p(0, 0), p(1, 0)));
+  }
+}
+
+TEST(CliqueChaseIntegration, Example2KillsTreewidthToo) {
+  CliqueChaseWorkload w = MakeCliqueChaseWorkload(6);
+  QueryChaseResult chase = ChaseQuery(w.q, w.sigma);
+  ASSERT_TRUE(chase.saturated);
+  GaifmanGraph g =
+      GaifmanGraph::Of(chase.instance, ConnectingTerms::kAllTerms);
+  EXPECT_GE(g.GreedyCliqueLowerBound(), 6u);
+  // NR and sticky both hold for the single tgd — neither class has
+  // acyclicity-preserving chase (the point of Example 2).
+  EXPECT_TRUE(IsNonRecursive(w.sigma.tgds));
+  EXPECT_TRUE(IsSticky(w.sigma.tgds));
+  EXPECT_FALSE(IsGuardedSet(w.sigma.tgds));
+}
+
+TEST(GeneratorsIntegration, RandomWorkloadsAreWellFormed) {
+  Generator gen(99);
+  std::vector<Predicate> preds = {Predicate::Get("W0", 2),
+                                  Predicate::Get("W1", 3)};
+  auto ids = gen.RandomInclusionDependencies(preds, 10);
+  EXPECT_TRUE(IsInclusionSet(ids));
+  auto guarded = gen.RandomGuardedTgds(preds, 10, 2);
+  EXPECT_TRUE(IsGuardedSet(guarded));
+  Instance db = gen.RandomDatabase(preds, 50, 8);
+  EXPECT_EQ(db.size(), 50u);
+}
+
+TEST(DecisionLandscapeIntegration, PerClassBehaviourOnSharedQuery) {
+  // One cyclic query probed under a representative of each class.
+  ConjunctiveQuery q =
+      MustParseQuery("Interest(x,z), Class(y,z), Owns(x,y)");
+  struct Case {
+    const char* name;
+    const char* sigma;
+    SemAcAnswer expected;
+  };
+  const Case cases[] = {
+      {"sticky-rescue", "Interest(x,z), Class(y,z) -> Owns(x,y)",
+       SemAcAnswer::kYes},
+      {"unrelated-guarded", "Other(x) -> Owns(x,w)", SemAcAnswer::kNo},
+      {"k2-unrelated", "Owns(x,y), Owns(x,z) -> y = z", SemAcAnswer::kNo},
+  };
+  for (const Case& c : cases) {
+    DependencySet sigma = MustParseDependencySet(c.sigma);
+    SemAcResult result = DecideSemanticAcyclicity(q, sigma);
+    EXPECT_EQ(result.answer, c.expected) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace semacyc

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "chase/query_chase.h"
+#include "core/containment.h"
+#include "core/parser.h"
+#include "deps/nonrecursive.h"
+#include "deps/sticky.h"
+#include "gen/generators.h"
+#include "rewrite/rewrite_containment.h"
+#include "rewrite/ucq_rewriter.h"
+#include "rewrite/unify.h"
+
+namespace semacyc {
+namespace {
+
+TEST(UnifyTest, VariablesUnify) {
+  TermUnification u;
+  EXPECT_TRUE(u.Union(Term::Variable("x"), Term::Variable("y")));
+  EXPECT_EQ(u.Find(Term::Variable("x")), u.Find(Term::Variable("y")));
+}
+
+TEST(UnifyTest, ConstantsClash) {
+  TermUnification u;
+  EXPECT_FALSE(u.Union(Term::Constant("a"), Term::Constant("b")));
+  TermUnification v;
+  EXPECT_TRUE(v.Union(Term::Constant("a"), Term::Constant("a")));
+}
+
+TEST(UnifyTest, ConstantBecomesRepresentative) {
+  TermUnification u;
+  EXPECT_TRUE(u.Union(Term::Variable("x"), Term::Constant("a")));
+  EXPECT_TRUE(u.Union(Term::Variable("y"), Term::Variable("x")));
+  EXPECT_EQ(u.Find(Term::Variable("y")), Term::Constant("a"));
+  Substitution sub = u.ToSubstitution();
+  EXPECT_EQ(Apply(sub, Term::Variable("x")), Term::Constant("a"));
+}
+
+TEST(UnifyTest, MguOfAtoms) {
+  auto mgu = MguOfAtoms(MustParseAtoms("R(x,y)")[0],
+                        MustParseAtoms("R('a',z)")[0]);
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(Apply(*mgu, Term::Variable("x")), Term::Constant("a"));
+  EXPECT_FALSE(MguOfAtoms(MustParseAtoms("R(x,x)")[0],
+                          MustParseAtoms("R('a','b')")[0])
+                   .has_value());
+}
+
+TEST(RewriteTest, LinearTgdSingleStep) {
+  // q = S(x); Σ = A(x) -> S(x): rewriting adds A(x).
+  ConjunctiveQuery q = MustParseQuery("S(x)");
+  auto tgds = MustParseDependencySet("A(x) -> S(x)").tgds;
+  RewriteResult result = RewriteToUcq(q, tgds);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.ucq.size(), 2u);
+}
+
+TEST(RewriteTest, ExistentialBlocksSharedVariables) {
+  // Σ = A(x) -> E(x,y) (y existential). q = E(x,y), B(y): the piece
+  // {E(x,y)} cannot resolve because y occurs outside it.
+  ConjunctiveQuery q = MustParseQuery("E(x,y), B(y)");
+  auto tgds = MustParseDependencySet("A(x) -> E(x,y)").tgds;
+  RewriteResult result = RewriteToUcq(q, tgds);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.ucq.size(), 1u);  // only q itself
+}
+
+TEST(RewriteTest, ExistentialResolvesWhenPrivate) {
+  ConjunctiveQuery q = MustParseQuery("E(x,y)");
+  auto tgds = MustParseDependencySet("A(x) -> E(x,y)").tgds;
+  RewriteResult result = RewriteToUcq(q, tgds);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.ucq.size(), 2u);  // q and A(x)
+}
+
+TEST(RewriteTest, FreeVariableBlocksExistentialUnification) {
+  ConjunctiveQuery q = MustParseQuery("q(y) :- E(x,y)");
+  auto tgds = MustParseDependencySet("A(x) -> E(x,y)").tgds;
+  RewriteResult result = RewriteToUcq(q, tgds);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.ucq.size(), 1u);  // y is an answer variable
+}
+
+TEST(RewriteTest, TransitiveRewritingThroughNrSet) {
+  ConjunctiveQuery q = MustParseQuery("Cc(x)");
+  auto tgds = MustParseDependencySet("A(x) -> B(x). B(x) -> Cc(x).").tgds;
+  RewriteResult result = RewriteToUcq(q, tgds);
+  EXPECT_TRUE(result.complete);
+  // Cc(x), B(x), A(x).
+  EXPECT_EQ(result.ucq.size(), 3u);
+}
+
+TEST(RewriteTest, MultiAtomHeadPiece) {
+  // Σ = A(x) -> S(x,y), T(y): the two-atom piece resolves together.
+  ConjunctiveQuery q = MustParseQuery("S(x,y), T(y)");
+  auto tgds = MustParseDependencySet("A(x) -> S(x,y), T(y)").tgds;
+  RewriteResult result = RewriteToUcq(q, tgds);
+  EXPECT_TRUE(result.complete);
+  bool has_a = false;
+  for (const auto& d : result.ucq.disjuncts()) {
+    if (d.size() == 1 && d.body()[0].predicate() == Predicate::Get("A", 1)) {
+      has_a = true;
+    }
+  }
+  EXPECT_TRUE(has_a) << result.ucq.ToString();
+}
+
+TEST(RewriteTest, DisjunctsAreSoundUnderSigma) {
+  // Every disjunct must be Σ-contained in q.
+  ConjunctiveQuery q = MustParseQuery("q(x) :- S(x,y), T(y)");
+  DependencySet sigma = MustParseDependencySet(
+      "A(x) -> S(x,y), T(y). B(y) -> T(y). E(x,y) -> S(x,y).");
+  RewriteResult result = RewriteToUcq(q, sigma.tgds);
+  EXPECT_TRUE(result.complete);
+  for (const auto& d : result.ucq.disjuncts()) {
+    EXPECT_EQ(ContainedUnder(d, q, sigma), Tri::kYes) << d.ToString();
+  }
+}
+
+TEST(RewriteTest, Example3HeightIsExponential) {
+  for (int n : {1, 2, 3}) {
+    StickyBlowupWorkload w = MakeStickyBlowupWorkload(n);
+    ASSERT_TRUE(IsSticky(w.sigma.tgds)) << "Example 3 set must be sticky";
+    RewriteResult result = RewriteToUcq(w.q, w.sigma.tgds);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.Height(), static_cast<size_t>(1) << n)
+        << "n=" << n << ": the P_n disjunct must have 2^n atoms";
+  }
+}
+
+TEST(RewriteTest, PaperBoundDominatesObservedHeight) {
+  for (int n : {1, 2}) {
+    StickyBlowupWorkload w = MakeStickyBlowupWorkload(n);
+    RewriteResult result = RewriteToUcq(w.q, w.sigma.tgds);
+    EXPECT_LE(result.Height(), PaperRewriteHeightBound(w.q, w.sigma.tgds));
+  }
+}
+
+TEST(RewriteContainmentTest, AgreesWithChaseOnNrSets) {
+  DependencySet sigma = MustParseDependencySet(
+      "A(x) -> B(x). B(x) -> E(x,y). E(x,y) -> F(y).");
+  ConjunctiveQuery q = MustParseQuery("F(z)");
+  // A(x) ⊆Σ F(z)?  chase(A) = {A,B,E(x,n),F(n)} => yes.
+  ConjunctiveQuery qa = MustParseQuery("A(x)");
+  EXPECT_EQ(ContainedUnder(qa, q, sigma), Tri::kYes);
+  EXPECT_EQ(RewriteContained(qa, q, sigma.tgds), Tri::kYes);
+  ConjunctiveQuery qg = MustParseQuery("G(x)");
+  EXPECT_EQ(ContainedUnder(qg, q, sigma), Tri::kNo);
+  EXPECT_EQ(RewriteContained(qg, q, sigma.tgds), Tri::kNo);
+}
+
+/// Property sweep: chase-based and rewriting-based containment agree on
+/// random queries under non-recursive sets (both are exact there).
+class RewriteAgreementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriteAgreementSweep, ChaseAndRewritingAgree) {
+  Generator gen(static_cast<uint64_t>(GetParam()) + 99);
+  DependencySet sigma = MustParseDependencySet(
+      "A0(x) -> B0(x). B0(x) -> E0(x,y). A0(x), B0(y) -> F0(x,y). "
+      "E0(x,y) -> G0(y).");
+  ASSERT_TRUE(IsNonRecursive(sigma.tgds));
+  // Random small left-hand queries over the same predicates.
+  std::vector<Predicate> preds = {
+      Predicate::Get("A0", 1), Predicate::Get("B0", 1),
+      Predicate::Get("E0", 2), Predicate::Get("F0", 2),
+      Predicate::Get("G0", 1)};
+  Instance shape = gen.RandomDatabase(preds, 4, 3, "v");
+  // Reinterpret the random database as a Boolean query.
+  ConjunctiveQuery lhs = QueryFromInstance(shape, {});
+  Substitution to_vars;
+  std::vector<Atom> body;
+  for (const Atom& a : shape.atoms()) {
+    std::vector<Term> args;
+    for (Term t : a.args()) {
+      auto it = to_vars.find(t);
+      if (it == to_vars.end()) {
+        it = to_vars.emplace(t, FreshVariable()).first;
+      }
+      args.push_back(it->second);
+    }
+    body.emplace_back(a.predicate(), args);
+  }
+  lhs = ConjunctiveQuery({}, body);
+  for (const char* rhs_text :
+       {"G0(u)", "E0(u,v)", "F0(u,v), B0(v)", "A0(u), G0(u)"}) {
+    ConjunctiveQuery rhs = MustParseQuery(rhs_text);
+    Tri by_chase = ContainedUnder(lhs, rhs, sigma);
+    Tri by_rewriting = RewriteContained(lhs, rhs, sigma.tgds);
+    EXPECT_EQ(by_chase, by_rewriting)
+        << "lhs=" << lhs.ToString() << " rhs=" << rhs_text;
+    EXPECT_NE(by_chase, Tri::kUnknown);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteAgreementSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace semacyc

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/ucq_semac.h"
+
+namespace semacyc {
+namespace {
+
+TEST(UcqSemAcTest, AllAcyclicDisjunctsIsYes) {
+  UnionQuery Q({MustParseQuery("E(x,y)"), MustParseQuery("F(x,y), F(y,z)")});
+  DependencySet empty;
+  UcqSemAcResult result = DecideUcqSemanticAcyclicity(Q, empty);
+  EXPECT_EQ(result.answer, SemAcAnswer::kYes);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_EQ(result.witness->size(), 2u);
+}
+
+TEST(UcqSemAcTest, RedundantCyclicDisjunctIsAbsorbed) {
+  // The triangle is contained in the single-edge disjunct; it is
+  // redundant, so the UCQ is semantically acyclic.
+  Generator gen(31);
+  UnionQuery Q({gen.CycleQuery(3), MustParseQuery("E(x,y)")});
+  DependencySet empty;
+  UcqSemAcResult result = DecideUcqSemanticAcyclicity(Q, empty);
+  EXPECT_EQ(result.answer, SemAcAnswer::kYes);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_EQ(result.witness->size(), 1u);  // only the edge survives
+  EXPECT_TRUE(result.disjuncts[0].redundant);
+}
+
+TEST(UcqSemAcTest, IrredundantCyclicDisjunctIsNo) {
+  Generator gen(32);
+  UnionQuery Q({gen.CycleQuery(5), MustParseQuery("F(x,y)")});
+  DependencySet empty;
+  UcqSemAcResult result = DecideUcqSemanticAcyclicity(Q, empty);
+  EXPECT_EQ(result.answer, SemAcAnswer::kNo);
+}
+
+TEST(UcqSemAcTest, ConstraintsRescueDisjuncts) {
+  // Example 1 pattern inside a union.
+  UnionQuery Q({MustParseQuery("Interest(x,z), Class(y,z), Owns(x,y)"),
+                MustParseQuery("Interest(x,z)")});
+  DependencySet sigma =
+      MustParseDependencySet("Interest(x,z), Class(y,z) -> Owns(x,y)");
+  UcqSemAcResult result = DecideUcqSemanticAcyclicity(Q, sigma);
+  EXPECT_EQ(result.answer, SemAcAnswer::kYes);
+  ASSERT_TRUE(result.witness.has_value());
+  for (const auto& d : result.witness->disjuncts()) {
+    EXPECT_TRUE(IsAcyclic(d));
+  }
+}
+
+TEST(UcqSemAcTest, MutuallyEquivalentDisjunctsKeepOne) {
+  UnionQuery Q({MustParseQuery("E(x,y)"), MustParseQuery("E(u,v)")});
+  DependencySet empty;
+  UcqSemAcResult result = DecideUcqSemanticAcyclicity(Q, empty);
+  EXPECT_EQ(result.answer, SemAcAnswer::kYes);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_EQ(result.witness->size(), 1u);
+}
+
+TEST(UcqSemAcTest, SingleDisjunctReducesToCqCase) {
+  // The diamond folds onto an acyclic 2-path: YES.
+  UnionQuery Q({MustParseQuery("E(a,b), E(b,c), E(a,d), E(d,c)")});
+  DependencySet empty;
+  UcqSemAcResult result = DecideUcqSemanticAcyclicity(Q, empty);
+  EXPECT_EQ(result.answer, SemAcAnswer::kYes);
+}
+
+}  // namespace
+}  // namespace semacyc
