@@ -1,0 +1,144 @@
+// The acyclicity-hierarchy engine (src/acyclic/) vs the seed baseline.
+//
+// Claims demonstrated:
+//  1. The indexed worklist GYO (acyclic::GyoReduce) beats the seed's
+//     quadratic scan (acyclic::GyoReduceNaive) by >= 10x on generated
+//     acyclic hypergraphs with >= 5,000 edges, and scales near-linearly.
+//  2. The beta/gamma deciders handle the generator families (alpha-not-beta,
+//     beta-not-gamma, gamma-not-Berge, Berge trees) at thousands of atoms
+//     in milliseconds, and Classify() places each family exactly.
+//
+// Self-timed (no google-benchmark dependency); pass --json to emit
+// BENCH_acyclic_hierarchy.json via bench_util's JsonReport.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "acyclic/classify.h"
+#include "acyclic/gyo.h"
+#include "bench_util.h"
+#include "core/hypergraph.h"
+#include "gen/generators.h"
+
+namespace semacyc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+acyclic::Hypergraph HgOfQuery(const ConjunctiveQuery& q) {
+  return ToAcyclicHypergraph(
+      Hypergraph::FromAtoms(q.body(), ConnectingTerms::kVariables));
+}
+
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    fn();
+    double ms = MillisSince(start);
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void GyoShowdown(bench::JsonReport* report) {
+  bench::Banner(
+      "E1 - indexed GYO engine vs seed quadratic GYO",
+      "ear removal is near-linear with incidence indexing; the seed "
+      "rescans all edges per ear (O(m^2 a))");
+  bench::Table table({"edges", "naive ms", "engine ms", "speedup", "agree"});
+  Generator gen(7);
+  for (int m : {1000, 2000, 5000, 10000, 20000}) {
+    ConjunctiveQuery q = gen.RandomAcyclicQuery(m, 3, 8);
+    acyclic::Hypergraph hg = HgOfQuery(q);
+    bool fast_acyclic = false;
+    bool naive_acyclic = false;
+    // One rep for the quadratic baseline (seconds at 20k), three for the
+    // engine (sub-ms timings jitter).
+    double naive_ms =
+        TimeMs(1, [&] { naive_acyclic = acyclic::GyoReduceNaive(hg).acyclic; });
+    double fast_ms =
+        TimeMs(3, [&] { fast_acyclic = acyclic::GyoReduce(hg).acyclic; });
+    double speedup = naive_ms / fast_ms;
+    bool agree = fast_acyclic && naive_acyclic;
+    table.AddRow({std::to_string(m), std::to_string(naive_ms),
+                  std::to_string(fast_ms), std::to_string(speedup),
+                  agree ? "yes" : "NO"});
+    report->AddRow("gyo",
+                   {{"edges", bench::JsonReport::Num(m)},
+                    {"naive_ms", bench::JsonReport::Num(naive_ms)},
+                    {"engine_ms", bench::JsonReport::Num(fast_ms)},
+                    {"speedup", bench::JsonReport::Num(speedup)},
+                    {"agree", agree ? "true" : "false"}});
+    if (m >= 5000 && speedup < 10.0) {
+      std::printf("*** speedup target missed at m=%d: %.1fx < 10x\n", m,
+                  speedup);
+    }
+  }
+  table.Print();
+}
+
+void HierarchyDeciders(bench::JsonReport* report) {
+  bench::Banner(
+      "E2 - beta/gamma deciders across the generator families",
+      "each family classifies exactly at its stratum; deciders stay in "
+      "milliseconds at thousands of atoms");
+  bench::Table table(
+      {"family", "atoms", "class", "gyo ms", "beta ms", "gamma ms"});
+  Generator gen(11);
+  struct Family {
+    std::string name;
+    ConjunctiveQuery q;
+    const char* expected;
+  };
+  for (int scale : {250, 1250}) {
+    std::vector<Family> families = {
+        {"alpha-not-beta", gen.AlphaNotBetaQuery(scale), "alpha"},
+        {"beta-not-gamma", gen.BetaNotGammaQuery(scale), "beta"},
+        {"gamma-not-berge", gen.GammaNotBergeQuery(scale), "gamma"},
+        {"berge-tree", gen.BergeTreeQuery(4 * scale), "berge"},
+    };
+    for (const Family& f : families) {
+      acyclic::Hypergraph hg = HgOfQuery(f.q);
+      double gyo_ms = TimeMs(3, [&] { acyclic::GyoReduce(hg); });
+      double beta_ms = TimeMs(3, [&] { acyclic::DecideBeta(hg); });
+      double gamma_ms = TimeMs(3, [&] { acyclic::DecideGamma(hg); });
+      const char* cls = acyclic::ToString(acyclic::Classify(hg).cls);
+      table.AddRow({f.name, std::to_string(hg.NumEdges()), cls,
+                    std::to_string(gyo_ms), std::to_string(beta_ms),
+                    std::to_string(gamma_ms)});
+      report->AddRow("deciders",
+                     {{"family", bench::JsonReport::Str(f.name)},
+                      {"atoms", bench::JsonReport::Num(
+                                    static_cast<double>(hg.NumEdges()))},
+                      {"class", bench::JsonReport::Str(cls)},
+                      {"expected", bench::JsonReport::Str(f.expected)},
+                      {"gyo_ms", bench::JsonReport::Num(gyo_ms)},
+                      {"beta_ms", bench::JsonReport::Num(beta_ms)},
+                      {"gamma_ms", bench::JsonReport::Num(gamma_ms)}});
+      if (std::string(cls) != f.expected) {
+        std::printf("*** family %s misclassified: %s (expected %s)\n",
+                    f.name.c_str(), cls, f.expected);
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace semacyc
+
+int main(int argc, char** argv) {
+  semacyc::bench::JsonReport report(argc, argv, "acyclic_hierarchy");
+  semacyc::GyoShowdown(&report);
+  semacyc::HierarchyDeciders(&report);
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "acyclic/beta.h"
+
+#include <algorithm>
+
+#include "acyclic/internal.h"
+
+namespace semacyc::acyclic {
+
+namespace {
+
+using internal::IsSubsetSorted;
+
+/// Shared state for elimination and certificate replay.
+struct BetaState {
+  std::vector<std::vector<int>> set;         // shrinking sorted edge sets
+  std::vector<std::vector<int>> incidence;   // static edge lists per vertex
+  std::vector<char> present;
+  int remaining = 0;
+
+  explicit BetaState(const Hypergraph& hg)
+      : set(hg.edges),
+        incidence(BuildIncidence(hg)),
+        present(static_cast<size_t>(hg.num_vertices), 0) {
+    for (const auto& e : hg.edges) {
+      for (int v : e) {
+        if (!present[static_cast<size_t>(v)]) {
+          present[static_cast<size_t>(v)] = 1;
+          ++remaining;
+        }
+      }
+    }
+  }
+
+  /// v is a nest point iff its incident (non-empty membership) edges form a
+  /// chain under inclusion: sorted by size, consecutive containment.
+  bool IsNestPoint(int v) const {
+    std::vector<const std::vector<int>*> inc;
+    for (int e : incidence[static_cast<size_t>(v)]) {
+      const std::vector<int>& s = set[static_cast<size_t>(e)];
+      if (std::binary_search(s.begin(), s.end(), v)) inc.push_back(&s);
+    }
+    std::sort(inc.begin(), inc.end(),
+              [](const std::vector<int>* a, const std::vector<int>* b) {
+                return a->size() < b->size();
+              });
+    for (size_t i = 0; i + 1 < inc.size(); ++i) {
+      if (!IsSubsetSorted(*inc[i], *inc[i + 1])) return false;
+    }
+    return true;
+  }
+
+  /// Removes v from every edge; returns the vertices of the edges that
+  /// shrank (the only candidates whose nest-point status may have changed).
+  std::vector<int> Eliminate(int v) {
+    std::vector<int> affected;
+    for (int e : incidence[static_cast<size_t>(v)]) {
+      std::vector<int>& s = set[static_cast<size_t>(e)];
+      auto it = std::lower_bound(s.begin(), s.end(), v);
+      if (it == s.end() || *it != v) continue;
+      s.erase(it);
+      affected.insert(affected.end(), s.begin(), s.end());
+    }
+    present[static_cast<size_t>(v)] = 0;
+    --remaining;
+    return affected;
+  }
+};
+
+}  // namespace
+
+BetaResult DecideBeta(const Hypergraph& hg) {
+  BetaResult result;
+  BetaState st(hg);
+
+  std::vector<char> queued(static_cast<size_t>(hg.num_vertices), 0);
+  std::vector<int> queue;
+  auto push = [&](int v) {
+    if (st.present[static_cast<size_t>(v)] && !queued[static_cast<size_t>(v)]) {
+      queued[static_cast<size_t>(v)] = 1;
+      queue.push_back(v);
+    }
+  };
+  for (int v = 0; v < hg.num_vertices; ++v) push(v);
+
+  size_t head = 0;
+  while (head < queue.size()) {
+    int v = queue[head++];
+    queued[static_cast<size_t>(v)] = 0;
+    if (!st.present[static_cast<size_t>(v)] || !st.IsNestPoint(v)) continue;
+    result.elimination_order.push_back(v);
+    for (int u : st.Eliminate(v)) push(u);
+  }
+
+  result.beta_acyclic = (st.remaining == 0);
+  return result;
+}
+
+bool ValidateBetaOrder(const Hypergraph& hg, const std::vector<int>& order) {
+  BetaState st(hg);
+  for (int v : order) {
+    if (v < 0 || v >= hg.num_vertices) return false;
+    if (!st.present[static_cast<size_t>(v)]) return false;
+    if (!st.IsNestPoint(v)) return false;
+    st.Eliminate(v);
+  }
+  return st.remaining == 0;
+}
+
+}  // namespace semacyc::acyclic

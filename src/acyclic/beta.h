@@ -1,0 +1,36 @@
+#ifndef SEMACYC_ACYCLIC_BETA_H_
+#define SEMACYC_ACYCLIC_BETA_H_
+
+#include <vector>
+
+#include "acyclic/hypergraph.h"
+
+namespace semacyc::acyclic {
+
+/// Result of the β-acyclicity decision.
+///
+/// A hypergraph is β-acyclic iff every subhypergraph (subset of its edges)
+/// is α-acyclic; equivalently (Brault-Baron, arXiv:1403.7076) iff repeatedly
+/// deleting *nest points* — vertices whose incident edges form a chain under
+/// inclusion — eliminates every vertex. The elimination order is the
+/// certificate: replaying it and re-checking the chain condition at each
+/// step verifies the answer.
+struct BetaResult {
+  bool beta_acyclic = false;
+  /// Nest points in the order they were eliminated. Covers every occurring
+  /// vertex iff beta_acyclic.
+  std::vector<int> elimination_order;
+};
+
+/// Worklist nest-point elimination. A vertex is re-examined only when an
+/// edge containing it shrinks (the only event that can create a nest point).
+BetaResult DecideBeta(const Hypergraph& hg);
+
+/// Replays `order` against `hg` and checks that each entry was a nest point
+/// at its turn and that every occurring vertex is covered. Used to validate
+/// certificates in tests.
+bool ValidateBetaOrder(const Hypergraph& hg, const std::vector<int>& order);
+
+}  // namespace semacyc::acyclic
+
+#endif  // SEMACYC_ACYCLIC_BETA_H_

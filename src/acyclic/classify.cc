@@ -1,0 +1,85 @@
+#include "acyclic/classify.h"
+
+#include <numeric>
+
+namespace semacyc::acyclic {
+
+const char* ToString(AcyclicityClass c) {
+  switch (c) {
+    case AcyclicityClass::kCyclic:
+      return "cyclic";
+    case AcyclicityClass::kAlpha:
+      return "alpha";
+    case AcyclicityClass::kBeta:
+      return "beta";
+    case AcyclicityClass::kGamma:
+      return "gamma";
+    case AcyclicityClass::kBerge:
+      return "berge";
+  }
+  return "?";
+}
+
+bool IsBergeAcyclic(const Hypergraph& hg) {
+  // Union-find over vertices ∪ edges; an incidence closing a cycle in the
+  // bipartite incidence graph is a Berge cycle.
+  const size_t n = static_cast<size_t>(hg.num_vertices);
+  std::vector<int> parent(n + hg.edges.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<int> find_stack;
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      find_stack.push_back(x);
+      x = parent[static_cast<size_t>(x)];
+    }
+    for (int y : find_stack) parent[static_cast<size_t>(y)] = x;
+    find_stack.clear();
+    return x;
+  };
+  for (size_t e = 0; e < hg.edges.size(); ++e) {
+    int edge_node = static_cast<int>(n + e);
+    for (int v : hg.edges[e]) {
+      int rv = find(v);
+      int re = find(edge_node);
+      if (rv == re) return false;
+      parent[static_cast<size_t>(rv)] = re;
+    }
+  }
+  return true;
+}
+
+Classification Classify(const Hypergraph& hg) {
+  Classification out;
+  out.gyo = GyoReduce(hg);
+  if (!out.gyo.acyclic) return out;
+  out.cls = AcyclicityClass::kAlpha;
+
+  out.beta = DecideBeta(hg);
+  if (!out.beta.beta_acyclic) return out;
+  out.cls = AcyclicityClass::kBeta;
+
+  out.gamma = DecideGamma(hg);
+  if (!out.gamma.gamma_acyclic) return out;
+  out.cls = AcyclicityClass::kGamma;
+
+  if (IsBergeAcyclic(hg)) out.cls = AcyclicityClass::kBerge;
+  return out;
+}
+
+bool Meets(const Hypergraph& hg, AcyclicityClass target) {
+  switch (target) {
+    case AcyclicityClass::kCyclic:
+      return true;
+    case AcyclicityClass::kAlpha:
+      return GyoReduce(hg).acyclic;
+    case AcyclicityClass::kBeta:
+      return DecideBeta(hg).beta_acyclic;
+    case AcyclicityClass::kGamma:
+      return DecideGamma(hg).gamma_acyclic;
+    case AcyclicityClass::kBerge:
+      return IsBergeAcyclic(hg);
+  }
+  return false;
+}
+
+}  // namespace semacyc::acyclic

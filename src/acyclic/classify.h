@@ -1,0 +1,56 @@
+#ifndef SEMACYC_ACYCLIC_CLASSIFY_H_
+#define SEMACYC_ACYCLIC_CLASSIFY_H_
+
+#include "acyclic/beta.h"
+#include "acyclic/gamma.h"
+#include "acyclic/gyo.h"
+#include "acyclic/hypergraph.h"
+
+namespace semacyc::acyclic {
+
+/// The acyclicity hierarchy, strictly nested (Fagin; Brault-Baron):
+/// Berge-acyclic ⊊ γ-acyclic ⊊ β-acyclic ⊊ α-acyclic. Larger enum values
+/// are stricter (tighter) classes.
+enum class AcyclicityClass {
+  kCyclic = 0,
+  kAlpha = 1,
+  kBeta = 2,
+  kGamma = 3,
+  kBerge = 4,
+};
+
+const char* ToString(AcyclicityClass c);
+
+/// True iff `have` is at least as strict as `want` (e.g. a Berge-acyclic
+/// hypergraph satisfies every target class).
+inline bool AtLeast(AcyclicityClass have, AcyclicityClass want) {
+  return static_cast<int>(have) >= static_cast<int>(want);
+}
+
+/// The tightest class of a hypergraph plus the per-class certificates that
+/// were computed on the way (valid up to `cls`).
+struct Classification {
+  AcyclicityClass cls = AcyclicityClass::kCyclic;
+  /// Always populated: the GYO join forest / ear order (acyclic iff
+  /// cls >= kAlpha).
+  GyoResult gyo;
+  /// Populated when cls >= kBeta: the nest-point elimination order.
+  BetaResult beta;
+  /// Populated when cls >= kGamma: the reduction trace.
+  GammaResult gamma;
+};
+
+/// Runs the deciders bottom-up with early exit: GYO first (cyclic inputs
+/// never reach the stricter deciders), then β, γ, Berge.
+Classification Classify(const Hypergraph& hg);
+
+/// Berge acyclicity: the bipartite incidence graph is a forest (a cycle
+/// there is exactly a Berge cycle). Linear time via union-find.
+bool IsBergeAcyclic(const Hypergraph& hg);
+
+/// Convenience: does `hg` meet `target`? Runs only the deciders needed.
+bool Meets(const Hypergraph& hg, AcyclicityClass target);
+
+}  // namespace semacyc::acyclic
+
+#endif  // SEMACYC_ACYCLIC_CLASSIFY_H_

@@ -1,0 +1,219 @@
+#include "acyclic/gyo.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "acyclic/internal.h"
+
+namespace semacyc::acyclic {
+
+using internal::HashInts;
+using internal::IsSubsetSorted;
+
+GyoResult GyoReduce(const Hypergraph& hg) {
+  const int m = static_cast<int>(hg.edges.size());
+  GyoResult result;
+  result.parent.assign(static_cast<size_t>(m), -1);
+  if (m == 0) {
+    result.acyclic = true;
+    return result;
+  }
+
+  // Working state: shrinking sorted edge sets, alive flags, per-vertex
+  // degrees and (lazily compacted) incidence lists.
+  std::vector<std::vector<int>> set(hg.edges);
+  std::vector<char> alive(static_cast<size_t>(m), 1);
+  std::vector<int> deg(static_cast<size_t>(hg.num_vertices), 0);
+  std::vector<std::vector<int>> incidence = BuildIncidence(hg);
+  for (int e = 0; e < m; ++e) {
+    for (int v : set[static_cast<size_t>(e)]) ++deg[static_cast<size_t>(v)];
+  }
+  int alive_count = m;
+
+  auto kill = [&](int e, int witness) {
+    alive[static_cast<size_t>(e)] = 0;
+    result.parent[static_cast<size_t>(e)] = witness;
+    result.elimination_order.push_back(e);
+    --alive_count;
+  };
+
+  // Phase 1: fold exact-duplicate edges into a representative (a duplicate
+  // is trivially an ear of its twin). Buckets by hash, verified by compare.
+  {
+    std::unordered_map<uint64_t, std::vector<int>> buckets;
+    buckets.reserve(static_cast<size_t>(m) * 2);
+    for (int e = 0; e < m && alive_count > 1; ++e) {
+      std::vector<int>& reps = buckets[HashInts(set[static_cast<size_t>(e)])];
+      int rep = -1;
+      for (int r : reps) {
+        if (set[static_cast<size_t>(r)] == set[static_cast<size_t>(e)]) {
+          rep = r;
+          break;
+        }
+      }
+      if (rep < 0) {
+        reps.push_back(e);
+        continue;
+      }
+      kill(e, rep);
+      for (int v : set[static_cast<size_t>(e)]) --deg[static_cast<size_t>(v)];
+    }
+  }
+
+  // Phase 2: worklist ear removal. An edge is (re)examined when pushed;
+  // the only event that can turn a non-ear into an ear is one of its
+  // vertices dropping to degree 1, so that is the only re-queue trigger.
+  std::vector<char> queued(static_cast<size_t>(m), 0);
+  std::vector<int> queue;
+  queue.reserve(static_cast<size_t>(m));
+  auto push = [&](int e) {
+    if (alive[static_cast<size_t>(e)] && !queued[static_cast<size_t>(e)]) {
+      queued[static_cast<size_t>(e)] = 1;
+      queue.push_back(e);
+    }
+  };
+  for (int e = 0; e < m; ++e) push(e);
+
+  // Queues the unique alive edge still containing v (called when deg[v]
+  // drops to 1), compacting dead incidence entries along the way.
+  auto push_lone_edge_of = [&](int v) {
+    std::vector<int>& inc = incidence[static_cast<size_t>(v)];
+    size_t out = 0;
+    for (int f : inc) {
+      if (alive[static_cast<size_t>(f)]) inc[out++] = f;
+    }
+    inc.resize(out);
+    for (int f : inc) push(f);
+  };
+
+  size_t head = 0;
+  while (head < queue.size() && alive_count > 1) {
+    int e = queue[head++];
+    queued[static_cast<size_t>(e)] = 0;
+    if (!alive[static_cast<size_t>(e)]) continue;
+    std::vector<int>& s = set[static_cast<size_t>(e)];
+
+    // Prune vertices exclusive to e: they cannot block an ear removal.
+    size_t out = 0;
+    for (int v : s) {
+      if (deg[static_cast<size_t>(v)] >= 2) {
+        s[out++] = v;
+      } else {
+        deg[static_cast<size_t>(v)] = 0;
+      }
+    }
+    s.resize(out);
+
+    if (s.empty()) {
+      // e shares nothing with any alive edge: it is the last edge of its
+      // component, removable as a forest root.
+      kill(e, -1);
+      continue;
+    }
+
+    // Candidate containers must include e's minimum-degree shared vertex.
+    int best_v = s[0];
+    for (int v : s) {
+      if (deg[static_cast<size_t>(v)] < deg[static_cast<size_t>(best_v)]) {
+        best_v = v;
+      }
+    }
+    int witness = -1;
+    {
+      std::vector<int>& inc = incidence[static_cast<size_t>(best_v)];
+      size_t keep = 0;
+      for (size_t i = 0; i < inc.size(); ++i) {
+        int f = inc[i];
+        if (!alive[static_cast<size_t>(f)]) continue;  // compact dead entry
+        inc[keep++] = f;
+        if (f != e && witness < 0 &&
+            IsSubsetSorted(s, set[static_cast<size_t>(f)])) {
+          witness = f;
+          // Finish compacting the tail without further subset checks.
+        }
+      }
+      inc.resize(keep);
+    }
+    if (witness < 0) continue;  // not an ear (yet)
+
+    kill(e, witness);
+    for (int v : s) {
+      if (--deg[static_cast<size_t>(v)] == 1) push_lone_edge_of(v);
+    }
+  }
+
+  result.acyclic = (alive_count <= 1);
+  if (result.acyclic) {
+    for (int e = 0; e < m; ++e) {
+      if (alive[static_cast<size_t>(e)]) result.elimination_order.push_back(e);
+    }
+  }
+  return result;
+}
+
+GyoResult GyoReduceNaive(const Hypergraph& hg) {
+  const int m = static_cast<int>(hg.edges.size());
+  GyoResult result;
+  result.parent.assign(static_cast<size_t>(m), -1);
+  if (m == 0) {
+    result.acyclic = true;
+    return result;
+  }
+
+  std::vector<bool> removed(static_cast<size_t>(m), false);
+  std::vector<int> deg(static_cast<size_t>(hg.num_vertices), 0);
+  for (const auto& edge : hg.edges) {
+    for (int v : edge) ++deg[static_cast<size_t>(v)];
+  }
+
+  int remaining = m;
+  bool progress = true;
+  while (progress && remaining > 1) {
+    progress = false;
+    for (int e = 0; e < m && remaining > 1; ++e) {
+      if (removed[static_cast<size_t>(e)]) continue;
+      std::vector<int> shared;
+      for (int v : hg.edges[static_cast<size_t>(e)]) {
+        if (deg[static_cast<size_t>(v)] >= 2) shared.push_back(v);
+      }
+      int witness = -1;
+      for (int f = 0; f < m; ++f) {
+        if (f == e || removed[static_cast<size_t>(f)]) continue;
+        bool contains_all = true;
+        for (int v : shared) {
+          if (!std::binary_search(hg.edges[static_cast<size_t>(f)].begin(),
+                                  hg.edges[static_cast<size_t>(f)].end(), v)) {
+            contains_all = false;
+            break;
+          }
+        }
+        if (contains_all) {
+          witness = f;
+          break;
+        }
+      }
+      if (witness < 0) continue;
+      removed[static_cast<size_t>(e)] = true;
+      result.parent[static_cast<size_t>(e)] = witness;
+      result.elimination_order.push_back(e);
+      for (int v : hg.edges[static_cast<size_t>(e)]) {
+        --deg[static_cast<size_t>(v)];
+      }
+      --remaining;
+      progress = true;
+    }
+  }
+
+  result.acyclic = (remaining <= 1);
+  if (result.acyclic) {
+    for (int e = 0; e < m; ++e) {
+      if (!removed[static_cast<size_t>(e)]) {
+        result.elimination_order.push_back(e);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace semacyc::acyclic

@@ -1,0 +1,36 @@
+#ifndef SEMACYC_ACYCLIC_GYO_H_
+#define SEMACYC_ACYCLIC_GYO_H_
+
+#include <vector>
+
+#include "acyclic/hypergraph.h"
+
+namespace semacyc::acyclic {
+
+/// Result of the GYO (Graham / Yu–Özsoyoğlu) ear-removal reduction.
+struct GyoResult {
+  bool acyclic = false;
+  /// A join forest over edge indices: parent[e] is the witness edge e was
+  /// folded into, or -1 for roots. Distinct connected components end up as
+  /// sibling roots (they share no vertices, so chaining the roots preserves
+  /// the running-intersection property).
+  std::vector<int> parent;
+  /// Edge indices in removal order. On acyclic inputs this covers every
+  /// edge (survivors appended last); on cyclic inputs only the removed
+  /// ears appear.
+  std::vector<int> elimination_order;
+};
+
+/// Indexed worklist GYO: per-vertex edge incidence, exact-duplicate edges
+/// folded up front via hashing, ears located through their minimum-degree
+/// vertex. Near-linear on the acyclic hypergraphs the semac pipeline
+/// produces, versus O(m²·a) per pass for GyoReduceNaive.
+GyoResult GyoReduce(const Hypergraph& hg);
+
+/// The seed implementation (quadratic scan for an ear witness, repeated
+/// until fixpoint). Kept as the reference oracle and the bench baseline.
+GyoResult GyoReduceNaive(const Hypergraph& hg);
+
+}  // namespace semacyc::acyclic
+
+#endif  // SEMACYC_ACYCLIC_GYO_H_

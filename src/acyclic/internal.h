@@ -1,0 +1,44 @@
+#ifndef SEMACYC_ACYCLIC_INTERNAL_H_
+#define SEMACYC_ACYCLIC_INTERNAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+/// Helpers shared by the engine's translation units. Not part of the
+/// subsystem's public surface.
+namespace semacyc::acyclic::internal {
+
+/// True iff sorted `a` ⊆ sorted `b`. Galloping lower_bound keeps the check
+/// cheap when |a| << |b|.
+inline bool IsSubsetSorted(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  if (a.size() > b.size()) return false;
+  size_t j = 0;
+  for (int x : a) {
+    auto it = std::lower_bound(b.begin() + static_cast<long>(j), b.end(), x);
+    if (it == b.end() || *it != x) return false;
+    j = static_cast<size_t>(it - b.begin()) + 1;
+  }
+  return true;
+}
+
+/// Order-sensitive splitmix64-style hash of an int sequence (used to bucket
+/// sorted edge sets and incidence signatures).
+inline uint64_t HashInts(const std::vector<int>& xs) {
+  uint64_t h = 0x9e3779b97f4a7c15ull + xs.size();
+  for (int v : xs) {
+    uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull + h;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    h = x;
+  }
+  return h;
+}
+
+}  // namespace semacyc::acyclic::internal
+
+#endif  // SEMACYC_ACYCLIC_INTERNAL_H_

@@ -1,0 +1,118 @@
+#include "acyclic/oracle.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "acyclic/gyo.h"
+
+namespace semacyc::acyclic {
+
+namespace {
+
+bool Contains(const std::vector<int>& sorted, int v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+/// Searches for a cycle (S1,x1,...,Sm,xm,S1) over distinct edges and
+/// distinct vertices with xi ∈ Si ∩ Si+1. With `gamma_rules`, additionally
+/// requires xi ∉ Sj for every other cycle edge, for all i < m (the final
+/// vertex is exempt — exactly Fagin's γ-cycle); without, any such closed
+/// chain of length ≥ 2 counts (a Berge cycle).
+struct CycleSearch {
+  const Hypergraph& hg;
+  bool gamma_rules;
+  std::vector<int> edge_seq;
+  std::vector<int> vert_seq;
+  std::vector<char> edge_used;
+  std::vector<char> vert_used;
+
+  explicit CycleSearch(const Hypergraph& h, bool gamma)
+      : hg(h),
+        gamma_rules(gamma),
+        edge_used(h.edges.size(), 0),
+        vert_used(static_cast<size_t>(h.num_vertices), 0) {}
+
+  /// The membership-exclusion condition for vertex x at position i
+  /// (0-based) in a cycle of final length `m`: x may touch only its two
+  /// neighbouring cycle edges. The last vertex (i == m-1) is exempt.
+  bool VertexAdmissible(int x, size_t i, size_t m) const {
+    if (!gamma_rules || i + 1 == m) return true;
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i || j == i + 1) continue;
+      if (Contains(hg.edges[static_cast<size_t>(edge_seq[j])], x)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// With the edge sequence fixed, assigns distinct vertices x0..x{m-1}.
+  bool AssignVertices(size_t i) {
+    const size_t m = edge_seq.size();
+    if (i == m) return true;
+    const auto& cur = hg.edges[static_cast<size_t>(edge_seq[i])];
+    const auto& nxt = hg.edges[static_cast<size_t>(edge_seq[(i + 1) % m])];
+    for (int x : cur) {
+      if (vert_used[static_cast<size_t>(x)] || !Contains(nxt, x)) continue;
+      if (!VertexAdmissible(x, i, m)) continue;
+      vert_used[static_cast<size_t>(x)] = 1;
+      if (AssignVertices(i + 1)) return true;
+      vert_used[static_cast<size_t>(x)] = 0;
+    }
+    return false;
+  }
+
+  bool ExtendEdges(size_t min_len) {
+    if (edge_seq.size() >= min_len && AssignVertices(0)) return true;
+    if (edge_seq.size() == hg.edges.size()) return false;
+    for (size_t e = 0; e < hg.edges.size(); ++e) {
+      if (edge_used[e]) continue;
+      edge_used[e] = 1;
+      edge_seq.push_back(static_cast<int>(e));
+      if (ExtendEdges(min_len)) return true;
+      edge_seq.pop_back();
+      edge_used[e] = 0;
+    }
+    return false;
+  }
+
+  bool HasCycle(size_t min_len) { return ExtendEdges(min_len); }
+};
+
+}  // namespace
+
+bool OracleAlpha(const Hypergraph& hg) { return GyoReduceNaive(hg).acyclic; }
+
+bool OracleBeta(const Hypergraph& hg) {
+  // β ⟺ every edge subset is α-acyclic. Exponential sweep.
+  const size_t m = hg.edges.size();
+  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    Hypergraph sub;
+    sub.num_vertices = hg.num_vertices;
+    for (size_t e = 0; e < m; ++e) {
+      if (mask & (1ull << e)) sub.edges.push_back(hg.edges[e]);
+    }
+    if (!GyoReduceNaive(sub).acyclic) return false;
+  }
+  return true;
+}
+
+bool OracleGamma(const Hypergraph& hg) {
+  CycleSearch search(hg, /*gamma_rules=*/true);
+  return !search.HasCycle(/*min_len=*/3);
+}
+
+bool OracleBerge(const Hypergraph& hg) {
+  CycleSearch search(hg, /*gamma_rules=*/false);
+  return !search.HasCycle(/*min_len=*/2);
+}
+
+AcyclicityClass OracleClassify(const Hypergraph& hg) {
+  if (!OracleAlpha(hg)) return AcyclicityClass::kCyclic;
+  if (!OracleBeta(hg)) return AcyclicityClass::kAlpha;
+  if (!OracleGamma(hg)) return AcyclicityClass::kBeta;
+  if (!OracleBerge(hg)) return AcyclicityClass::kGamma;
+  return AcyclicityClass::kBerge;
+}
+
+}  // namespace semacyc::acyclic

@@ -1,0 +1,33 @@
+#ifndef SEMACYC_ACYCLIC_ORACLE_H_
+#define SEMACYC_ACYCLIC_ORACLE_H_
+
+#include "acyclic/classify.h"
+#include "acyclic/hypergraph.h"
+
+namespace semacyc::acyclic {
+
+/// Brute-force deciders implementing the *definitions* directly, as
+/// independent cross-checks for the fast engines. Exponential — intended
+/// for hypergraphs with a handful of edges (the tests sweep every
+/// hypergraph with ≤ 4 edges).
+///
+/// Definitions (Fagin, "Degrees of acyclicity", JACM 1983):
+///  * α: GYO reduces the hypergraph to at most one edge (naive engine).
+///  * β: every subset of the edges forms an α-acyclic hypergraph.
+///  * γ: there is no γ-cycle (S1,x1,...,Sm,xm,S1), m ≥ 3, with distinct
+///    edges Si and distinct vertices xi, xi ∈ Si ∩ Si+1, and — for every
+///    i < m, the last vertex being exempt — xi in no other edge of the
+///    cycle.
+///  * Berge: no Berge cycle (the same shape with m ≥ 2 and no
+///    membership-exclusion condition).
+bool OracleAlpha(const Hypergraph& hg);
+bool OracleBeta(const Hypergraph& hg);
+bool OracleGamma(const Hypergraph& hg);
+bool OracleBerge(const Hypergraph& hg);
+
+/// The tightest class according to the brute-force deciders.
+AcyclicityClass OracleClassify(const Hypergraph& hg);
+
+}  // namespace semacyc::acyclic
+
+#endif  // SEMACYC_ACYCLIC_ORACLE_H_

@@ -1,8 +1,6 @@
 #include "core/hypergraph.h"
 
-#include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace semacyc {
 
@@ -32,67 +30,43 @@ Hypergraph Hypergraph::FromAtoms(const std::vector<Atom>& atoms,
   return hg;
 }
 
-GyoResult RunGyo(const Hypergraph& hg) {
-  const int m = static_cast<int>(hg.edges.size());
-  GyoResult result;
-  result.parent.assign(m, -1);
-  if (m == 0) {
-    result.acyclic = true;
-    return result;
-  }
-
-  std::vector<bool> removed(m, false);
-  // Per-vertex count of remaining edges containing it.
-  std::unordered_map<Term, int> vertex_count;
+acyclic::Hypergraph ToAcyclicHypergraph(const Hypergraph& hg) {
+  acyclic::Hypergraph out;
+  std::unordered_map<Term, int, TermHash> vertex_of;
+  vertex_of.reserve(hg.edges.size() * 2);
   for (const auto& edge : hg.edges) {
-    for (Term v : edge) ++vertex_count[v];
-  }
-
-  int remaining = m;
-  bool progress = true;
-  while (progress && remaining > 1) {
-    progress = false;
-    for (int e = 0; e < m && remaining > 1; ++e) {
-      if (removed[e]) continue;
-      // Vertices of e shared with some other remaining edge.
-      std::vector<Term> shared;
-      for (Term v : hg.edges[e]) {
-        if (vertex_count[v] >= 2) shared.push_back(v);
-      }
-      // Find a witness edge f != e whose vertex set contains `shared`.
-      int witness = -1;
-      for (int f = 0; f < m; ++f) {
-        if (f == e || removed[f]) continue;
-        bool contains_all = true;
-        for (Term v : shared) {
-          if (std::find(hg.edges[f].begin(), hg.edges[f].end(), v) ==
-              hg.edges[f].end()) {
-            contains_all = false;
-            break;
-          }
-        }
-        if (contains_all) {
-          witness = f;
-          break;
-        }
-      }
-      if (witness < 0) continue;
-      removed[e] = true;
-      result.parent[e] = witness;
-      result.elimination_order.push_back(e);
-      for (Term v : hg.edges[e]) --vertex_count[v];
-      --remaining;
-      progress = true;
+    std::vector<int> verts;
+    verts.reserve(edge.size());
+    for (Term t : edge) {
+      verts.push_back(
+          vertex_of.emplace(t, static_cast<int>(vertex_of.size()))
+              .first->second);
     }
+    out.AddEdge(std::move(verts));
   }
+  out.num_vertices = static_cast<int>(vertex_of.size());
+  return out;
+}
 
-  result.acyclic = (remaining <= 1);
-  if (result.acyclic) {
-    for (int e = 0; e < m; ++e) {
-      if (!removed[e]) result.elimination_order.push_back(e);
-    }
-  }
-  return result;
+GyoResult RunGyo(const Hypergraph& hg) {
+  return acyclic::GyoReduce(ToAcyclicHypergraph(hg));
+}
+
+acyclic::Classification ClassifyAtoms(const std::vector<Atom>& atoms,
+                                      ConnectingTerms connecting) {
+  return acyclic::Classify(
+      ToAcyclicHypergraph(Hypergraph::FromAtoms(atoms, connecting)));
+}
+
+acyclic::Classification ClassifyQuery(const ConjunctiveQuery& q) {
+  return ClassifyAtoms(q.body(), ConnectingTerms::kVariables);
+}
+
+bool MeetsAcyclicityClass(const std::vector<Atom>& atoms,
+                          ConnectingTerms connecting,
+                          acyclic::AcyclicityClass target) {
+  return acyclic::Meets(
+      ToAcyclicHypergraph(Hypergraph::FromAtoms(atoms, connecting)), target);
 }
 
 bool IsAcyclic(const std::vector<Atom>& atoms, ConnectingTerms connecting) {
@@ -111,22 +85,25 @@ bool IsAcyclicChase(const Instance& instance) {
   return IsAcyclic(instance.atoms(), ConnectingTerms::kAllTerms);
 }
 
+JoinTree JoinTreeFromForest(const std::vector<Atom>& atoms,
+                            std::vector<int> parent) {
+  int first_root = -1;
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] != -1) continue;
+    if (first_root == -1) {
+      first_root = static_cast<int>(i);
+    } else {
+      parent[i] = first_root;
+    }
+  }
+  return JoinTree(atoms, std::move(parent));
+}
+
 std::optional<JoinTree> BuildJoinTree(const std::vector<Atom>& atoms,
                                       ConnectingTerms connecting) {
   GyoResult gyo = RunGyo(Hypergraph::FromAtoms(atoms, connecting));
   if (!gyo.acyclic) return std::nullopt;
-  // Link forest roots into a single chain (components share no connecting
-  // terms, so this preserves the running-intersection property).
-  int first_root = -1;
-  for (size_t i = 0; i < gyo.parent.size(); ++i) {
-    if (gyo.parent[i] != -1) continue;
-    if (first_root == -1) {
-      first_root = static_cast<int>(i);
-    } else {
-      gyo.parent[i] = first_root;
-    }
-  }
-  return JoinTree(atoms, gyo.parent);
+  return JoinTreeFromForest(atoms, std::move(gyo.parent));
 }
 
 }  // namespace semacyc

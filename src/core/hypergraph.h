@@ -1,8 +1,10 @@
 #ifndef SEMACYC_CORE_HYPERGRAPH_H_
 #define SEMACYC_CORE_HYPERGRAPH_H_
 
+#include <optional>
 #include <vector>
 
+#include "acyclic/classify.h"
 #include "core/atom.h"
 #include "core/instance.h"
 #include "core/join_tree.h"
@@ -26,7 +28,9 @@ enum class ConnectingTerms {
 };
 
 /// A hypergraph: one hyperedge (list of distinct connecting vertices) per
-/// atom. Vertices are terms.
+/// atom. Vertices are terms. This is the term-keyed adapter view; all
+/// algorithms live in the acyclic/ engine and run on the interned form
+/// produced by ToAcyclicHypergraph.
 struct Hypergraph {
   std::vector<std::vector<Term>> edges;
 
@@ -34,24 +38,43 @@ struct Hypergraph {
                               ConnectingTerms connecting);
 };
 
-/// Result of the GYO ear-removal reduction.
-struct GyoResult {
-  bool acyclic = false;
-  /// When acyclic: a join forest over atom indices, parent[i] == -1 for
-  /// roots. Roots of distinct connected components are siblings.
-  std::vector<int> parent;
-  /// The order in which ears were removed (last entries removed last).
-  std::vector<int> elimination_order;
-};
+/// Result of the GYO ear-removal reduction (see acyclic/gyo.h). Edge
+/// indices are atom indices; parent[i] == -1 marks forest roots.
+using GyoResult = acyclic::GyoResult;
 
-/// Runs the GYO (Graham / Yu–Özsoyoğlu) reduction; O(m^2 · a) per pass.
+/// Interns the term vertices of `hg` (first-occurrence order) and returns
+/// the engine form. Edge order — and hence atom indices — is preserved.
+acyclic::Hypergraph ToAcyclicHypergraph(const Hypergraph& hg);
+
+/// Runs the GYO reduction via the indexed worklist engine; near-linear on
+/// acyclic inputs (the seed's quadratic scan survives as
+/// acyclic::GyoReduceNaive for benches and oracles).
 GyoResult RunGyo(const Hypergraph& hg);
 
-/// Convenience wrappers.
+/// Classifies the atoms' hypergraph in the acyclicity hierarchy
+/// (cyclic ⊂ α ⊂ β ⊂ γ ⊂ Berge), with certificates.
+acyclic::Classification ClassifyAtoms(const std::vector<Atom>& atoms,
+                                      ConnectingTerms connecting);
+acyclic::Classification ClassifyQuery(const ConjunctiveQuery& q);
+
+/// True iff the atoms' hypergraph lies in `target` or a stricter class.
+/// Runs only the decider for `target`, not the full classification.
+bool MeetsAcyclicityClass(const std::vector<Atom>& atoms,
+                          ConnectingTerms connecting,
+                          acyclic::AcyclicityClass target);
+
+/// Convenience wrappers (α-acyclicity, the paper's default notion).
 bool IsAcyclic(const std::vector<Atom>& atoms, ConnectingTerms connecting);
 bool IsAcyclic(const ConjunctiveQuery& q);                 // kVariables
 bool IsAcyclicInstance(const Instance& instance);          // kNullsOnly
 bool IsAcyclicChase(const Instance& instance);             // kAllTerms
+
+/// Chains the roots of a GYO join forest into a single tree over `atoms`
+/// (distinct components share no connecting terms, so this preserves the
+/// running-intersection property). `parent` must come from a successful
+/// reduction over the same atom order.
+JoinTree JoinTreeFromForest(const std::vector<Atom>& atoms,
+                            std::vector<int> parent);
 
 /// Builds a join tree for an acyclic atom set; returns std::nullopt when the
 /// atoms are cyclic. The tree spans all atoms (forest roots get chained).

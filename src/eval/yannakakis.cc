@@ -100,13 +100,18 @@ void SemiJoin(NodeRelation* target, const NodeRelation& source,
   target->tuples = std::move(kept);
 }
 
+/// Join tree of q's body via the acyclic engine's GYO forest; nullopt when
+/// q is cyclic. Shared by both evaluation paths.
+std::optional<JoinTree> JoinTreeOf(const ConjunctiveQuery& q) {
+  return BuildJoinTree(q.body(), ConnectingTerms::kVariables);
+}
+
 }  // namespace
 
 YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
                                  const Instance& database) {
   YannakakisResult result;
-  std::optional<JoinTree> tree =
-      BuildJoinTree(q.body(), ConnectingTerms::kVariables);
+  std::optional<JoinTree> tree = JoinTreeOf(q);
   if (!tree.has_value()) return result;
   result.ok = true;
 
@@ -246,9 +251,7 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
 
 int EvaluateAcyclicBoolean(const ConjunctiveQuery& q,
                            const Instance& database) {
-  YannakakisResult result;
-  std::optional<JoinTree> tree =
-      BuildJoinTree(q.body(), ConnectingTerms::kVariables);
+  std::optional<JoinTree> tree = JoinTreeOf(q);
   if (!tree.has_value()) return -1;
   if (q.body().empty()) return 1;
 

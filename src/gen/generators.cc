@@ -75,6 +75,64 @@ ConjunctiveQuery Generator::CliqueQuery(int n, const std::string& pred) {
   return ConjunctiveQuery({}, std::move(body));
 }
 
+ConjunctiveQuery Generator::AlphaNotBetaQuery(int gadgets) {
+  Predicate e = Predicate::Get("AnbE", 2);
+  Predicate g = Predicate::Get("AnbG", 3);
+  std::vector<Atom> body;
+  for (int i = 0; i < gadgets; ++i) {
+    Term x = FreshVariable();
+    Term y = FreshVariable();
+    Term z = FreshVariable();
+    body.push_back(Atom(e, {x, y}));
+    body.push_back(Atom(e, {y, z}));
+    body.push_back(Atom(e, {z, x}));
+    body.push_back(Atom(g, {x, y, z}));
+  }
+  return ConjunctiveQuery({}, std::move(body));
+}
+
+ConjunctiveQuery Generator::BetaNotGammaQuery(int gadgets) {
+  Predicate p = Predicate::Get("BngP", 2);
+  Predicate t = Predicate::Get("BngT", 3);
+  std::vector<Atom> body;
+  for (int i = 0; i < gadgets; ++i) {
+    Term x = FreshVariable();
+    Term y = FreshVariable();
+    Term z = FreshVariable();
+    body.push_back(Atom(p, {x, y}));
+    body.push_back(Atom(p, {y, z}));
+    body.push_back(Atom(t, {x, y, z}));
+  }
+  return ConjunctiveQuery({}, std::move(body));
+}
+
+ConjunctiveQuery Generator::GammaNotBergeQuery(int gadgets) {
+  Predicate r = Predicate::Get("GnbR", 3);
+  std::vector<Atom> body;
+  for (int i = 0; i < gadgets; ++i) {
+    Term a = FreshVariable();
+    Term b = FreshVariable();
+    body.push_back(Atom(r, {a, b, FreshVariable()}));
+    body.push_back(Atom(r, {a, b, FreshVariable()}));
+  }
+  return ConjunctiveQuery({}, std::move(body));
+}
+
+ConjunctiveQuery Generator::BergeTreeQuery(int num_atoms,
+                                           const std::string& pred) {
+  Predicate e = Predicate::Get(pred, 2);
+  std::vector<Term> vars = {FreshVariable()};
+  std::vector<Atom> body;
+  for (int i = 0; i < num_atoms; ++i) {
+    Term parent =
+        vars[static_cast<size_t>(Uniform(0, static_cast<int>(vars.size()) - 1))];
+    Term child = FreshVariable();
+    body.push_back(Atom(e, {parent, child}));
+    vars.push_back(child);
+  }
+  return ConjunctiveQuery({}, std::move(body));
+}
+
 Instance Generator::RandomDatabase(const std::vector<Predicate>& predicates,
                                    int num_atoms, int domain_size,
                                    const std::string& const_prefix) {

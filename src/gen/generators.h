@@ -34,6 +34,28 @@ class Generator {
   /// The n-clique query over a binary edge predicate (maximally cyclic).
   ConjunctiveQuery CliqueQuery(int n, const std::string& pred = "E");
 
+  /// Hierarchy families (acyclic/classify.h): Boolean queries whose body
+  /// hypergraphs land *exactly* in a prescribed stratum of the acyclicity
+  /// hierarchy. Each is a disjoint union of `gadgets` copies of a minimal
+  /// separating witness over fresh variables — disjoint unions preserve
+  /// both membership in each class and non-membership (all four cycle
+  /// notions are connected), so the whole family classifies like one
+  /// gadget while scaling to arbitrary size for tests and benches.
+
+  /// α-acyclic but not β: a guarded triangle E(x,y),E(y,z),E(z,x),G(x,y,z)
+  /// per gadget (dropping the guard leaves an α-cyclic triangle).
+  ConjunctiveQuery AlphaNotBetaQuery(int gadgets);
+  /// β-acyclic but not γ: P(x,y),P(y,z),T(x,y,z) per gadget (Fagin's
+  /// minimal γ-cycle).
+  ConjunctiveQuery BetaNotGammaQuery(int gadgets);
+  /// γ-acyclic but not Berge: R(a,b,x),R(a,b,y) per gadget (two edges
+  /// sharing two vertices form a Berge cycle but no γ-cycle).
+  ConjunctiveQuery GammaNotBergeQuery(int gadgets);
+  /// Berge-acyclic (hence γ, β and α): a random tree of `num_atoms` binary
+  /// edges — every new atom links one existing variable to a fresh one, so
+  /// the incidence graph stays a forest.
+  ConjunctiveQuery BergeTreeQuery(int num_atoms, const std::string& pred = "E");
+
   /// A random database over the given predicates: `num_atoms` atoms with
   /// arguments drawn uniformly from `domain_size` constants.
   Instance RandomDatabase(const std::vector<Predicate>& predicates,

@@ -47,27 +47,33 @@ SemAcResult DecideSemanticAcyclicity(const ConjunctiveQuery& q,
                                      const DependencySet& sigma,
                                      const SemAcOptions& options) {
   SemAcResult result;
+  const acyclic::AcyclicityClass target = options.target_class;
   bool bound_justified = false;
   result.small_query_bound = SmallQueryBound(q, sigma, &bound_justified);
 
-  // Strategy 0: q itself is acyclic.
-  if (IsAcyclic(q)) {
+  // Records a witness together with its (tightest) classification.
+  auto accept = [&result](ConjunctiveQuery witness, const char* strategy) {
+    result.witness_class = ClassifyQuery(witness).cls;
     result.answer = SemAcAnswer::kYes;
-    result.witness = q;
-    result.strategy = "already-acyclic";
+    result.witness = std::move(witness);
+    result.strategy = strategy;
     result.exact = true;
+  };
+
+  // Strategy 0: q itself reaches the target class.
+  if (MeetsAcyclicityClass(q.body(), ConnectingTerms::kVariables, target)) {
+    accept(q, "already-acyclic");
     return result;
   }
 
-  // Strategy 1: the core of q is acyclic (complete for Σ = ∅: a CQ is
-  // semantically acyclic in the constraint-free setting iff its core is
-  // acyclic, §1).
+  // Strategy 1: the core of q reaches the target class. Complete for
+  // Σ = ∅ and *every* target: constraint-free equivalence preserves cores
+  // up to isomorphism, and β/γ/Berge-acyclicity are hereditary under atom
+  // removal, so any witness q' ≡ q yields the (isomorphic) core of q as a
+  // witness too. (For α the same completeness is the §1 classical result.)
   ConjunctiveQuery core = ComputeCore(q);
-  if (IsAcyclic(core)) {
-    result.answer = SemAcAnswer::kYes;
-    result.witness = core;
-    result.strategy = "core";
-    result.exact = true;
+  if (MeetsAcyclicityClass(core.body(), ConnectingTerms::kVariables, target)) {
+    accept(core, "core");
     return result;
   }
   if (sigma.size() == 0) {
@@ -96,16 +102,17 @@ SemAcResult DecideSemanticAcyclicity(const ConjunctiveQuery& q,
 
   ContainmentOracle oracle(q, sigma, options.chase, options.rewrite);
 
-  // Strategy 2: the chase itself is acyclic -> compact it (Lemma 9).
+  // Strategy 2: the chase itself is acyclic -> compact it (Lemma 9). The
+  // compaction preserves α-acyclicity only, so for stricter targets the
+  // compacted witness is re-classified and kept only when it qualifies.
   if (chase.saturated &&
       IsAcyclic(chase.instance.atoms(), ConnectingTerms::kAllTerms)) {
     std::optional<CompactionResult> compact =
         CompactAcyclicWitness(q, chase.instance, chase.frozen_head);
-    if (compact.has_value()) {
-      result.answer = SemAcAnswer::kYes;
-      result.witness = compact->witness;
-      result.strategy = "chase-compaction";
-      result.exact = true;
+    if (compact.has_value() &&
+        MeetsAcyclicityClass(compact->witness.body(),
+                             ConnectingTerms::kVariables, target)) {
+      accept(compact->witness, "chase-compaction");
       return result;
     }
   }
@@ -116,28 +123,22 @@ SemAcResult DecideSemanticAcyclicity(const ConjunctiveQuery& q,
 
   // Strategy 3: homomorphic images of q inside the chase.
   if (options.enable_images) {
-    WitnessSearchOutcome images =
-        FindWitnessInQueryImages(q, chase, oracle, options.image_homs);
+    WitnessSearchOutcome images = FindWitnessInQueryImages(
+        q, chase, oracle, options.image_homs, target);
     result.candidates_tested += images.candidates_tested;
     if (images.answer == Tri::kYes) {
-      result.answer = SemAcAnswer::kYes;
-      result.witness = images.witness;
-      result.strategy = "images";
-      result.exact = true;
+      accept(std::move(*images.witness), "images");
       return result;
     }
   }
 
-  // Strategy 4: acyclic sub-instances of the chase.
+  // Strategy 4: target-acyclic sub-instances of the chase.
   if (options.enable_subsets) {
     WitnessSearchOutcome subsets = FindWitnessInChaseSubsets(
-        q, chase, oracle, bound, options.subset_budget);
+        q, chase, oracle, bound, options.subset_budget, target);
     result.candidates_tested += subsets.candidates_tested;
     if (subsets.answer == Tri::kYes) {
-      result.answer = SemAcAnswer::kYes;
-      result.witness = subsets.witness;
-      result.strategy = "subsets";
-      result.exact = true;
+      accept(std::move(*subsets.witness), "subsets");
       return result;
     }
   }
@@ -145,19 +146,18 @@ SemAcResult DecideSemanticAcyclicity(const ConjunctiveQuery& q,
   // Strategy 5: exhaustive canonical enumeration up to the bound.
   if (options.enable_exhaustive) {
     WitnessSearchOutcome exhaustive = ExhaustiveWitnessSearch(
-        q, sigma, chase, oracle, bound, options.exhaustive_budget);
+        q, sigma, chase, oracle, bound, options.exhaustive_budget, target);
     result.candidates_tested += exhaustive.candidates_tested;
     if (exhaustive.answer == Tri::kYes) {
-      result.answer = SemAcAnswer::kYes;
-      result.witness = exhaustive.witness;
-      result.strategy = "exhaustive";
-      result.exact = true;
+      accept(std::move(*exhaustive.witness), "exhaustive");
       return result;
     }
     // A definitive NO needs: full enumeration, saturated chase, exact
-    // oracle, and an uncapped theoretical bound.
+    // oracle, an uncapped theoretical bound, and the α target (the
+    // small-query theorems only cover α-acyclic witnesses).
     if (exhaustive.exhausted && chase.saturated && oracle.exact() &&
-        bound_justified && bound >= result.small_query_bound) {
+        bound_justified && bound >= result.small_query_bound &&
+        target == acyclic::AcyclicityClass::kAlpha) {
       result.answer = SemAcAnswer::kNo;
       result.strategy = "exhaustive";
       result.exact = true;

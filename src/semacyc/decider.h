@@ -16,6 +16,12 @@ const char* ToString(SemAcAnswer a);
 struct SemAcOptions {
   ChaseOptions chase;
   RewriteOptions rewrite;
+  /// Which stratum of the acyclicity hierarchy witnesses must reach:
+  /// kAlpha is the paper's notion; kBeta/kGamma/kBerge demand strictly
+  /// tighter witnesses (semantic β-/γ-acyclicity). For targets above
+  /// kAlpha a kNo is only emitted on the constraint-free core argument —
+  /// the small-query theorems are proven for α-acyclic witnesses only.
+  acyclic::AcyclicityClass target_class = acyclic::AcyclicityClass::kAlpha;
   /// Budgets per strategy.
   size_t image_homs = 5000;
   size_t subset_budget = 200000;
@@ -34,6 +40,9 @@ struct SemAcResult {
   SemAcAnswer answer = SemAcAnswer::kUnknown;
   /// When kYes: an acyclic CQ q' with q ≡Σ q'.
   std::optional<ConjunctiveQuery> witness;
+  /// The tightest acyclicity class of the witness body (at least
+  /// target_class). Only meaningful when `witness` is set.
+  acyclic::AcyclicityClass witness_class = acyclic::AcyclicityClass::kCyclic;
   /// The strategy that produced the answer ("already-acyclic", "core",
   /// "chase-compaction", "images", "subsets", "exhaustive", ...).
   std::string strategy;

@@ -68,7 +68,8 @@ std::vector<Term> RequiredHeadTerms(const QueryChaseResult& chase) {
 WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
                                               const QueryChaseResult& chase,
                                               const ContainmentOracle& oracle,
-                                              size_t max_homs) {
+                                              size_t max_homs,
+                                              acyclic::AcyclicityClass target) {
   WitnessSearchOutcome outcome;
   Substitution fixed;
   for (size_t i = 0; i < q.head().size(); ++i) {
@@ -86,7 +87,10 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
   for (const Substitution& h : homs.solutions) {
     Instance image;
     for (const Atom& a : q.body()) image.Insert(Apply(h, a));
-    if (!IsAcyclic(image.atoms(), ConnectingTerms::kAllTerms)) continue;
+    if (!MeetsAcyclicityClass(image.atoms(), ConnectingTerms::kAllTerms,
+                              target)) {
+      continue;
+    }
     ConjunctiveQuery candidate = QueryFromInstance(image, chase.frozen_head);
     if (!tested.insert(StructuralKey(candidate)).second) continue;
     ++outcome.candidates_tested;
@@ -102,8 +106,8 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
 WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
                                                const QueryChaseResult& chase,
                                                const ContainmentOracle& oracle,
-                                               size_t max_atoms,
-                                               size_t budget) {
+                                               size_t max_atoms, size_t budget,
+                                               acyclic::AcyclicityClass target) {
   (void)q;  // the chase already encodes q; kept for interface symmetry
   WitnessSearchOutcome outcome;
   const auto& atoms = chase.instance.atoms();
@@ -132,7 +136,8 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
           break;
         }
       }
-      if (covers && IsAcyclic(sub.atoms(), ConnectingTerms::kAllTerms)) {
+      if (covers && MeetsAcyclicityClass(sub.atoms(),
+                                         ConnectingTerms::kAllTerms, target)) {
         ConjunctiveQuery candidate = QueryFromInstance(sub, chase.frozen_head);
         if (tested.insert(StructuralKey(candidate)).second) {
           ++outcome.candidates_tested;
@@ -171,12 +176,13 @@ class CandidateEnumerator {
   CandidateEnumerator(const ConjunctiveQuery& q, const DependencySet& sigma,
                       const QueryChaseResult& chase,
                       const ContainmentOracle& oracle, size_t max_atoms,
-                      size_t budget)
+                      size_t budget, acyclic::AcyclicityClass target)
       : q_(q),
         chase_(chase),
         oracle_(oracle),
         max_atoms_(max_atoms),
-        budget_(budget) {
+        budget_(budget),
+        target_(target) {
     // Signature: predicates of q plus head predicates of Σ's tgds (only
     // those can occur in chase(q,Σ), hence in any witness).
     std::unordered_set<uint32_t> seen;
@@ -332,7 +338,9 @@ class CandidateEnumerator {
 
   void TestCandidate() {
     if (atoms_.empty() || !HeadCovered()) return;
-    if (!IsAcyclic(atoms_, ConnectingTerms::kVariables)) return;
+    if (!MeetsAcyclicityClass(atoms_, ConnectingTerms::kVariables, target_)) {
+      return;
+    }
     ConjunctiveQuery candidate(head_, atoms_);
     if (!tested_.insert(StructuralKey(candidate)).second) return;
     ++outcome_.candidates_tested;
@@ -405,6 +413,7 @@ class CandidateEnumerator {
   const ContainmentOracle& oracle_;
   size_t max_atoms_;
   size_t budget_;
+  acyclic::AcyclicityClass target_;
 
   std::vector<Predicate> predicates_;
   std::vector<Term> constants_;
@@ -423,8 +432,10 @@ WitnessSearchOutcome ExhaustiveWitnessSearch(const ConjunctiveQuery& q,
                                              const DependencySet& sigma,
                                              const QueryChaseResult& chase,
                                              const ContainmentOracle& oracle,
-                                             size_t max_atoms, size_t budget) {
-  CandidateEnumerator enumerator(q, sigma, chase, oracle, max_atoms, budget);
+                                             size_t max_atoms, size_t budget,
+                                             acyclic::AcyclicityClass target) {
+  CandidateEnumerator enumerator(q, sigma, chase, oracle, max_atoms, budget,
+                                 target);
   return enumerator.Run();
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "acyclic/classify.h"
 #include "chase/query_chase.h"
 #include "rewrite/ucq_rewriter.h"
 
@@ -45,30 +46,39 @@ struct WitnessSearchOutcome {
   size_t candidates_tested = 0;
 };
 
+/// Every strategy takes a `target` acyclicity class: candidates are kept
+/// only when their hypergraph lies in `target` or a stricter class. kAlpha
+/// reproduces the paper's notion; kBeta/kGamma search for witnesses from
+/// the stricter strata of the hierarchy (see acyclic/classify.h).
+
 /// Strategy "images": every homomorphic image of q inside the chase whose
-/// atom set is acyclic is a candidate (q ⊆Σ image holds by construction).
+/// atom set meets `target` is a candidate (q ⊆Σ image by construction).
 WitnessSearchOutcome FindWitnessInQueryImages(
     const ConjunctiveQuery& q, const QueryChaseResult& chase,
-    const ContainmentOracle& oracle, size_t max_homs);
+    const ContainmentOracle& oracle, size_t max_homs,
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha);
 
-/// Strategy "subsets": acyclic sub-instances of the chase mentioning all
-/// answer terms, up to `max_atoms` atoms (q ⊆Σ subset by construction).
+/// Strategy "subsets": `target`-acyclic sub-instances of the chase
+/// mentioning all answer terms, up to `max_atoms` atoms (q ⊆Σ subset by
+/// construction).
 WitnessSearchOutcome FindWitnessInChaseSubsets(
     const ConjunctiveQuery& q, const QueryChaseResult& chase,
-    const ContainmentOracle& oracle, size_t max_atoms, size_t budget);
+    const ContainmentOracle& oracle, size_t max_atoms, size_t budget,
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha);
 
-/// Strategy "exhaustive": canonical enumeration of acyclic CQs up to
-/// `max_atoms` atoms over the predicates that can occur in chase(q,Σ),
+/// Strategy "exhaustive": canonical enumeration of `target`-acyclic CQs up
+/// to `max_atoms` atoms over the predicates that can occur in chase(q,Σ),
 /// pruned by requiring a homomorphism into the chase (this certifies
 /// q ⊆Σ candidate). Complete — i.e., a kNo answer is definitive — when
 /// (a) the enumeration exhausted (no budget hit), (b) the chase saturated,
-/// (c) the oracle is exact, and (d) `max_atoms` is at least the paper's
-/// small-query bound. The caller checks (b)–(d).
-WitnessSearchOutcome ExhaustiveWitnessSearch(const ConjunctiveQuery& q,
-                                             const DependencySet& sigma,
-                                             const QueryChaseResult& chase,
-                                             const ContainmentOracle& oracle,
-                                             size_t max_atoms, size_t budget);
+/// (c) the oracle is exact, (d) `max_atoms` is at least the paper's
+/// small-query bound, and (e) target == kAlpha (the small-query theorems
+/// are proven for α-acyclic witnesses only). The caller checks (b)–(e).
+WitnessSearchOutcome ExhaustiveWitnessSearch(
+    const ConjunctiveQuery& q, const DependencySet& sigma,
+    const QueryChaseResult& chase, const ContainmentOracle& oracle,
+    size_t max_atoms, size_t budget,
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha);
 
 }  // namespace semacyc
 
