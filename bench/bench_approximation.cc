@@ -28,7 +28,7 @@ ConjunctiveQuery TriangleWithTail(int k) {
   return MustParseQuery(body);
 }
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E13 / §8.2 — acyclic approximations",
                 "an acyclic q' maximally contained in q under Σ always "
                 "exists (constant-free q); it under-approximates q's "
@@ -66,6 +66,7 @@ void ShapeReport() {
                   sound ? "yes" : "NO"});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: approximations are always acyclic and sound (never\n"
       "true where the exact query is false); semantically acyclic inputs\n"
@@ -114,7 +115,8 @@ BENCHMARK(BM_ApproximateVsExactEvaluation)
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "approximation");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,7 +15,7 @@
 namespace semacyc {
 namespace {
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner(
       "E12 / Props 12 & 22 — acyclicity-preserving chase dichotomy",
       "guarded and K2 chases preserve acyclicity; NR/sticky (Ex. 2) and "
@@ -60,6 +60,7 @@ void ShapeReport() {
                   acyclic4 ? "0" : "1"});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: 25/25 preservation for guarded and K2; guaranteed\n"
       "flips for the paper's two counterexample families.\n");
@@ -130,7 +131,8 @@ BENCHMARK(BM_EgdGridChase)->DenseRange(1, 4)->Complexity();
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "chase_engine");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -36,7 +36,7 @@ Battery MakeBattery() {
   return b;
 }
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E14 / Lemma 1 vs Definition 2 — containment engines",
                 "chase-based and rewriting-based containment are both "
                 "exact on non-recursive sets and must agree");
@@ -53,6 +53,7 @@ void ShapeReport() {
   table.AddRow({std::to_string(total), std::to_string(agree),
                 std::to_string(yes)});
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(total == agree
                   ? "Shape check: full agreement across the battery.\n"
                   : "!! engines disagree\n");
@@ -113,7 +114,8 @@ BENCHMARK(BM_ClassicContainmentScaling)
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "containment");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

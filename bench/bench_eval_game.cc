@@ -52,7 +52,7 @@ Workload MakeWorkload(int n, uint64_t seed) {
   return w;
 }
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner(
       "E11 / Theorem 25 + Prop 24 — SemAcEval under guarded tgds",
       "the 1-cover game on (q, D) decides t ∈ q(D) in polynomial time "
@@ -88,6 +88,7 @@ void ShapeReport() {
                   std::to_string(fpt_us)});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: the game agrees with brute force on every probed\n"
       "tuple; the game scales polynomially in |D| (the Prop 29 fixpoint)\n"
@@ -131,7 +132,8 @@ BENCHMARK(BM_FptPipeline)->RangeMultiplier(2)->Range(8, 64)->Complexity();
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "eval_game");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

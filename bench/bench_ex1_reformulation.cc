@@ -23,7 +23,7 @@ ConjunctiveQuery ReformulateOnce(const MusicStoreWorkload& w) {
   return *decision.witness;
 }
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E5 / Example 1 — acyclic reformulation under a tgd",
                 "q(x,y) is cyclic yet ≡Σ an acyclic 2-atom query; acyclic "
                 "evaluation is O(|q|·|D|), general CQ evaluation is not");
@@ -63,6 +63,7 @@ void ShapeReport() {
                   speedup});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: both evaluators agree on every row; the acyclic\n"
       "reformulation scales linearly in |D| and wins increasingly as the\n"
@@ -104,7 +105,8 @@ BENCHMARK(BM_AcyclicEvaluation)->RangeMultiplier(2)->Range(8, 64)->Complexity();
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "ex1_reformulation");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,7 +14,7 @@
 namespace semacyc {
 namespace {
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E6 / Example 2 — clique chase under a sticky/NR tgd",
                 "|chase| = n + n^2 and the Gaifman graph holds an n-clique; "
                 "the acyclic input becomes maximally cyclic");
@@ -32,6 +32,7 @@ void ShapeReport() {
          IsAcyclicChase(chase.instance) ? "yes" : "no"});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: atom counts match n + n^2 exactly; from n >= 3 the\n"
       "chase is cyclic although the input query is a trivially acyclic\n"
@@ -62,7 +63,8 @@ BENCHMARK(BM_AcyclicityCheckOnCliqueChase)->Arg(8)->Arg(16);
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "ex2_clique_chase");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,7 +12,7 @@
 namespace semacyc {
 namespace {
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E7 / Example 3 — exponential UCQ rewriting height",
                 "every UCQ rewriting of P0(0,..,0,0,1) under the n-rule "
                 "sticky set has a disjunct with exactly 2^n atoms");
@@ -29,6 +29,7 @@ void ShapeReport() {
                   std::to_string(PaperRewriteHeightBound(w.q, w.sigma.tgds))});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: measured height doubles with n (2, 4, 8 = 2^n) and\n"
       "stays below the paper's f_S = p(a|q|+1)^a bound — Example 3's\n"
@@ -66,7 +67,8 @@ BENCHMARK(BM_LinearChainRewriting)->RangeMultiplier(2)->Range(2, 16)->Complexity
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "ex3_sticky_rewriting");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

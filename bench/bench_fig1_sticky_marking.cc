@@ -11,7 +11,7 @@
 namespace semacyc {
 namespace {
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E1 / Figure 1 — sticky marking",
                 "the S(y,w) variant is sticky; the S(x,w) variant is not "
                 "(the join variable y becomes marked)");
@@ -47,6 +47,7 @@ void ShapeReport() {
                       : marking.violating_variable.ToString()});
   }
   table.Print();
+  table.WriteTo(report, "shape");
 }
 
 /// Chain of n tgds R_i(x,y) -> R_{i+1}(y,w): sticky, marking must walk
@@ -82,7 +83,8 @@ BENCHMARK(BM_StickyMarkingFigure1);
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "fig1_sticky_marking");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -21,7 +21,7 @@ const PcpInstance kSolvableHarder{{"aa", "bb", "abab"},
                                   {"aabb", "bb", "ab"}};
 const PcpInstance kUnsolvable{{"ab", "aabb"}, {"aa", "bb"}};
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner(
       "E2 / Figure 2 + Theorem 7 — PCP reduction (SemAc(F) undecidable)",
       "the PCP instance has a solution iff q ≡Σ (acyclic path query); "
@@ -50,6 +50,7 @@ void ShapeReport() {
                   std::to_string(chase_atoms)});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: 'yes' only on solution words; the reduction preserves\n"
       "solvability, as Theorem 7 requires. (The full equivalence was also\n"
@@ -90,7 +91,8 @@ BENCHMARK(BM_BoundedPcpSolver)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "fig2_pcp_reduction");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -33,7 +33,7 @@ Sample MakeSample(uint64_t seed, int instance_atoms, int query_atoms) {
   return {frozen.instance, ConjunctiveQuery({}, sub)};
 }
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E3 / Figure 3 + Lemma 9 — compact acyclic query",
                 "a witness of size <= 2|q| exists inside any acyclic "
                 "instance I with q(c̄) true, independent of |I|");
@@ -55,6 +55,7 @@ void ShapeReport() {
     }
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: |witness| <= 2|q| on every row while |I| grows 8x —\n"
       "the Lemma 9 bound is instance-size independent.\n");
@@ -86,7 +87,8 @@ BENCHMARK(BM_JoinTreeConstruction)
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "fig3_compaction");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

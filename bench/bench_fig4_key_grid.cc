@@ -16,7 +16,7 @@
 namespace semacyc {
 namespace {
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner("E4/E8 / Figure 4 + Examples 4-5 — key chase vs acyclicity",
                 "acyclic q + two keys ==> chase contains an n x n grid "
                 "(unbounded treewidth); K2 keys can never do this (Prop 22)");
@@ -43,6 +43,7 @@ void ShapeReport() {
                   std::to_string(g.EdgeCount())});
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: the input stays acyclic at every n while the chase\n"
       "flips to cyclic from n=2 on and Gaifman edges grow ~quadratically\n"
@@ -71,7 +72,8 @@ BENCHMARK(BM_KeySquareChase);
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "fig4_key_grid");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -101,7 +101,7 @@ Family NoFamily(int k) {
   return f;
 }
 
-void ShapeReport() {
+void ShapeReport(bench::JsonReport* report) {
   bench::Banner(
       "E9/E10 — SemAc decision landscape (Thms 11/14/18/20/23, Props 8/15)",
       "SemAc decidable for G, L/ID, NR, S, K2 with witnesses within the "
@@ -134,6 +134,7 @@ void ShapeReport() {
     }
   }
   table.Print();
+  table.WriteTo(report, "shape");
   std::printf(
       "Shape check: YES families produce verified witnesses within the\n"
       "small-query bound (Props 8/15); cyclic cores are rejected exactly.\n");
@@ -168,7 +169,8 @@ BENCHMARK(BM_DecideK2)->DenseRange(1, 3);
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
-  semacyc::ShapeReport();
+  semacyc::bench::JsonReport report(argc, argv, "semac_landscape");
+  semacyc::ShapeReport(&report);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

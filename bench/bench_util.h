@@ -22,6 +22,12 @@ class Table {
 
   void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
 
+  /// Dumps the rows into a JsonReport section, keyed by the column
+  /// headers (all values as JSON strings) — the one-line way to make a
+  /// shape report machine-readable. Declared after JsonReport below.
+  template <typename Report>
+  void WriteTo(Report* report, const std::string& section) const;
+
   void Print() const {
     std::vector<size_t> widths(headers_.size());
     for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
@@ -155,6 +161,17 @@ class JsonReport {
   std::string name_;
   std::vector<std::pair<std::string, std::vector<Row>>> sections_;
 };
+
+template <typename Report>
+void Table::WriteTo(Report* report, const std::string& section) const {
+  for (const auto& row : rows_) {
+    typename Report::Row out;
+    for (size_t c = 0; c < headers_.size() && c < row.size(); ++c) {
+      out.push_back({headers_[c], Report::Str(row[c])});
+    }
+    report->AddRow(section, std::move(out));
+  }
+}
 
 }  // namespace semacyc::bench
 

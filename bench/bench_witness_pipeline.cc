@@ -1,0 +1,278 @@
+// The incremental candidate pipeline vs the seed (pre-incremental) one.
+//
+// Claims demonstrated:
+//  1. The incremental candidate pipeline (push/pop classification with
+//     hereditary pruning, fingerprint dedup, prefiltering/memoizing
+//     oracle) beats the legacy per-candidate pipeline (from-scratch
+//     hypergraph classification, string keys, uncached containment) by
+//     >= 5x at identical budgets on every subsets workload. Exhaustive
+//     rows are reported as ungated context: their cost is the per-atom
+//     chase homomorphism both pipelines share, so the pipeline win there
+//     is a smaller constant (1.3-2x here).
+//  2. The worklist γ decider replaces the round-based fixpoint's
+//     O(depth) full rescans: single-digit milliseconds on 5k-atom Berge
+//     trees where the rounds version needs tens of milliseconds.
+//
+// Self-timed (no google-benchmark dependency); pass --json to emit
+// BENCH_witness_pipeline.json via bench_util's JsonReport.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "acyclic/gamma.h"
+#include "bench_util.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/witness_search.h"
+
+namespace semacyc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    fn();
+    double ms = MillisSince(start);
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+enum class Kind { kSubsets, kExhaustive };
+
+struct Workload {
+  std::string name;
+  Kind kind;
+  ConjunctiveQuery q;
+  DependencySet sigma;
+  acyclic::AcyclicityClass target;
+  size_t max_atoms;
+  size_t budget;
+  /// Rows where per-candidate classification dominates carry the >= 5x
+  /// per-row gate (the subsets strategy). Exhaustive rows are ungated
+  /// context: their cost is the per-atom chase homomorphism both
+  /// pipelines share, so the pipeline win there is a smaller constant —
+  /// they still count toward the gated aggregate.
+  bool gated = true;
+};
+
+/// The decider's NO-input regime: cyclic cores where no candidate is a
+/// witness and the strategies sweep their whole space. Budgets are set
+/// above the space size so BOTH pipelines exhaust it — then the oracle
+/// answers the identical distinct-candidate set on each side and the
+/// measured gap is the per-visit pipeline cost (plus hereditary pruning,
+/// which skips subtrees that can never produce a candidate). Cliques give
+/// the chase dense cyclic substructure (every triangle is a β- and
+/// γ-violation, every repeated vertex pair a Berge one) so pruning has
+/// real work to cut; the 4-variable heads exercise the required-term
+/// coverage path that dominates realistic non-Boolean searches.
+std::vector<Workload> Workloads() {
+  Generator gen(3);
+  DependencySet copy = MustParseDependencySet("E(x,y) -> F(x,y).");
+  DependencySet chain =
+      MustParseDependencySet("E(x,y) -> F(x,y). F(x,y) -> G(x,y).");
+  // Head = four spread-out query variables: candidates must cover all
+  // four, which most small subsets fail.
+  auto spread_head = [](const ConjunctiveQuery& q, size_t stride) {
+    std::vector<Term> head;
+    for (size_t i = 0; i < 4; ++i) head.push_back(q.body()[i * stride].arg(0));
+    return ConjunctiveQuery(head, q.body());
+  };
+  // CycleQuery body i starts at x_i; CliqueQuery on n vertices emits n-1
+  // atoms per source vertex, so stride n-1 walks the distinct sources.
+  ConjunctiveQuery c8 = spread_head(gen.CycleQuery(8), 2);
+  ConjunctiveQuery k5 = spread_head(gen.CliqueQuery(5), 4);
+  ConjunctiveQuery k4 = spread_head(gen.CliqueQuery(4), 3);
+  // Boolean K4: isomorphism dedup collapses the clique's symmetric
+  // subsets, keeping the (pipeline-identical) oracle share small.
+  ConjunctiveQuery k4bool({}, gen.CliqueQuery(4).body());
+  std::vector<Workload> out;
+  out.push_back({"subsets-alpha-c8", Kind::kSubsets, c8, chain,
+                 acyclic::AcyclicityClass::kAlpha, 5, 1u << 30});
+  out.push_back({"subsets-beta-k4", Kind::kSubsets, k4bool, copy,
+                 acyclic::AcyclicityClass::kBeta, 6, 1u << 30});
+  out.push_back({"subsets-gamma-k4", Kind::kSubsets, k4bool, copy,
+                 acyclic::AcyclicityClass::kGamma, 6, 1u << 30});
+  out.push_back({"subsets-berge-k5", Kind::kSubsets, k5, copy,
+                 acyclic::AcyclicityClass::kBerge, 5, 1u << 30});
+  // Exhaustive rows (ungated context): the enumeration cost is the
+  // per-atom chase homomorphism both pipelines share, so the pipeline win
+  // is a smaller constant than in the subsets strategy.
+  ConjunctiveQuery c6b = gen.CycleQuery(6);
+  out.push_back({"exhaustive-alpha-c6", Kind::kExhaustive, c6b, chain,
+                 acyclic::AcyclicityClass::kAlpha, 4, 1u << 30, false});
+  out.push_back({"exhaustive-beta-k4", Kind::kExhaustive, k4bool, copy,
+                 acyclic::AcyclicityClass::kBeta, 4, 1u << 30, false});
+  out.push_back({"exhaustive-berge-k4", Kind::kExhaustive, k4bool, copy,
+                 acyclic::AcyclicityClass::kBerge, 4, 1u << 30, false});
+  out.push_back({"exhaustive-alpha-k4", Kind::kExhaustive, k4, copy,
+                 acyclic::AcyclicityClass::kAlpha, 4, 1u << 30, false});
+  return out;
+}
+
+struct StrategyRun {
+  double ms = 0;
+  size_t candidates = 0;
+  size_t hits = 0;
+  size_t prefiltered = 0;
+  Tri answer = Tri::kUnknown;
+};
+
+StrategyRun RunPipeline(const Workload& w, bool legacy) {
+  ChaseOptions chase_options;
+  RewriteOptions rewrite_options;
+  QueryChaseResult chase = ChaseQuery(w.q, w.sigma, chase_options);
+  ContainmentOracle oracle(w.q, w.sigma, chase_options, rewrite_options,
+                           /*try_rewriting=*/true, /*memoize=*/!legacy);
+  WitnessTuning tuning;
+  tuning.legacy = legacy;
+  StrategyRun run;
+  WitnessSearchOutcome outcome;
+  run.ms = TimeMs(1, [&] {
+    outcome = w.kind == Kind::kSubsets
+                  ? FindWitnessInChaseSubsets(w.q, chase, oracle, w.max_atoms,
+                                              w.budget, w.target, tuning)
+                  : ExhaustiveWitnessSearch(w.q, w.sigma, chase, oracle,
+                                            w.max_atoms, w.budget, w.target,
+                                            tuning);
+  });
+  run.candidates = outcome.candidates_tested;
+  run.hits = oracle.cache_hits();
+  run.prefiltered = oracle.prefiltered();
+  run.answer = outcome.answer;
+  return run;
+}
+
+void WitnessShowdown(bench::JsonReport* report) {
+  bench::Banner(
+      "E-P1 - incremental candidate pipeline vs legacy, identical budgets",
+      "per-candidate chase/classification dominate witness search; "
+      "push/pop classification, hereditary pruning and a memoized "
+      "containment oracle cut it >= 5x");
+  bench::Table table({"workload", "legacy ms", "fast ms", "speedup",
+                      "legacy cand", "fast cand", "prefiltered", "agree"});
+  auto emit = [&](const Workload& w, const StrategyRun& legacy,
+                  const StrategyRun& fast) {
+    double speedup = legacy.ms / fast.ms;
+    bool agree = legacy.answer == fast.answer;
+    table.AddRow({w.name, std::to_string(legacy.ms), std::to_string(fast.ms),
+                  std::to_string(speedup), std::to_string(legacy.candidates),
+                  std::to_string(fast.candidates),
+                  std::to_string(fast.prefiltered), agree ? "yes" : "NO"});
+    report->AddRow("witness",
+                   {{"workload", bench::JsonReport::Str(w.name)},
+                    {"legacy_ms", bench::JsonReport::Num(legacy.ms)},
+                    {"fast_ms", bench::JsonReport::Num(fast.ms)},
+                    {"speedup", bench::JsonReport::Num(speedup)},
+                    {"budget", bench::JsonReport::Num(
+                                   static_cast<double>(w.budget))},
+                    {"legacy_candidates",
+                     bench::JsonReport::Num(
+                         static_cast<double>(legacy.candidates))},
+                    {"fast_candidates", bench::JsonReport::Num(
+                                            static_cast<double>(fast.candidates))},
+                    {"cache_hits",
+                     bench::JsonReport::Num(static_cast<double>(fast.hits))},
+                    {"prefiltered", bench::JsonReport::Num(
+                                        static_cast<double>(fast.prefiltered))},
+                    {"gated", w.gated ? "true" : "false"},
+                    {"agree", agree ? "true" : "false"}});
+    if (w.gated && speedup < 5.0) {
+      std::printf("*** speedup target missed on %s: %.1fx < 5x\n",
+                  w.name.c_str(), speedup);
+    }
+  };
+
+  double legacy_total = 0;
+  double fast_total = 0;
+  for (const Workload& w : Workloads()) {
+    StrategyRun legacy = RunPipeline(w, true);
+    StrategyRun fast = RunPipeline(w, false);
+    legacy_total += legacy.ms;
+    fast_total += fast.ms;
+    emit(w, legacy, fast);
+  }
+  table.Print();
+  // Context only (per-row gates carry the claim): the wall-clock total is
+  // weighted by whichever row happens to be largest.
+  double aggregate = legacy_total / fast_total;
+  std::printf("total wall clock across all workloads: %.1fx\n", aggregate);
+  report->AddRow("witness_aggregate",
+                 {{"legacy_ms", bench::JsonReport::Num(legacy_total)},
+                  {"fast_ms", bench::JsonReport::Num(fast_total)},
+                  {"speedup", bench::JsonReport::Num(aggregate)}});
+}
+
+void GammaShowdown(bench::JsonReport* report) {
+  bench::Banner(
+      "E-P2 - worklist gamma decider vs round-based fixpoint",
+      "the rounds version pays a full five-rule sweep per peel depth; "
+      "the worklist re-examines an object only when an incident event "
+      "can change its status");
+  bench::Table table(
+      {"family", "atoms", "rounds ms", "worklist ms", "speedup", "agree"});
+  Generator gen(7);
+
+  auto run = [&](const std::string& family, const acyclic::Hypergraph& hg) {
+    bool rounds_acyclic = false;
+    bool worklist_acyclic = false;
+    double rounds_ms =
+        TimeMs(3, [&] { rounds_acyclic = DecideGammaRounds(hg).gamma_acyclic; });
+    double worklist_ms =
+        TimeMs(3, [&] { worklist_acyclic = DecideGamma(hg).gamma_acyclic; });
+    double speedup = rounds_ms / worklist_ms;
+    bool agree = rounds_acyclic == worklist_acyclic;
+    table.AddRow({family, std::to_string(hg.NumEdges()),
+                  std::to_string(rounds_ms), std::to_string(worklist_ms),
+                  std::to_string(speedup), agree ? "yes" : "NO"});
+    report->AddRow("gamma",
+                   {{"family", bench::JsonReport::Str(family)},
+                    {"atoms", bench::JsonReport::Num(
+                                  static_cast<double>(hg.NumEdges()))},
+                    {"rounds_ms", bench::JsonReport::Num(rounds_ms)},
+                    {"worklist_ms", bench::JsonReport::Num(worklist_ms)},
+                    {"speedup", bench::JsonReport::Num(speedup)},
+                    {"agree", agree ? "true" : "false"}});
+    if (family.rfind("berge-tree", 0) == 0 && worklist_ms >= 10.0) {
+      std::printf("*** worklist gamma not single-digit ms on %s: %.1f ms\n",
+                  family.c_str(), worklist_ms);
+    }
+  };
+
+  for (int scale : {1000, 5000}) {
+    ConjunctiveQuery q = gen.BergeTreeQuery(scale);
+    run("berge-tree-" + std::to_string(scale),
+        ToAcyclicHypergraph(
+            Hypergraph::FromAtoms(q.body(), ConnectingTerms::kVariables)));
+  }
+  {
+    // Worst case for the rounds version: a single path peels one leaf
+    // pair per round, so rounds == depth == m/2.
+    acyclic::Hypergraph path;
+    for (int i = 0; i < 5000; ++i) path.AddEdge({i, i + 1});
+    run("path-5000", path);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace semacyc
+
+int main(int argc, char** argv) {
+  semacyc::bench::JsonReport report(argc, argv, "witness_pipeline");
+  semacyc::WitnessShowdown(&report);
+  semacyc::GammaShowdown(&report);
+  return 0;
+}

@@ -1,7 +1,9 @@
 #ifndef SEMACYC_CORE_CANONICAL_H_
 #define SEMACYC_CORE_CANONICAL_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include "core/query.h"
 
@@ -12,9 +14,31 @@ namespace semacyc {
 /// rewriting frontiers and witness candidates.
 bool AreIsomorphic(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
 
-/// A cheap structural fingerprint that is invariant under variable renaming
-/// (isomorphic queries get equal keys; unequal keys imply non-isomorphic).
-/// Collisions are resolved with AreIsomorphic.
+/// A hash-interned canonical form: a 64-bit fingerprint of the same
+/// renaming/reordering-invariant that StructuralKey encodes (isomorphic
+/// queries get equal fingerprints; unequal fingerprints imply
+/// non-isomorphic). The hot-path replacement for StructuralKey — no
+/// string building, no allocation beyond small scratch vectors. Exact
+/// stores resolve fingerprint collisions with AreIsomorphic; pure-hash
+/// dedup should combine two fingerprints with different `salt`s (the
+/// salt perturbs every leaf of the hash, so the two values collide
+/// independently — a 128-bit key whose conflation probability is
+/// negligible against the invariant-level conflation StructuralKey
+/// dedup already accepted).
+uint64_t CanonicalFingerprint(const ConjunctiveQuery& q, uint64_t salt = 0);
+
+/// A 128-bit key computed in one walk of the query (for pure-hash dedup
+/// stores): the first component equals CanonicalFingerprint(q); the
+/// second is an independent salted chain over the same invariant (its
+/// fold order follows the combined sort, so it is its own invariant, not
+/// literally CanonicalFingerprint(q, salt)).
+inline constexpr uint64_t kSecondFingerprintSalt = 0x9e3779b97f4a7c15ull;
+std::pair<uint64_t, uint64_t> CanonicalFingerprint128(
+    const ConjunctiveQuery& q);
+
+/// The string form of the same invariant (seed implementation). Kept for
+/// the legacy candidate pipeline that benches measure against and as a
+/// readable debugging rendition; new code should use CanonicalFingerprint.
 std::string StructuralKey(const ConjunctiveQuery& q);
 
 }  // namespace semacyc

@@ -172,11 +172,11 @@ FrozenQuery Freeze(const ConjunctiveQuery& q, TermKind freeze_kind) {
   return out;
 }
 
-ConjunctiveQuery QueryFromInstance(const Instance& instance,
-                                   const std::vector<Term>& head_terms) {
+ConjunctiveQuery QueryFromAtoms(const std::vector<Atom>& atoms,
+                                const std::vector<Term>& head_terms) {
   Substitution rename;
   auto var_of = [&rename](Term t) -> Term {
-    if (t.IsConstant() && t.name().rfind("@", 0) != 0) return t;  // real const
+    if (t.IsConstant() && !t.IsFrozenNull()) return t;  // real constant
     auto it = rename.find(t);
     if (it != rename.end()) return it->second;
     Term v = FreshVariable();
@@ -184,8 +184,8 @@ ConjunctiveQuery QueryFromInstance(const Instance& instance,
     return v;
   };
   std::vector<Atom> body;
-  body.reserve(instance.size());
-  for (const Atom& a : instance.atoms()) {
+  body.reserve(atoms.size());
+  for (const Atom& a : atoms) {
     std::vector<Term> args;
     args.reserve(a.arity());
     for (Term t : a.args()) args.push_back(var_of(t));
@@ -195,6 +195,11 @@ ConjunctiveQuery QueryFromInstance(const Instance& instance,
   head.reserve(head_terms.size());
   for (Term t : head_terms) head.push_back(var_of(t));
   return ConjunctiveQuery(std::move(head), std::move(body));
+}
+
+ConjunctiveQuery QueryFromInstance(const Instance& instance,
+                                   const std::vector<Term>& head_terms) {
+  return QueryFromAtoms(instance.atoms(), head_terms);
 }
 
 UnionQuery::UnionQuery(std::vector<ConjunctiveQuery> disjuncts)

@@ -95,6 +95,12 @@ Term FreshVariable();
 ConjunctiveQuery QueryFromInstance(const Instance& instance,
                                    const std::vector<Term>& head_terms);
 
+/// Same inverse freezing over a bare atom list — the candidate-pipeline
+/// fast path: building an Instance (with its inverted indexes) per DFS
+/// node just to convert it back into a query is pure overhead.
+ConjunctiveQuery QueryFromAtoms(const std::vector<Atom>& atoms,
+                                const std::vector<Term>& head_terms);
+
 /// A union of conjunctive queries (§5). All disjuncts share the head arity.
 class UnionQuery {
  public:

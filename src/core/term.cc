@@ -68,6 +68,10 @@ Term Term::FreshNull() {
 
 Term Term::NullAt(uint32_t index) { return Make(TermKind::kNull, index); }
 
+bool Term::IsFrozenNull() const {
+  return IsConstant() && name().rfind('@', 0) == 0;
+}
+
 const std::string& Term::name() const {
   assert(IsValid() && kind() != TermKind::kNull);
   return SymbolTable::Get().NameOf(kind(), index());

@@ -45,6 +45,13 @@ class Term {
   bool IsNull() const { return IsValid() && kind() == TermKind::kNull; }
   bool IsVariable() const { return IsValid() && kind() == TermKind::kVariable; }
 
+  /// True for the canonical "@..."-named constants minted by Freeze(): the
+  /// frozen images of query variables, which play the role of nulls
+  /// throughout the semantic-acyclicity pipeline (§2 "special constants
+  /// treated as nulls"). The "@" prefix is reserved for them — genuine
+  /// constants must not use it.
+  bool IsFrozenNull() const;
+
   /// Human-readable rendering: constant/variable names from the symbol
   /// table, nulls as "_:<index>", the invalid term as "<invalid>".
   std::string ToString() const;

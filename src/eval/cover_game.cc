@@ -6,9 +6,7 @@
 namespace semacyc {
 namespace {
 
-bool Rigid(Term t) {
-  return t.IsConstant() && t.name().rfind("@", 0) != 0;
-}
+bool Rigid(Term t) { return t.IsConstant() && !t.IsFrozenNull(); }
 
 /// The position-wise map a -> b as a functional term mapping; nullopt when
 /// inconsistent (same source term to two targets) or when it moves a rigid

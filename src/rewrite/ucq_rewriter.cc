@@ -15,10 +15,10 @@ namespace {
 /// Deduplicating store of CQs modulo isomorphism.
 class QueryStore {
  public:
-  /// Returns true iff the query was new.
+  /// Returns true iff the query was new. Buckets by the hash-interned
+  /// canonical form; collisions resolved exactly with AreIsomorphic.
   bool Add(const ConjunctiveQuery& q) {
-    std::string key = StructuralKey(q);
-    auto& bucket = buckets_[key];
+    auto& bucket = buckets_[CanonicalFingerprint(q)];
     for (int idx : bucket) {
       if (AreIsomorphic(queries_[idx], q)) return false;
     }
@@ -30,7 +30,7 @@ class QueryStore {
   const std::vector<ConjunctiveQuery>& queries() const { return queries_; }
 
  private:
-  std::unordered_map<std::string, std::vector<int>> buckets_;
+  std::unordered_map<uint64_t, std::vector<int>> buckets_;
   std::vector<ConjunctiveQuery> queries_;
 };
 

@@ -38,9 +38,9 @@ class CandidateCollector {
   std::vector<ConjunctiveQuery> Collect(const QueryChaseResult& chase,
                                         const ContainmentOracle& oracle) {
     std::vector<ConjunctiveQuery> out;
-    std::unordered_set<std::string> seen;
+    std::unordered_set<uint64_t> seen;
     auto consider = [&](const ConjunctiveQuery& candidate) {
-      if (!seen.insert(StructuralKey(candidate)).second) return;
+      if (!seen.insert(CanonicalFingerprint(candidate)).second) return;
       if (oracle.ContainedInQ(candidate) == Tri::kYes) {
         out.push_back(candidate);
       }
@@ -62,7 +62,7 @@ class CandidateCollector {
         Instance sub = chase.instance.Restrict(subset);
         bool covers = true;
         for (Term t : chase.frozen_head) {
-          if (t.IsConstant() && t.name().rfind("@", 0) != 0) continue;
+          if (t.IsConstant() && !t.IsFrozenNull()) continue;
           if (sub.AtomsMentioning(t).empty()) {
             covers = false;
             break;

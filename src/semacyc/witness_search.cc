@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "acyclic/incremental.h"
 #include "core/canonical.h"
 #include "core/containment.h"
 #include "core/homomorphism.h"
@@ -19,8 +20,8 @@ ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
                                      const DependencySet& sigma,
                                      const ChaseOptions& chase_options,
                                      const RewriteOptions& rewrite_options,
-                                     bool try_rewriting)
-    : q_(q), sigma_(sigma), chase_options_(chase_options) {
+                                     bool try_rewriting, bool memoize)
+    : q_(q), sigma_(sigma), chase_options_(chase_options), memoize_(memoize) {
   // Static guarantees for the chase-based path: egd-only chases always
   // terminate; weakly acyclic tgd sets (which subsume NR and all full
   // sets) guarantee tgd-chase termination.
@@ -41,13 +42,126 @@ ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
       }
     }
   }
+  // Predicate-reachability prefilter (fast path only). Sound for kNo only
+  // when the candidate's chase cannot fail, i.e. Σ has no egds: tgds never
+  // invent predicates outside the body→head predicate graph, so a q
+  // predicate unreachable from every candidate predicate can never appear
+  // in chase(candidate, Σ).
+  if (memoize_ && !sigma.HasEgds()) {
+    // Chase-free degeneration: tgds only ever add atoms whose predicate is
+    // some tgd head predicate. If none of those occur in q, the
+    // q-homomorphism into chase(candidate, Σ) can only use candidate's own
+    // atoms, so containment is the classical Chandra–Merlin test.
+    std::unordered_set<uint32_t> head_preds;
+    for (const Tgd& t : sigma.tgds) {
+      for (const Atom& h : t.head()) head_preds.insert(h.predicate().id());
+    }
+    chase_free_ = true;
+    for (const Atom& a : q.body()) {
+      if (head_preds.count(a.predicate().id())) {
+        chase_free_ = false;
+        break;
+      }
+    }
+    prefilter_ = true;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> reverse;
+    for (const Tgd& t : sigma.tgds) {
+      for (const Atom& h : t.head()) {
+        for (const Atom& b : t.body()) {
+          reverse[h.predicate().id()].push_back(b.predicate().id());
+        }
+      }
+    }
+    std::unordered_set<uint32_t> q_preds;
+    for (const Atom& a : q.body()) q_preds.insert(a.predicate().id());
+    for (uint32_t p : q_preds) {
+      std::unordered_set<uint32_t> sources;
+      std::vector<uint32_t> stack = {p};
+      sources.insert(p);
+      while (!stack.empty()) {
+        uint32_t cur = stack.back();
+        stack.pop_back();
+        auto it = reverse.find(cur);
+        if (it == reverse.end()) continue;
+        for (uint32_t src : it->second) {
+          if (sources.insert(src).second) stack.push_back(src);
+        }
+      }
+      q_pred_sources_.push_back(std::move(sources));
+    }
+  }
 }
 
-Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate) const {
+bool ContainmentOracle::PassesPredicateFilter(
+    const ConjunctiveQuery& candidate) const {
+  for (const auto& sources : q_pred_sources_) {
+    bool reachable = false;
+    for (const Atom& a : candidate.body()) {
+      if (sources.count(a.predicate().id())) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) return false;
+  }
+  return true;
+}
+
+Tri ContainmentOracle::Decide(const ConjunctiveQuery& candidate) const {
   if (rewriting_.has_value()) {
     return RewriteContained(candidate, *rewriting_);
   }
   return ContainedUnder(candidate, q_, sigma_, chase_options_);
+}
+
+Tri ContainmentOracle::DecideChaseFree(
+    const ConjunctiveQuery& candidate) const {
+  // Chandra–Merlin against the candidate body itself: its variables act as
+  // the frozen canonical constants (rigid instance terms), no freezing or
+  // chase needed. Exact in both directions.
+  Substitution fixed;
+  for (size_t i = 0; i < q_.head().size(); ++i) {
+    Term h = q_.head()[i];
+    Term c = candidate.head()[i];
+    if (!h.IsVariable()) {
+      if (h != c) return Tri::kNo;
+      continue;
+    }
+    auto it = fixed.find(h);
+    if (it != fixed.end()) {
+      if (it->second != c) return Tri::kNo;
+      continue;
+    }
+    fixed.emplace(h, c);
+  }
+  Instance frozen;
+  frozen.InsertAll(candidate.body());
+  return HasHomomorphism(q_.body(), frozen, fixed) ? Tri::kYes : Tri::kNo;
+}
+
+Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate) const {
+  if (!memoize_) return Decide(candidate);
+  if (prefilter_ && !PassesPredicateFilter(candidate)) {
+    ++prefiltered_;
+    return Tri::kNo;
+  }
+  // Chase-free candidates decide in one homomorphism test — cheaper than
+  // the memo's own bookkeeping, so skip the cache entirely.
+  if (chase_free_) return DecideChaseFree(candidate);
+  // Sound across isomorphism: candidate ⊆Σ q is invariant under bijective
+  // variable renamings that preserve the head position-wise — exactly what
+  // AreIsomorphic certifies after the fingerprint pre-filter.
+  auto& bucket = memo_[CanonicalFingerprint(candidate)];
+  for (const auto& [cached, answer] : bucket) {
+    if (AreIsomorphic(cached, candidate)) {
+      ++hits_;
+      return answer;
+    }
+  }
+  ++misses_;
+  Tri answer = Decide(candidate);
+  bucket.push_back({candidate, answer});
+  return answer;
 }
 
 namespace {
@@ -57,11 +171,39 @@ namespace {
 std::vector<Term> RequiredHeadTerms(const QueryChaseResult& chase) {
   std::vector<Term> out;
   for (Term t : chase.frozen_head) {
-    if (t.IsConstant() && t.name().rfind("@", 0) != 0) continue;  // genuine
+    if (t.IsConstant() && !t.IsFrozenNull()) continue;  // genuine constant
     if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
   }
   return out;
 }
+
+/// Candidate dedup modulo the renaming-invariant key. The fast path keys
+/// on a 128-bit salted fingerprint pair of the same invariant the seed's
+/// StructuralKey dedup used (which likewise never resolved its own
+/// conflations) — the conflation probability a dropped candidate rides
+/// on is ~n²/2¹²⁸, negligible against every other failure mode. Legacy
+/// mode keeps the seed's string keys.
+class CandidateDedup {
+ public:
+  explicit CandidateDedup(bool legacy) : legacy_(legacy) {}
+
+  /// True iff the candidate was not seen before.
+  bool Insert(const ConjunctiveQuery& q) {
+    if (legacy_) return strings_.insert(StructuralKey(q)).second;
+    return keys_.insert(CanonicalFingerprint128(q)).second;
+  }
+
+ private:
+  using Key128 = std::pair<uint64_t, uint64_t>;
+  struct Key128Hash {
+    size_t operator()(const Key128& k) const {
+      return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  bool legacy_;
+  std::unordered_set<std::string> strings_;
+  std::unordered_set<Key128, Key128Hash> keys_;
+};
 
 }  // namespace
 
@@ -69,7 +211,8 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
                                               const QueryChaseResult& chase,
                                               const ContainmentOracle& oracle,
                                               size_t max_homs,
-                                              acyclic::AcyclicityClass target) {
+                                              acyclic::AcyclicityClass target,
+                                              const WitnessTuning& tuning) {
   WitnessSearchOutcome outcome;
   Substitution fixed;
   for (size_t i = 0; i < q.head().size(); ++i) {
@@ -83,7 +226,7 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
   HomResult homs = FindHomomorphisms(q.body(), chase.instance, options);
   outcome.exhausted = !homs.budget_exhausted &&
                       (max_homs == 0 || homs.solutions.size() < max_homs);
-  std::unordered_set<std::string> tested;
+  CandidateDedup tested(tuning.legacy);
   for (const Substitution& h : homs.solutions) {
     Instance image;
     for (const Atom& a : q.body()) image.Insert(Apply(h, a));
@@ -92,7 +235,7 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
       continue;
     }
     ConjunctiveQuery candidate = QueryFromInstance(image, chase.frozen_head);
-    if (!tested.insert(StructuralKey(candidate)).second) continue;
+    if (!tested.Insert(candidate)) continue;
     ++outcome.candidates_tested;
     if (oracle.ContainedInQ(candidate) == Tri::kYes) {
       outcome.answer = Tri::kYes;
@@ -107,20 +250,94 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
                                                const QueryChaseResult& chase,
                                                const ContainmentOracle& oracle,
                                                size_t max_atoms, size_t budget,
-                                               acyclic::AcyclicityClass target) {
+                                               acyclic::AcyclicityClass target,
+                                               const WitnessTuning& tuning) {
   (void)q;  // the chase already encodes q; kept for interface symmetry
   WitnessSearchOutcome outcome;
   const auto& atoms = chase.instance.atoms();
   const size_t m = atoms.size();
   std::vector<Term> required = RequiredHeadTerms(chase);
-  std::unordered_set<std::string> tested;
+  CandidateDedup tested(tuning.legacy);
   size_t visits = 0;
   bool truncated = false;
+
+  // Incremental machinery (fast path): connecting vertices per chase atom
+  // interned once up front, a push/pop classifier threaded along the DFS
+  // path, and required-term coverage maintained by counters — so a DFS
+  // node costs a component-local re-check instead of an Instance build
+  // plus a from-scratch hypergraph classification.
+  std::vector<std::vector<int>> atom_verts;
+  std::vector<std::vector<size_t>> atom_required;
+  acyclic::IncrementalClassifier inc(target);
+  std::vector<int> req_cover(required.size(), 0);
+  size_t covered = 0;
+  if (!tuning.legacy) {
+    atom_verts.resize(m);
+    atom_required.resize(m);
+    std::unordered_map<Term, int, TermHash> vertex_of;
+    for (size_t i = 0; i < m; ++i) {
+      // kAllTerms: in a frozen-query chase every term connects.
+      for (Term t : atoms[i].DistinctTerms()) {
+        atom_verts[i].push_back(
+            vertex_of.emplace(t, static_cast<int>(vertex_of.size()))
+                .first->second);
+      }
+      for (size_t k = 0; k < required.size(); ++k) {
+        if (atoms[i].Mentions(required[k])) atom_required[i].push_back(k);
+      }
+    }
+  }
+
+  // Stable variable pool for inverse freezing on the fast path: fresh
+  // per-candidate names would intern a new symbol for every variable of
+  // every candidate; reusing "s$<i>" across candidates interns each name
+  // exactly once per process.
+  std::vector<Term> var_pool;
+  std::vector<uint32_t> subset;
+  auto pooled_query = [&]() {
+    Substitution rename;
+    size_t next_var = 0;
+    auto var_of = [&](Term t) -> Term {
+      if (t.IsConstant() && !t.IsFrozenNull()) return t;  // real constant
+      auto it = rename.find(t);
+      if (it != rename.end()) return it->second;
+      if (next_var == var_pool.size()) {
+        var_pool.push_back(
+            Term::Variable("s$" + std::to_string(var_pool.size())));
+      }
+      Term v = var_pool[next_var++];
+      rename.emplace(t, v);
+      return v;
+    };
+    std::vector<Atom> body;
+    body.reserve(subset.size());
+    for (uint32_t i : subset) {
+      const Atom& a = atoms[i];
+      std::vector<Term> args;
+      args.reserve(a.arity());
+      for (Term t : a.args()) args.push_back(var_of(t));
+      body.emplace_back(a.predicate(), std::move(args));
+    }
+    std::vector<Term> head;
+    head.reserve(chase.frozen_head.size());
+    for (Term t : chase.frozen_head) head.push_back(var_of(t));
+    return ConjunctiveQuery(std::move(head), std::move(body));
+  };
+
+  auto test_candidate = [&](ConjunctiveQuery candidate) -> bool {
+    if (!tested.Insert(candidate)) return false;
+    ++outcome.candidates_tested;
+    if (oracle.ContainedInQ(candidate) == Tri::kYes) {
+      outcome.answer = Tri::kYes;
+      outcome.witness = std::move(candidate);
+      return true;
+    }
+    return false;
+  };
 
   // DFS over index-increasing subsets, testing each acyclic subset that
   // covers the required terms. Small subsets are explored first through
   // iterative deepening on the subset size.
-  std::vector<uint32_t> subset;
   std::function<bool(size_t, size_t)> dfs = [&](size_t next,
                                                 size_t limit) -> bool {
     if (++visits > budget) {
@@ -128,32 +345,48 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
       return false;
     }
     if (!subset.empty()) {
-      Instance sub = chase.instance.Restrict(subset);
-      bool covers = true;
-      for (Term t : required) {
-        if (sub.AtomsMentioning(t).empty()) {
-          covers = false;
-          break;
-        }
-      }
-      if (covers && MeetsAcyclicityClass(sub.atoms(),
-                                         ConnectingTerms::kAllTerms, target)) {
-        ConjunctiveQuery candidate = QueryFromInstance(sub, chase.frozen_head);
-        if (tested.insert(StructuralKey(candidate)).second) {
-          ++outcome.candidates_tested;
-          if (oracle.ContainedInQ(candidate) == Tri::kYes) {
-            outcome.answer = Tri::kYes;
-            outcome.witness = std::move(candidate);
-            return true;
+      if (tuning.legacy) {
+        Instance sub = chase.instance.Restrict(subset);
+        bool covers = true;
+        for (Term t : required) {
+          if (sub.AtomsMentioning(t).empty()) {
+            covers = false;
+            break;
           }
         }
+        if (covers &&
+            MeetsAcyclicityClass(sub.atoms(), ConnectingTerms::kAllTerms,
+                                 target) &&
+            test_candidate(QueryFromInstance(sub, chase.frozen_head))) {
+          return true;
+        }
+      } else if (covered == required.size() && inc.Meets() &&
+                 test_candidate(pooled_query())) {
+        return true;
       }
     }
     if (subset.size() >= limit) return false;
     for (size_t i = next; i < m; ++i) {
       subset.push_back(static_cast<uint32_t>(i));
-      if (dfs(i + 1, limit)) return true;
+      bool pruned = false;
+      if (!tuning.legacy) {
+        for (size_t k : atom_required[i]) {
+          if (req_cover[k]++ == 0) ++covered;
+        }
+        inc.PushEdge(atom_verts[i]);
+        // β/γ/Berge are hereditary: a violated prefix can never recover,
+        // so the whole subtree (including this subset itself) is dead.
+        pruned = inc.CannotRecover();
+      }
+      bool found = !pruned && dfs(i + 1, limit);
+      if (!tuning.legacy) {
+        inc.PopEdge();
+        for (size_t k : atom_required[i]) {
+          if (--req_cover[k] == 0) --covered;
+        }
+      }
       subset.pop_back();
+      if (found) return true;
       if (truncated) return false;
     }
     return false;
@@ -169,6 +402,21 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
 
 namespace {
 
+/// Fixed total order on atoms for canonical-growth enumeration: predicate
+/// id, then argument handles lexicographically. The allocation-free
+/// replacement for comparing EncodeAtom strings.
+bool AtomOrderLess(const Atom& a, const Atom& b) {
+  if (a.predicate() != b.predicate()) {
+    return a.predicate().id() < b.predicate().id();
+  }
+  for (size_t i = 0; i < a.arity() && i < b.arity(); ++i) {
+    if (a.arg(i) != b.arg(i)) {
+      return a.arg(i).raw_bits() < b.arg(i).raw_bits();
+    }
+  }
+  return a.arity() < b.arity();
+}
+
 /// Canonical enumerator of acyclic candidate queries (strategy
 /// "exhaustive"); see the header for the completeness contract.
 class CandidateEnumerator {
@@ -176,13 +424,17 @@ class CandidateEnumerator {
   CandidateEnumerator(const ConjunctiveQuery& q, const DependencySet& sigma,
                       const QueryChaseResult& chase,
                       const ContainmentOracle& oracle, size_t max_atoms,
-                      size_t budget, acyclic::AcyclicityClass target)
+                      size_t budget, acyclic::AcyclicityClass target,
+                      const WitnessTuning& tuning)
       : q_(q),
         chase_(chase),
         oracle_(oracle),
         max_atoms_(max_atoms),
         budget_(budget),
-        target_(target) {
+        target_(target),
+        tuning_(tuning),
+        inc_(target),
+        tested_(tuning.legacy) {
     // Signature: predicates of q plus head predicates of Σ's tgds (only
     // those can occur in chase(q,Σ), hence in any witness).
     std::unordered_set<uint32_t> seen;
@@ -229,6 +481,7 @@ class CandidateEnumerator {
     size_t pool = max_atoms_ * static_cast<size_t>(max_arity);
     for (size_t i = 0; i < pool; ++i) {
       pool_.push_back(Term::Variable("w$" + std::to_string(i)));
+      pool_index_.emplace(pool_.back(), i);
     }
   }
 
@@ -257,8 +510,17 @@ class CandidateEnumerator {
       }
       for (size_t i = 0; i < k; ++i) head_[i] = block_var[(*block)[i]];
       // Head variables must map to the frozen head position-wise; seed the
-      // candidate search with that binding.
+      // candidate search with that binding. Both the binding and the
+      // argument choices are loop invariants of the whole pattern — build
+      // them once here, not per enumeration node.
+      hom_options_.fixed.clear();
+      for (size_t i = 0; i < k; ++i) {
+        hom_options_.fixed[head_[i]] = chase_.frozen_head[i];
+      }
+      hom_options_.max_solutions = 1;
+      choices_ = ArgChoices();
       atoms_.clear();
+      used_frontier_ = 0;
       Search();
       return;
     }
@@ -300,6 +562,10 @@ class CandidateEnumerator {
     return s + ")";
   }
 
+  /// Pre-PR frontier computation (legacy mode only): rescans every atom
+  /// argument against the whole pool — O(atoms · arity · pool) per
+  /// BuildArgs position. The fast path threads `used` down the recursion
+  /// instead (see BuildArgs).
   size_t CountUsedPool(const std::vector<Atom>& atoms) {
     size_t used = 0;
     for (const Atom& a : atoms) {
@@ -310,6 +576,20 @@ class CandidateEnumerator {
       }
     }
     return used;
+  }
+
+  /// The atom's connecting vertices (kVariables: constants never connect),
+  /// interned against the enumerator-wide vertex table. Fills the shared
+  /// scratch buffer (the classifier copies and sorts/dedups).
+  const std::vector<int>& VarVertices(const Atom& atom) {
+    verts_scratch_.clear();
+    for (Term t : atom.args()) {
+      if (!t.IsVariable()) continue;
+      verts_scratch_.push_back(
+          vertex_of_.emplace(t, static_cast<int>(vertex_of_.size()))
+              .first->second);
+    }
+    return verts_scratch_;
   }
 
   bool HeadCovered() {
@@ -329,20 +609,18 @@ class CandidateEnumerator {
   /// The candidate (with current atoms) still maps into the chase with the
   /// head bound position-wise — the certificate for q ⊆Σ candidate.
   bool MapsIntoChase() {
-    Substitution fixed;
-    for (size_t i = 0; i < head_.size(); ++i) {
-      fixed[head_[i]] = chase_.frozen_head[i];
-    }
-    return HasHomomorphism(atoms_, chase_.instance, fixed);
+    return FindHomomorphisms(atoms_, chase_.instance, hom_options_).found;
   }
 
   void TestCandidate() {
     if (atoms_.empty() || !HeadCovered()) return;
-    if (!MeetsAcyclicityClass(atoms_, ConnectingTerms::kVariables, target_)) {
-      return;
-    }
+    bool meets = tuning_.legacy
+                     ? MeetsAcyclicityClass(atoms_, ConnectingTerms::kVariables,
+                                            target_)
+                     : inc_.Meets();
+    if (!meets) return;
     ConjunctiveQuery candidate(head_, atoms_);
-    if (!tested_.insert(StructuralKey(candidate)).second) return;
+    if (!tested_.Insert(candidate)) return;
     ++outcome_.candidates_tested;
     if (oracle_.ContainedInQ(candidate) == Tri::kYes) {
       outcome_.answer = Tri::kYes;
@@ -359,52 +637,84 @@ class CandidateEnumerator {
     TestCandidate();
     if (outcome_.answer == Tri::kYes) return;
     if (atoms_.size() >= max_atoms_) return;
-    std::string last_code =
-        atoms_.empty() ? std::string() : EncodeAtom(atoms_.back());
-    std::vector<Term> choices = ArgChoices();
+    std::string last_code;
+    if (tuning_.legacy && !atoms_.empty()) last_code = EncodeAtom(atoms_.back());
     for (Predicate p : predicates_) {
       std::vector<Term> args(static_cast<size_t>(p.arity()));
-      BuildArgs(p, 0, &args, choices, last_code);
+      BuildArgs(p, 0, &args, choices_, last_code, used_frontier_);
       if (truncated_ || outcome_.answer == Tri::kYes) return;
     }
   }
 
   void BuildArgs(Predicate p, size_t pos, std::vector<Term>* args,
                  const std::vector<Term>& choices,
-                 const std::string& last_code) {
+                 const std::string& last_code, size_t used) {
     if (truncated_ || outcome_.answer == Tri::kYes) return;
     if (pos == args->size()) {
       Atom atom(p, *args);
-      // Canonical growth: non-decreasing atom codes; no duplicate atoms.
-      if (!last_code.empty() && EncodeAtom(atom) < last_code) return;
+      // Canonical growth: non-decreasing atom order; no duplicate atoms.
+      if (!atoms_.empty()) {
+        if (tuning_.legacy) {
+          if (EncodeAtom(atom) < last_code) return;
+        } else if (AtomOrderLess(atom, atoms_.back())) {
+          return;
+        }
+      }
       for (const Atom& existing : atoms_) {
         if (existing == atom) return;
       }
       atoms_.push_back(atom);
-      if (MapsIntoChase()) Search();
+      size_t saved_frontier = used_frontier_;
+      used_frontier_ = used;
+      if (tuning_.legacy) {
+        if (MapsIntoChase()) Search();
+      } else {
+        // The classifier push costs nanoseconds (scratch deciders), so it
+        // runs before the chase homomorphism: a hereditarily violated
+        // prefix can never recover, and pruning it here skips the hom for
+        // the whole subtree.
+        inc_.PushEdge(VarVertices(atom));
+        if (!inc_.CannotRecover() && MapsIntoChase()) Search();
+        inc_.PopEdge();
+      }
+      used_frontier_ = saved_frontier;
       atoms_.pop_back();
       return;
     }
-    // Fresh pool variables must be introduced in order: recompute the
-    // frontier of used variables for each position.
-    size_t used = CountUsedPool(atoms_);
-    for (size_t i = 0; i < pos; ++i) {
-      for (size_t j = 0; j < pool_.size(); ++j) {
-        if ((*args)[i] == pool_[j]) used = std::max(used, j + 1);
-      }
-    }
-    for (Term t : choices) {
-      // Skip pool variables beyond the next fresh one.
-      bool skip = false;
-      for (size_t j = 0; j < pool_.size(); ++j) {
-        if (t == pool_[j] && j > used) {
-          skip = true;
-          break;
+    // Fresh pool variables must be introduced in order; `used` carries the
+    // frontier (pool variables consumed by atoms_ plus the args prefix)
+    // down the recursion instead of rescanning atoms and prefix.
+    if (tuning_.legacy) {
+      // Pre-PR: recompute the frontier from scratch at every position.
+      size_t rescan = CountUsedPool(atoms_);
+      for (size_t i = 0; i < pos; ++i) {
+        for (size_t j = 0; j < pool_.size(); ++j) {
+          if ((*args)[i] == pool_[j]) rescan = std::max(rescan, j + 1);
         }
       }
-      if (skip) continue;
+      for (Term t : choices) {
+        bool skip = false;
+        for (size_t j = 0; j < pool_.size(); ++j) {
+          if (t == pool_[j] && j > rescan) {
+            skip = true;
+            break;
+          }
+        }
+        if (skip) continue;
+        (*args)[pos] = t;
+        BuildArgs(p, pos + 1, args, choices, last_code, used);
+      }
+      return;
+    }
+    for (Term t : choices) {
+      size_t next_used = used;
+      auto it = pool_index_.find(t);
+      if (it != pool_index_.end()) {
+        if (it->second > used) continue;  // beyond the next fresh one
+        next_used = std::max(used, it->second + 1);
+      }
       (*args)[pos] = t;
-      BuildArgs(p, pos + 1, args, choices, last_code);
+      BuildArgs(p, pos + 1, args, choices, last_code, next_used);
     }
   }
 
@@ -414,13 +724,24 @@ class CandidateEnumerator {
   size_t max_atoms_;
   size_t budget_;
   acyclic::AcyclicityClass target_;
+  WitnessTuning tuning_;
 
   std::vector<Predicate> predicates_;
   std::vector<Term> constants_;
   std::vector<Term> pool_;
+  std::unordered_map<Term, size_t, TermHash> pool_index_;
   std::vector<Term> head_;
   std::vector<Atom> atoms_;
-  std::unordered_set<std::string> tested_;
+  /// Per-head-pattern invariants, hoisted out of the enumeration loop.
+  std::vector<Term> choices_;
+  HomOptions hom_options_;
+  acyclic::IncrementalClassifier inc_;
+  std::unordered_map<Term, int, TermHash> vertex_of_;
+  std::vector<int> verts_scratch_;
+  /// Pool variables consumed by atoms_ (the in-order-introduction
+  /// frontier), maintained incrementally across atom pushes/pops.
+  size_t used_frontier_ = 0;
+  CandidateDedup tested_;
   size_t visits_ = 0;
   bool truncated_ = false;
   WitnessSearchOutcome outcome_;
@@ -433,9 +754,10 @@ WitnessSearchOutcome ExhaustiveWitnessSearch(const ConjunctiveQuery& q,
                                              const QueryChaseResult& chase,
                                              const ContainmentOracle& oracle,
                                              size_t max_atoms, size_t budget,
-                                             acyclic::AcyclicityClass target) {
+                                             acyclic::AcyclicityClass target,
+                                             const WitnessTuning& tuning) {
   CandidateEnumerator enumerator(q, sigma, chase, oracle, max_atoms, budget,
-                                 target);
+                                 target, tuning);
   return enumerator.Run();
 }
 

@@ -1,8 +1,13 @@
 #ifndef SEMACYC_SEMACYC_WITNESS_SEARCH_H_
 #define SEMACYC_SEMACYC_WITNESS_SEARCH_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "acyclic/classify.h"
 #include "chase/query_chase.h"
@@ -14,12 +19,32 @@ namespace semacyc {
 /// tgd-only and the UCQ rewriting of q is complete, candidates are checked
 /// against the cached rewriting (exact, no chase of the candidate needed);
 /// otherwise the candidate is chased (exact when that chase saturates).
+///
+/// With `memoize = true` (the default) the per-candidate work is cut two
+/// ways:
+///  * answers are memoized by the hash-interned canonical form of the
+///    candidate (collisions resolved with AreIsomorphic, so the cache is
+///    exact): isomorphic candidates revisited across witness strategies,
+///    head patterns and iterative-deepening rounds hit the cache instead
+///    of re-chasing;
+///  * for egd-free Σ, a predicate-reachability prefilter answers kNo
+///    without chasing when some predicate of q is unreachable (at the
+///    predicate level, an over-approximation of derivability) from the
+///    candidate's predicates — no chase of the candidate, however long,
+///    can then produce the atoms q needs, so the rejection is definitive;
+///  * when Σ is egd-free and no tgd head predicate occurs in q, the chase
+///    of the candidate can never add an atom the q-homomorphism could
+///    use, so containment degenerates to the classical Chandra–Merlin
+///    check against the candidate itself — exact, chase-free, and cheap
+///    enough that memoizing it would cost more than deciding.
+/// `memoize = false` reproduces the pre-PR per-candidate cost and is the
+/// bench baseline.
 class ContainmentOracle {
  public:
   ContainmentOracle(const ConjunctiveQuery& q, const DependencySet& sigma,
                     const ChaseOptions& chase_options,
                     const RewriteOptions& rewrite_options,
-                    bool try_rewriting = true);
+                    bool try_rewriting = true, bool memoize = true);
 
   /// candidate ⊆Σ q.
   Tri ContainedInQ(const ConjunctiveQuery& candidate) const;
@@ -27,13 +52,47 @@ class ContainmentOracle {
   bool exact() const { return exact_; }
   /// Whether the cached-rewriting fast path is active.
   bool uses_rewriting() const { return rewriting_.has_value(); }
+  /// Memoization counters (hits are answers served without a chase or
+  /// rewriting evaluation; prefiltered counts instant-NO rejections).
+  size_t cache_hits() const { return hits_; }
+  size_t cache_misses() const { return misses_; }
+  size_t prefiltered() const { return prefiltered_; }
 
  private:
+  Tri Decide(const ConjunctiveQuery& candidate) const;
+  Tri DecideChaseFree(const ConjunctiveQuery& candidate) const;
+  bool PassesPredicateFilter(const ConjunctiveQuery& candidate) const;
+
   const ConjunctiveQuery& q_;
   const DependencySet& sigma_;
   ChaseOptions chase_options_;
   std::optional<RewriteResult> rewriting_;
   bool exact_ = false;
+  bool memoize_;
+  /// Predicate-reachability prefilter state: for each distinct predicate
+  /// of q, the set of predicates from which it is reachable in Σ's
+  /// body-to-head predicate graph (ANY-body over-approximation).
+  bool prefilter_ = false;
+  /// Σ cannot contribute atoms over q's predicates: decide classically.
+  bool chase_free_ = false;
+  std::vector<std::unordered_set<uint32_t>> q_pred_sources_;
+  mutable std::unordered_map<uint64_t,
+                             std::vector<std::pair<ConjunctiveQuery, Tri>>>
+      memo_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+  mutable size_t prefiltered_ = 0;
+};
+
+/// Per-candidate machinery switch for the witness strategies. The default
+/// is the incremental pipeline: push/pop acyclicity classification along
+/// the DFS path (with hereditary subtree pruning for β/γ/Berge targets)
+/// and fingerprint-based candidate dedup. `legacy = true` reproduces the
+/// pre-incremental pipeline — a from-scratch hypergraph build and batch
+/// decider run per candidate, string StructuralKey dedup — and exists so
+/// benches can measure one against the other at identical budgets.
+struct WitnessTuning {
+  bool legacy = false;
 };
 
 /// Outcome of one witness-search strategy.
@@ -56,7 +115,8 @@ struct WitnessSearchOutcome {
 WitnessSearchOutcome FindWitnessInQueryImages(
     const ConjunctiveQuery& q, const QueryChaseResult& chase,
     const ContainmentOracle& oracle, size_t max_homs,
-    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha);
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
+    const WitnessTuning& tuning = {});
 
 /// Strategy "subsets": `target`-acyclic sub-instances of the chase
 /// mentioning all answer terms, up to `max_atoms` atoms (q ⊆Σ subset by
@@ -64,7 +124,8 @@ WitnessSearchOutcome FindWitnessInQueryImages(
 WitnessSearchOutcome FindWitnessInChaseSubsets(
     const ConjunctiveQuery& q, const QueryChaseResult& chase,
     const ContainmentOracle& oracle, size_t max_atoms, size_t budget,
-    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha);
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
+    const WitnessTuning& tuning = {});
 
 /// Strategy "exhaustive": canonical enumeration of `target`-acyclic CQs up
 /// to `max_atoms` atoms over the predicates that can occur in chase(q,Σ),
@@ -78,7 +139,8 @@ WitnessSearchOutcome ExhaustiveWitnessSearch(
     const ConjunctiveQuery& q, const DependencySet& sigma,
     const QueryChaseResult& chase, const ContainmentOracle& oracle,
     size_t max_atoms, size_t budget,
-    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha);
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
+    const WitnessTuning& tuning = {});
 
 }  // namespace semacyc
 

@@ -126,6 +126,35 @@ TEST(CertificateTest, GammaTraceCoversEverything) {
   EXPECT_EQ(edge_steps, hg.edges.size());
 }
 
+TEST(CertificateTest, GammaWorklistAgreesWithRounds) {
+  // The worklist γ decider against the round-based reference on random
+  // hypergraphs (both reductions are confluent, so traces may differ but
+  // the verdict may not).
+  std::mt19937_64 rng(61);
+  for (int iter = 0; iter < 2000; ++iter) {
+    int n = 2 + static_cast<int>(rng() % 7);
+    int m = 1 + static_cast<int>(rng() % 8);
+    acyclic::Hypergraph hg;
+    hg.num_vertices = n;
+    for (int e = 0; e < m; ++e) {
+      std::vector<int> verts;
+      for (int v = 0; v < n; ++v) {
+        if (rng() % 3 == 0) verts.push_back(v);
+      }
+      if (verts.empty()) verts.push_back(static_cast<int>(rng() % n));
+      hg.edges.push_back(std::move(verts));
+    }
+    acyclic::GammaResult worklist = acyclic::DecideGamma(hg);
+    acyclic::GammaResult rounds = acyclic::DecideGammaRounds(hg);
+    ASSERT_EQ(worklist.gamma_acyclic, rounds.gamma_acyclic)
+        << "iteration " << iter;
+    // On γ-acyclic inputs both traces erase everything exactly once.
+    if (worklist.gamma_acyclic) {
+      ASSERT_EQ(worklist.trace.size(), rounds.trace.size());
+    }
+  }
+}
+
 // -------------------------------------------- engine vs naive agreement --
 
 TEST(GyoEngineTest, AgreesWithNaiveOnRandomHypergraphs) {
