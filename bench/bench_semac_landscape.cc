@@ -125,7 +125,7 @@ void ShapeReport(bench::JsonReport* report) {
     std::snprintf(ms_str, sizeof(ms_str), "%.2f", ms);
     table.AddRow(
         {f.name, std::to_string(f.q.size()), ToString(result.answer),
-         ToString(f.expected), result.strategy,
+         ToString(f.expected), ToString(result.strategy),
          result.witness.has_value() ? std::to_string(result.witness->size())
                                     : "-",
          std::to_string(result.small_query_bound), ms_str});

@@ -10,7 +10,7 @@
 #include "core/parser.h"
 #include "eval/yannakakis.h"
 #include "gen/generators.h"
-#include "semacyc/approximation.h"
+#include "semacyc/engine.h"
 
 using namespace semacyc;
 
@@ -23,11 +23,14 @@ int main() {
       "Premium(u) -> User(u)");  // unrelated: the triangle stays essential
   std::printf("query: %s\n", q.ToString().c_str());
 
-  auto result = AcyclicApproximation(q, sigma);
-  if (!result.has_value()) {
-    std::printf("approximation unavailable (query has constants)\n");
+  Engine engine(sigma);
+  ApproximateOutcome outcome = engine.Approximate(engine.Prepare(q));
+  if (!outcome.status.ok()) {
+    std::printf("approximation unavailable: %s\n",
+                outcome.status.message.c_str());
     return 1;
   }
+  const ApproximationResult* result = &outcome.result;
   std::printf("semantically acyclic: %s\n", result->is_exact ? "yes" : "no");
   std::printf("approximation (%zu candidates explored): %s\n",
               result->candidates.size(),

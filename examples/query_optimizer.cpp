@@ -50,7 +50,7 @@ int main() {
     }
     std::printf("%-55s %zu->%zu     %-9s %-10s %s\n", text, q.size(),
                 core.size(), ToString(decision.answer),
-                decision.strategy.c_str(), plan);
+                ToString(decision.strategy), plan);
     if (decision.witness.has_value()) {
       std::printf("    witness: %s\n", decision.witness->ToString().c_str());
     }

@@ -1,17 +1,19 @@
-// Quickstart: parse a query and a constraint set, decide semantic
-// acyclicity, and evaluate the acyclic reformulation.
+// Quickstart: build an Engine for a constraint set, prepare a query,
+// decide semantic acyclicity, and evaluate the acyclic reformulation.
 //
 //   $ ./examples/quickstart
 //
-// This walks through the library's core loop on the paper's Example 1.
+// This walks through the library's core loop on the paper's Example 1,
+// using the session-oriented Engine API (one schema, many queries). The
+// free functions (DecideSemanticAcyclicity & co.) remain as one-shot
+// wrappers over a transient Engine.
 #include <cstdio>
 
 #include "chase/query_chase.h"
 #include "core/homomorphism.h"
 #include "core/hypergraph.h"
 #include "core/parser.h"
-#include "eval/yannakakis.h"
-#include "semacyc/decider.h"
+#include "semacyc/engine.h"
 
 using namespace semacyc;
 
@@ -22,23 +24,32 @@ int main() {
   ConjunctiveQuery q = MustParseQuery(
       "q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)");
   std::printf("query:        %s\n", q.ToString().c_str());
-  std::printf("acyclic?      %s\n", IsAcyclic(q) ? "yes" : "no");
 
   // 2. A constraint: every customer owns every record classified with a
-  //    style they are interested in ("compulsive collectors").
+  //    style they are interested in ("compulsive collectors"). The Engine
+  //    analyzes Σ once; every later call runs off that prepared schema
+  //    and its shared caches (chase memo, rewritings, oracle memos).
   DependencySet sigma = MustParseDependencySet(
       "Interest(x,z), Class(y,z) -> Owns(x,y)");
   std::printf("constraints:  %s", sigma.ToString().c_str());
+  Engine engine(sigma);
 
-  // 3. Decide semantic acyclicity under the constraints.
-  SemAcResult decision = DecideSemanticAcyclicity(q, sigma);
+  // 3. Prepare the query (classification with certificates, small-query
+  //    bound) and decide semantic acyclicity under the constraints.
+  PreparedQuery pq = engine.Prepare(q);
+  std::printf("acyclic?      %s (class: %s)\n",
+              pq.MeetsTarget(acyclic::AcyclicityClass::kAlpha) ? "yes" : "no",
+              ToString(pq.acyclicity_class()));
+  SemAcResult decision = engine.Decide(pq);
   std::printf("semantically acyclic? %s (strategy: %s)\n",
-              ToString(decision.answer), decision.strategy.c_str());
+              ToString(decision.answer), ToString(decision.strategy));
   if (decision.answer != SemAcAnswer::kYes) return 1;
   std::printf("witness:      %s\n", decision.witness->ToString().c_str());
 
   // 4. The witness is equivalent to q on every database satisfying Σ —
-  //    verify on a small database, then evaluate it with Yannakakis.
+  //    verify on a small database, then evaluate via Engine::Eval (the
+  //    reformulation is served from the decision cache; Yannakakis runs
+  //    over a view-based join tree of the witness).
   Instance db;
   db.InsertAll(MustParseAtoms(
       "Interest('ana','jazz'), Interest('bob','rock'), "
@@ -48,9 +59,13 @@ int main() {
     std::printf("database violates the constraints!\n");
     return 1;
   }
-  YannakakisResult fast = EvaluateAcyclic(*decision.witness, db);
+  EvalOutcome fast = engine.Eval(pq, db);
+  if (!fast.status.ok()) {
+    std::printf("evaluation failed: %s\n", fast.status.message.c_str());
+    return 1;
+  }
   std::printf("answers via acyclic witness (linear time):\n");
-  for (const auto& tuple : fast.answers) {
+  for (const auto& tuple : fast.evaluation.answers) {
     std::printf("  (%s, %s)\n", tuple[0].ToString().c_str(),
                 tuple[1].ToString().c_str());
   }
@@ -59,6 +74,13 @@ int main() {
   auto brute = EvaluateQuery(q, db);
   std::printf("generic evaluation of q returns %zu answers — %s\n",
               brute.size(),
-              brute.size() == fast.answers.size() ? "they agree" : "MISMATCH");
+              brute.size() == fast.evaluation.answers.size() ? "they agree"
+                                                             : "MISMATCH");
+
+  // 6. Session statistics: the decision above was computed once; Eval
+  //    reused it from the cache.
+  EngineStats stats = engine.stats();
+  std::printf("engine: %zu decisions, %zu served from cache\n",
+              stats.decisions, stats.decision_cache_hits);
   return 0;
 }

@@ -1,37 +1,144 @@
-// Command-line driver: decide semantic acyclicity for a query under a
+// Command-line driver: decide semantic acyclicity for queries under a
 // dependency set.
 //
+// One-shot mode (one query, human-readable report):
 //   semacyc_cli '<query>' '<dependencies>'
 //   semacyc_cli 'q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)' \
 //               'Interest(x,z), Class(y,z) -> Owns(x,y).'
 //
-// Exit code: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
+// Batch mode (many queries against one schema file, one JSON line per
+// decision, a single Engine / PreparedSchema shared by every call):
+//   semacyc_cli --batch <schema-file> [<queries-file>]
+// The schema file holds a dependency set ('%' comments allowed); queries
+// come one per line from <queries-file> or stdin (blank lines and '%'
+// comment lines skipped).
+//
+// Exit code, one-shot: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
+// Exit code, batch: 0 once the schema parsed (per-line errors are reported
+// as JSON on the line that failed), 3 on usage/schema errors.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
 
 #include "core/core_min.h"
 #include "core/hypergraph.h"
 #include "core/parser.h"
 #include "deps/classify.h"
-#include "semacyc/decider.h"
+#include "semacyc/engine.h"
 
 using namespace semacyc;
 
-int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr,
-                 "usage: %s '<query>' '<dependencies>'\n"
-                 "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
-                 "  dependencies: tgds 'body -> head' and egds 'body -> x = y',\n"
-                 "                separated by '.'; may be empty ('')\n",
-                 argv[0]);
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int RunBatch(const char* schema_path, const char* queries_path) {
+  std::ifstream schema_file(schema_path);
+  if (!schema_file) {
+    std::fprintf(stderr, "cannot open schema file: %s\n", schema_path);
     return 3;
   }
-  ParseResult<ConjunctiveQuery> q = ParseQuery(argv[1]);
+  std::stringstream schema_text;
+  schema_text << schema_file.rdbuf();
+  ParseResult<DependencySet> sigma = ParseDependencySet(schema_text.str());
+  if (!sigma.ok()) {
+    std::fprintf(stderr, "schema parse error: %s\n", sigma.error.c_str());
+    return 3;
+  }
+
+  std::ifstream queries_file;
+  if (queries_path != nullptr) {
+    queries_file.open(queries_path);
+    if (!queries_file) {
+      std::fprintf(stderr, "cannot open queries file: %s\n", queries_path);
+      return 3;
+    }
+  }
+  std::istream& in = queries_path != nullptr
+                         ? static_cast<std::istream&>(queries_file)
+                         : std::cin;
+
+  // One Engine for the whole stream: Σ is analyzed once and every
+  // repeated (or isomorphic) query is served from the shared caches.
+  Engine engine(*sigma.value);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '%') continue;
+    ParseResult<ConjunctiveQuery> q = ParseQuery(line);
+    if (!q.ok()) {
+      std::printf("{\"query\": \"%s\", \"error\": \"%s\"}\n",
+                  JsonEscape(line).c_str(), JsonEscape(q.error).c_str());
+      continue;
+    }
+    PreparedQuery pq = engine.Prepare(*q.value);
+    SemAcResult result = engine.Decide(pq);
+    std::printf(
+        "{\"query\": \"%s\", \"answer\": \"%s\", \"strategy\": \"%s\", "
+        "\"exact\": %s, \"class\": \"%s\", \"bound\": %zu, "
+        "\"bound_justified\": %s, \"candidates\": %zu",
+        JsonEscape(q->ToString()).c_str(), ToString(result.answer),
+        ToString(result.strategy), result.exact ? "true" : "false",
+        ToString(pq.acyclicity_class()), result.small_query_bound,
+        result.bound_justified ? "true" : "false", result.candidates_tested);
+    if (result.witness.has_value()) {
+      std::printf(", \"witness\": \"%s\", \"witness_class\": \"%s\"",
+                  JsonEscape(result.witness->ToString()).c_str(),
+                  ToString(result.witness_class));
+    }
+    std::printf("}\n");
+    std::fflush(stdout);
+  }
+
+  EngineStats stats = engine.stats();
+  std::fprintf(stderr,
+               "decided %zu (cache hits: %zu decision, %zu chase, %zu "
+               "oracle memo)\n",
+               stats.decisions, stats.decision_cache_hits,
+               stats.chase_cache_hits, stats.oracle_hits);
+  return 0;
+}
+
+int RunOneShot(const char* query_text, const char* sigma_text) {
+  ParseResult<ConjunctiveQuery> q = ParseQuery(query_text);
   if (!q.ok()) {
     std::fprintf(stderr, "query parse error: %s\n", q.error.c_str());
     return 3;
   }
-  ParseResult<DependencySet> sigma = ParseDependencySet(argv[2]);
+  ParseResult<DependencySet> sigma = ParseDependencySet(sigma_text);
   if (!sigma.ok()) {
     std::fprintf(stderr, "dependency parse error: %s\n", sigma.error.c_str());
     return 3;
@@ -50,9 +157,11 @@ int main(int argc, char** argv) {
   }
 
   SemAcResult result = DecideSemanticAcyclicity(*q.value, *sigma.value);
-  std::printf("semantically acyclic: %s (strategy: %s, exact: %s)\n",
-              ToString(result.answer), result.strategy.c_str(),
-              result.exact ? "yes" : "no");
+  std::printf(
+      "semantically acyclic: %s (strategy: %s, exact: %s, bound %zu%s)\n",
+      ToString(result.answer), ToString(result.strategy),
+      result.exact ? "yes" : "no", result.small_query_bound,
+      result.bound_justified ? "" : " [heuristic]");
   if (result.witness.has_value()) {
     std::printf("witness:    %s\n", result.witness->ToString().c_str());
   }
@@ -65,4 +174,28 @@ int main(int argc, char** argv) {
       return 2;
   }
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--batch") == 0) {
+    return RunBatch(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s '<query>' '<dependencies>'\n"
+                 "       %s --batch <schema-file> [<queries-file>]\n"
+                 "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
+                 "  dependencies: tgds 'body -> head' and egds 'body -> x = "
+                 "y',\n"
+                 "                separated by '.'; may be empty ('')\n"
+                 "  batch mode:   one query per line, one JSON line per "
+                 "decision,\n"
+                 "                a single prepared schema shared by the "
+                 "whole run\n",
+                 argv[0], argv[0]);
+    return 3;
+  }
+  return RunOneShot(argv[1], argv[2]);
 }

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json reports and fail on regressions.
+
+Usage:
+    bench_diff.py <previous-dir> <current-dir> [--threshold 1.75]
+                  [--min-abs-ms 5.0]
+
+Every bench binary in this repo emits, under --json, a file of the shape
+
+    {"bench": "<name>", "<section>": [ {"key": value, ...}, ... ], ...}
+
+where rows mix identity fields (workload names, sizes, counts) with timing
+fields. A field counts as a *timing* when its key names a time unit
+("cold_ms", "time (ms)", "ns/op", "seconds", ...); everything else is
+identity. Rows are matched across runs by (file, section, identity); a
+matched timing regresses when
+
+    current > previous * threshold   and   current - previous > min-abs-ms
+
+both hold — the absolute floor keeps microsecond-scale noise from tripping
+the ratio test. Ratio-style fields ("speedup", "ratio") and rows that
+appear in only one run are reported informationally, never fatally, so
+adding a bench or a workload does not break the diff job.
+
+Exit code: 0 = no regressions (or nothing comparable), 1 = regressions,
+2 = usage error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+TIMING_KEY = re.compile(r"(?:^|[_\s(/])(?:ms|ns|us|time|seconds?)\b", re.I)
+RATIO_KEY = re.compile(r"speedup|ratio|x\b", re.I)
+
+
+def is_timing_key(key):
+    return bool(TIMING_KEY.search(key)) and not RATIO_KEY.search(key)
+
+
+def as_float(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def load_rows(path):
+    """Yields (section, identity, {timing_key: float}) for one report."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"warning: skipping unreadable {path.name}: {err}")
+        return
+    seen = {}
+    for section, rows in data.items():
+        if not isinstance(rows, list):
+            continue
+        for row in rows:
+            if not isinstance(row, dict):
+                continue
+            identity_parts = []
+            timings = {}
+            for key, value in row.items():
+                num = as_float(value)
+                if is_timing_key(key) and num is not None:
+                    timings[key] = num
+                elif num is None or num == int(num):
+                    # Strings and integer-valued fields identify the row
+                    # (workload names, sizes, counts); non-integer numbers
+                    # are run-dependent measurements (speedups, ratios)
+                    # and would break matching across runs.
+                    identity_parts.append(f"{key}={value}")
+            identity = ", ".join(identity_parts)
+            # Disambiguate duplicate identities by occurrence order.
+            occurrence = seen.setdefault((section, identity), 0)
+            seen[(section, identity)] = occurrence + 1
+            if occurrence:
+                identity = f"{identity} #{occurrence + 1}"
+            if timings:
+                yield section, identity, timings
+
+
+def index_dir(directory):
+    out = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        for section, identity, timings in load_rows(path):
+            out[(path.name, section, identity)] = timings
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.75,
+                        help="fatal ratio of current/previous (default 1.75)")
+    parser.add_argument("--min-abs-ms", type=float, default=5.0,
+                        help="ignore regressions smaller than this many "
+                             "units of the timing field (default 5.0)")
+    args = parser.parse_args()
+
+    if not Path(args.previous).is_dir():
+        # A first run (or expired artifacts) has no baseline: report & pass.
+        print(f"no previous bench results at {args.previous}; nothing to "
+              "compare")
+        return 0
+    if not Path(args.current).is_dir():
+        print(f"error: current bench directory {args.current} not found")
+        return 2
+
+    prev = index_dir(args.previous)
+    cur = index_dir(args.current)
+    if not prev or not cur:
+        print("no comparable BENCH_*.json rows on one side; skipping")
+        return 0
+
+    regressions = []
+    improvements = []
+    compared = 0
+    unmatched_cur = sorted(set(cur) - set(prev))
+    unmatched_prev = sorted(set(prev) - set(cur))
+    for key, cur_timings in sorted(cur.items()):
+        prev_timings = prev.get(key)
+        if prev_timings is None:
+            continue
+        file_name, section, identity = key
+        for field, cur_value in cur_timings.items():
+            prev_value = prev_timings.get(field)
+            if prev_value is None or prev_value <= 0:
+                continue
+            compared += 1
+            ratio = cur_value / prev_value
+            where = f"{file_name} [{section}] {identity} :: {field}"
+            if (ratio > args.threshold
+                    and cur_value - prev_value > args.min_abs_ms):
+                regressions.append(
+                    f"  {where}: {prev_value:.2f} -> {cur_value:.2f} "
+                    f"({ratio:.2f}x)")
+            elif ratio < 1 / args.threshold:
+                improvements.append(
+                    f"  {where}: {prev_value:.2f} -> {cur_value:.2f} "
+                    f"({ratio:.2f}x)")
+
+    print(f"compared {compared} timing fields across "
+          f"{len(set(cur) & set(prev))} matched rows "
+          f"(threshold {args.threshold}x, floor {args.min_abs_ms})")
+    # Renamed/added/removed rows drop out of regression coverage; say so,
+    # so a silent coverage loss is visible in the CI log.
+    if unmatched_cur:
+        print(f"rows only in current run, not compared ({len(unmatched_cur)}):")
+        for file_name, section, identity in unmatched_cur:
+            print(f"  {file_name} [{section}] {identity}")
+    if unmatched_prev:
+        print(f"rows only in previous run, not compared "
+              f"({len(unmatched_prev)}):")
+        for file_name, section, identity in unmatched_prev:
+            print(f"  {file_name} [{section}] {identity}")
+    if improvements:
+        print(f"improvements ({len(improvements)}):")
+        print("\n".join(improvements))
+    if regressions:
+        print(f"REGRESSIONS ({len(regressions)}):")
+        print("\n".join(regressions))
+        return 1
+    print("no regressions beyond the noise threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/canonical.h"
 #include "core/homomorphism.h"
 
 namespace semacyc {
@@ -36,6 +37,49 @@ QueryChaseResult ChaseQuery(const ConjunctiveQuery& q,
     result.frozen_head.push_back(chase.Resolve(t));
   }
   return result;
+}
+
+std::shared_ptr<const QueryChaseResult> QueryChaseCache::Find(
+    uint64_t fp, const ConjunctiveQuery& q) const {
+  auto it = map_.find(fp);
+  if (it == map_.end()) return nullptr;
+  for (const auto& [cached, chase] : it->second) {
+    if (cached == q) return chase;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const QueryChaseResult> QueryChaseCache::GetOrCompute(
+    const ConjunctiveQuery& q, const DependencySet& sigma,
+    const ChaseOptions& options) {
+  uint64_t fp = CanonicalFingerprint(q);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto cached = Find(fp, q)) {
+      ++hits_;
+      return cached;
+    }
+  }
+  auto computed =
+      std::make_shared<const QueryChaseResult>(ChaseQuery(q, sigma, options));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto cached = Find(fp, q)) {
+    ++hits_;  // lost the race; serve the first insert for determinism
+    return cached;
+  }
+  ++misses_;
+  map_[fp].emplace_back(q, computed);
+  return computed;
+}
+
+size_t QueryChaseCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t QueryChaseCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 Tri ContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,

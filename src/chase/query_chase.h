@@ -1,6 +1,13 @@
 #ifndef SEMACYC_CHASE_QUERY_CHASE_H_
 #define SEMACYC_CHASE_QUERY_CHASE_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "chase/tgd_chase.h"
 #include "core/query.h"
 
@@ -23,6 +30,39 @@ struct QueryChaseResult {
 QueryChaseResult ChaseQuery(const ConjunctiveQuery& q,
                             const DependencySet& sigma,
                             const ChaseOptions& options = {});
+
+/// Thread-safe memo of chase(q, Σ) for a *fixed* Σ and ChaseOptions, keyed
+/// by the canonical fingerprint of q and resolved by exact query equality
+/// (the chase's frozen terms derive from q's variable names, so isomorphic
+/// queries get distinct entries). One lives inside each semacyc::Engine:
+/// Decide/Approximate/DecideUcq runs against one schema share the chase
+/// instead of re-deriving it per entrypoint and per repeat call. Neither Σ
+/// nor the options participate in the key — use one cache per (Σ, options).
+class QueryChaseCache {
+ public:
+  /// Returns the cached chase of q, or computes and inserts it. The chase
+  /// runs outside the lock; a racing insert of the same query keeps the
+  /// first entry, so every caller sees one result object.
+  std::shared_ptr<const QueryChaseResult> GetOrCompute(
+      const ConjunctiveQuery& q, const DependencySet& sigma,
+      const ChaseOptions& options);
+
+  size_t hits() const;
+  size_t misses() const;
+
+ private:
+  std::shared_ptr<const QueryChaseResult> Find(
+      uint64_t fp, const ConjunctiveQuery& q) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<
+      uint64_t,
+      std::vector<std::pair<ConjunctiveQuery,
+                            std::shared_ptr<const QueryChaseResult>>>>
+      map_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
 
 /// Three-valued answers for chase-based decision procedures whose chase
 /// may have been truncated.

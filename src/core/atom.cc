@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace semacyc {
 namespace {
 
+/// Read-mostly like the term SymbolTable: known predicates (the steady
+/// state — ArityOf runs per enumerated candidate atom) take a shared lock.
 class PredicateTable {
  public:
   static PredicateTable& Get() {
@@ -16,8 +20,13 @@ class PredicateTable {
   }
 
   uint32_t Intern(const std::string& name, int arity) {
-    std::lock_guard<std::mutex> lock(mu_);
     std::string key = name + "/" + std::to_string(arity);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(entries_.size());
@@ -27,13 +36,13 @@ class PredicateTable {
   }
 
   const std::string& NameOf(uint32_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     assert(id < entries_.size());
     return entries_[id].name;
   }
 
   int ArityOf(uint32_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     assert(id < entries_.size());
     return entries_[id].arity;
   }
@@ -43,9 +52,11 @@ class PredicateTable {
     std::string name;
     int arity;
   };
-  std::mutex mu_;
+  std::shared_mutex mu_;
   std::unordered_map<std::string, uint32_t> map_;
-  std::vector<Entry> entries_;
+  /// Deque, not vector: NameOf hands out references that must survive
+  /// concurrent Intern calls (Engine::Decide runs on shared state).
+  std::deque<Entry> entries_;
 };
 
 }  // namespace

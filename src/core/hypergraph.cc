@@ -106,4 +106,11 @@ std::optional<JoinTree> BuildJoinTree(const std::vector<Atom>& atoms,
   return JoinTreeFromForest(atoms, std::move(gyo.parent));
 }
 
+std::optional<JoinTreeView> BuildJoinTreeView(const std::vector<Atom>& atoms,
+                                              ConnectingTerms connecting) {
+  GyoResult gyo = RunGyo(Hypergraph::FromAtoms(atoms, connecting));
+  if (!gyo.acyclic) return std::nullopt;
+  return JoinTreeView(atoms, std::move(gyo.parent));
+}
+
 }  // namespace semacyc

@@ -81,6 +81,12 @@ JoinTree JoinTreeFromForest(const std::vector<Atom>& atoms,
 std::optional<JoinTree> BuildJoinTree(const std::vector<Atom>& atoms,
                                       ConnectingTerms connecting);
 
+/// View-based variant: the returned tree references `atoms` in place (no
+/// atom copies; `atoms` must outlive the view). This is the per-evaluation
+/// path of eval/yannakakis and Engine::Eval.
+std::optional<JoinTreeView> BuildJoinTreeView(const std::vector<Atom>& atoms,
+                                              ConnectingTerms connecting);
+
 }  // namespace semacyc
 
 #endif  // SEMACYC_CORE_HYPERGRAPH_H_

@@ -68,6 +68,68 @@ bool JoinTree::ValidateAllTerms() const {
   return Validate(std::vector<Term>(terms.begin(), terms.end()));
 }
 
+JoinTreeView::JoinTreeView(const std::vector<Atom>& atoms,
+                           std::vector<int> parent)
+    : atoms_(&atoms), parent_(std::move(parent)) {
+  assert(atoms.size() == parent_.size());
+  // Chain sibling forest roots under the first root (JoinTreeFromForest).
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    if (parent_[i] != -1) continue;
+    if (root_ == -1) {
+      root_ = static_cast<int>(i);
+    } else {
+      parent_[i] = root_;
+    }
+  }
+  children_.resize(parent_.size());
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    if (parent_[i] >= 0) {
+      children_[static_cast<size_t>(parent_[i])].push_back(
+          static_cast<int>(i));
+    }
+  }
+}
+
+std::vector<int> JoinTreeView::TopDownOrder() const {
+  std::vector<int> order;
+  if (root_ < 0) return order;
+  order.reserve(parent_.size());
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    for (int child : children_[static_cast<size_t>(node)]) {
+      stack.push_back(child);
+    }
+  }
+  return order;
+}
+
+std::vector<int> JoinTreeView::BottomUpOrder() const {
+  std::vector<int> order = TopDownOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+bool JoinTreeView::Validate(const std::vector<Term>& connecting) const {
+  if (parent_.empty()) return true;
+  if (root_ < 0) return false;
+  std::unordered_set<Term> wanted(connecting.begin(), connecting.end());
+  for (Term t : wanted) {
+    int heads = 0;
+    int count = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      if (!atom(static_cast<int>(i)).Mentions(t)) continue;
+      ++count;
+      int p = parent_[i];
+      if (p < 0 || !atom(p).Mentions(t)) ++heads;
+    }
+    if (count > 0 && heads != 1) return false;
+  }
+  return true;
+}
+
 std::string JoinTree::ToString() const {
   std::string out;
   for (size_t i = 0; i < atoms_.size(); ++i) {

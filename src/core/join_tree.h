@@ -47,6 +47,42 @@ class JoinTree {
   int root_ = -1;
 };
 
+/// Non-owning analogue of JoinTree over a caller-owned atom vector: nodes
+/// reference the atoms in place, so building one per evaluation costs only
+/// the integer parent/children arrays (eval/yannakakis builds a view per
+/// call instead of copying every atom; see the GyoResult parent array).
+///
+/// The atom vector must outlive the view. Like JoinTreeFromForest, sibling
+/// forest roots are chained under the first root (distinct components share
+/// no connecting terms, so the running-intersection property is preserved).
+class JoinTreeView {
+ public:
+  JoinTreeView() = default;
+  /// `parent` is a GYO join forest over indices into `atoms` (same order).
+  JoinTreeView(const std::vector<Atom>& atoms, std::vector<int> parent);
+
+  const Atom& atom(int i) const { return (*atoms_)[static_cast<size_t>(i)]; }
+  const std::vector<Atom>& atoms() const { return *atoms_; }
+  const std::vector<int>& parent() const { return parent_; }
+  const std::vector<std::vector<int>>& children() const { return children_; }
+  int root() const { return root_; }
+  size_t size() const { return parent_.size(); }
+
+  /// Nodes in a top-down (parent before child) order.
+  std::vector<int> TopDownOrder() const;
+  /// Nodes in a bottom-up (child before parent) order.
+  std::vector<int> BottomUpOrder() const;
+
+  /// Running-intersection check over the given terms (see JoinTree).
+  bool Validate(const std::vector<Term>& connecting) const;
+
+ private:
+  const std::vector<Atom>* atoms_ = nullptr;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  int root_ = -1;
+};
+
 }  // namespace semacyc
 
 #endif  // SEMACYC_CORE_JOIN_TREE_H_

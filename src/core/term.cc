@@ -2,15 +2,18 @@
 
 #include <atomic>
 #include <cassert>
+#include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace semacyc {
 namespace {
 
 /// Process-wide interning table for named terms (constants and variables).
-/// Guarded by a mutex; hot paths deal in integer handles only, so contention
-/// is limited to parsing and fresh-symbol creation.
+/// Read-mostly: lookups of known symbols (the steady state of concurrent
+/// Engine decisions, which re-intern pooled names like "s$3" constantly)
+/// take a shared lock; only genuinely new symbols take the exclusive one.
 class SymbolTable {
  public:
   static SymbolTable& Get() {
@@ -19,8 +22,13 @@ class SymbolTable {
   }
 
   uint32_t Intern(TermKind kind, const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
     auto& map = maps_[static_cast<int>(kind)];
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = map.find(name);
+      if (it != map.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = map.find(name);
     if (it != map.end()) return it->second;
     auto& names = names_[static_cast<int>(kind)];
@@ -31,16 +39,18 @@ class SymbolTable {
   }
 
   const std::string& NameOf(TermKind kind, uint32_t index) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto& names = names_[static_cast<int>(kind)];
     assert(index < names.size());
     return names[index];
   }
 
  private:
-  std::mutex mu_;
+  std::shared_mutex mu_;
   std::unordered_map<std::string, uint32_t> maps_[3];
-  std::vector<std::string> names_[3];
+  /// Deque, not vector: NameOf hands out references that must survive
+  /// concurrent Intern calls (Engine::Decide runs on shared state).
+  std::deque<std::string> names_[3];
 };
 
 std::atomic<uint32_t> g_null_counter{0};

@@ -1,6 +1,7 @@
 #include "eval/semac_eval.h"
 
 #include "chase/query_chase.h"
+#include "semacyc/engine.h"
 
 namespace semacyc {
 
@@ -31,14 +32,15 @@ Tri GameEvaluateViaChase(const ConjunctiveQuery& q, const DependencySet& sigma,
 FptEvalResult FptEvaluate(const ConjunctiveQuery& q,
                           const DependencySet& sigma, const Instance& database,
                           const SemAcOptions& options) {
+  // One-shot wrapper over a transient Engine (see Engine::Eval for the
+  // session API with an explicit status and reformulation reuse).
+  Engine engine(sigma, options);
+  EvalOutcome out = engine.Eval(engine.Prepare(q), database);
   FptEvalResult result;
-  SemAcResult decision = DecideSemanticAcyclicity(q, sigma, options);
-  if (decision.answer != SemAcAnswer::kYes || !decision.witness.has_value()) {
-    return result;
-  }
+  if (!out.reformulated) return result;
   result.reformulated = true;
-  result.witness = *decision.witness;
-  result.evaluation = EvaluateAcyclic(result.witness, database);
+  result.witness = std::move(out.witness);
+  result.evaluation = std::move(out.evaluation);
   return result;
 }
 

@@ -100,19 +100,22 @@ void SemiJoin(NodeRelation* target, const NodeRelation& source,
   target->tuples = std::move(kept);
 }
 
-/// Join tree of q's body via the acyclic engine's GYO forest; nullopt when
-/// q is cyclic. Shared by both evaluation paths.
-std::optional<JoinTree> JoinTreeOf(const ConjunctiveQuery& q) {
-  return BuildJoinTree(q.body(), ConnectingTerms::kVariables);
-}
-
 }  // namespace
 
 YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
                                  const Instance& database) {
+  // View-based join tree over the GYO parent array: only integer arrays
+  // are built per evaluation, never atom copies.
+  std::optional<JoinTreeView> tree =
+      BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
+  if (!tree.has_value()) return YannakakisResult{};
+  return EvaluateAcyclic(q, *tree, database);
+}
+
+YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
+                                 const JoinTreeView& tree,
+                                 const Instance& database) {
   YannakakisResult result;
-  std::optional<JoinTree> tree = JoinTreeOf(q);
-  if (!tree.has_value()) return result;
   result.ok = true;
 
   if (q.body().empty()) {
@@ -125,19 +128,19 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
   std::vector<NodeRelation> rels(n);
   for (size_t i = 0; i < n; ++i) rels[i] = MatchAtom(q.body()[i], database);
 
-  std::vector<int> bottom_up = tree->BottomUpOrder();
-  std::vector<int> top_down = tree->TopDownOrder();
+  std::vector<int> bottom_up = tree.BottomUpOrder();
+  std::vector<int> top_down = tree.TopDownOrder();
 
   // Bottom-up semi-joins: parent ⋉ child.
   for (int node : bottom_up) {
-    int parent = tree->parent()[node];
+    int parent = tree.parent()[node];
     if (parent >= 0) {
       SemiJoin(&rels[parent], rels[node], &result.semijoin_probes);
     }
   }
   // Top-down: child ⋉ parent.
   for (int node : top_down) {
-    for (int child : tree->children()[node]) {
+    for (int child : tree.children()[node]) {
       SemiJoin(&rels[child], rels[node], &result.semijoin_probes);
     }
   }
@@ -157,7 +160,7 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
     NodeRelation acc;
     acc.vars = rels[node].vars;
     acc.tuples = rels[node].tuples;
-    for (int child : tree->children()[node]) {
+    for (int child : tree.children()[node]) {
       // Hash join acc ⋈ dp[child] on shared vars.
       NodeRelation joined;
       joined.vars = acc.vars;
@@ -194,7 +197,7 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
       acc = std::move(joined);
     }
     // Project to head vars + connector with parent.
-    int parent = tree->parent()[node];
+    int parent = tree.parent()[node];
     std::unordered_set<Term> keep;
     for (Term v : acc.vars) {
       if (free_vars.count(v)) keep.insert(v);
@@ -223,7 +226,7 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
   }
 
   // Assemble answers from the root DP relation.
-  const NodeRelation& root = dp[static_cast<size_t>(tree->root())];
+  const NodeRelation& root = dp[static_cast<size_t>(tree.root())];
   std::unordered_set<std::string> out_seen;
   for (const auto& t : root.tuples) {
     std::vector<Term> answer;
@@ -251,8 +254,14 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
 
 int EvaluateAcyclicBoolean(const ConjunctiveQuery& q,
                            const Instance& database) {
-  std::optional<JoinTree> tree = JoinTreeOf(q);
+  std::optional<JoinTreeView> tree =
+      BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
   if (!tree.has_value()) return -1;
+  return EvaluateAcyclicBoolean(q, *tree, database);
+}
+
+int EvaluateAcyclicBoolean(const ConjunctiveQuery& q, const JoinTreeView& tree,
+                           const Instance& database) {
   if (q.body().empty()) return 1;
 
   const size_t n = q.body().size();
@@ -262,14 +271,14 @@ int EvaluateAcyclicBoolean(const ConjunctiveQuery& q,
     if (rels[i].tuples.empty()) return 0;
   }
   size_t probes = 0;
-  for (int node : tree->BottomUpOrder()) {
-    int parent = tree->parent()[node];
+  for (int node : tree.BottomUpOrder()) {
+    int parent = tree.parent()[node];
     if (parent >= 0) {
       SemiJoin(&rels[parent], rels[node], &probes);
       if (rels[parent].tuples.empty()) return 0;
     }
   }
-  return rels[static_cast<size_t>(tree->root())].tuples.empty() ? 0 : 1;
+  return rels[static_cast<size_t>(tree.root())].tuples.empty() ? 0 : 1;
 }
 
 }  // namespace semacyc

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/join_tree.h"
 #include "core/query.h"
 
 namespace semacyc {
@@ -23,9 +24,20 @@ struct YannakakisResult {
 YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
                                  const Instance& database);
 
+/// Same, over a precomputed join-tree view of q.body() (built once, e.g.
+/// by Engine::Eval from a prepared query's GYO forest; no atoms are copied
+/// either way — the view references q's body in place).
+YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
+                                 const JoinTreeView& tree,
+                                 const Instance& database);
+
 /// Boolean fast path: stops after the bottom-up reduction.
 /// Returns kUnknownCyclic (-1) when q is cyclic, else 0/1.
 int EvaluateAcyclicBoolean(const ConjunctiveQuery& q,
+                           const Instance& database);
+
+/// Boolean fast path over a precomputed join-tree view.
+int EvaluateAcyclicBoolean(const ConjunctiveQuery& q, const JoinTreeView& tree,
                            const Instance& database);
 
 }  // namespace semacyc

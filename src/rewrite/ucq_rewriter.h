@@ -2,6 +2,11 @@
 #define SEMACYC_REWRITE_UCQ_REWRITER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chase/dependency.h"
@@ -49,6 +54,41 @@ RewriteResult RewriteToUcq(const ConjunctiveQuery& q,
 /// a = max arity.
 size_t PaperRewriteHeightBound(const ConjunctiveQuery& q,
                                const std::vector<Tgd>& tgds);
+
+/// Thread-safe cache of UCQ rewritings for a *fixed* Σ, keyed by the
+/// canonical fingerprint of q with isomorphism resolution (a rewriting of
+/// q answers containment-in-q' for every q' isomorphic to q: bound
+/// disjunct variables are renamed away by the containment check, and
+/// isomorphism preserves the head position-wise). One lives inside each
+/// semacyc::Engine so repeated ContainmentOracle constructions for the
+/// same query reuse the (possibly exponential) rewriting instead of
+/// re-deriving it. The caller must use it with one Σ and one RewriteOptions
+/// only — neither participates in the key.
+class RewriteCache {
+ public:
+  /// Returns the cached rewriting of a query isomorphic to q, or computes
+  /// and inserts it. Computation runs outside the lock; a racing insert of
+  /// the same query keeps the first entry, so every caller sees one result.
+  std::shared_ptr<const RewriteResult> GetOrCompute(
+      const ConjunctiveQuery& q, const std::vector<Tgd>& tgds,
+      const RewriteOptions& options);
+
+  size_t hits() const;
+  size_t misses() const;
+
+ private:
+  std::shared_ptr<const RewriteResult> Find(uint64_t fp,
+                                            const ConjunctiveQuery& q) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<
+      uint64_t,
+      std::vector<std::pair<ConjunctiveQuery,
+                            std::shared_ptr<const RewriteResult>>>>
+      map_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
 
 }  // namespace semacyc
 

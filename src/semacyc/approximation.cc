@@ -2,9 +2,7 @@
 
 #include <algorithm>
 
-#include "core/canonical.h"
-#include "core/hypergraph.h"
-#include "deps/classify.h"
+#include "semacyc/engine.h"
 
 namespace semacyc {
 
@@ -24,113 +22,15 @@ ConjunctiveQuery TrivialAcyclicUnderApproximation(const ConjunctiveQuery& q) {
   return ConjunctiveQuery(std::move(head), std::move(body));
 }
 
-namespace {
-
-/// Collects acyclic candidates q' with q' ⊆Σ q: homomorphic images and
-/// acyclic chase subsets, like the decider's YES-strategies, but keeping
-/// every verified candidate instead of stopping at the first equivalent.
-class CandidateCollector {
- public:
-  CandidateCollector(const ConjunctiveQuery& q, const DependencySet& sigma,
-                     const SemAcOptions& options)
-      : q_(q), sigma_(sigma), options_(options) {}
-
-  std::vector<ConjunctiveQuery> Collect(const QueryChaseResult& chase,
-                                        const ContainmentOracle& oracle) {
-    std::vector<ConjunctiveQuery> out;
-    std::unordered_set<uint64_t> seen;
-    auto consider = [&](const ConjunctiveQuery& candidate) {
-      if (!seen.insert(CanonicalFingerprint(candidate)).second) return;
-      if (oracle.ContainedInQ(candidate) == Tri::kYes) {
-        out.push_back(candidate);
-      }
-    };
-
-    // Acyclic subsets of the chase (they all satisfy q ⊆Σ q_S — too
-    // strong for approximation purposes? No: for approximation we need
-    // q_S ⊆Σ q only, which `consider` verifies via the oracle).
-    const auto& atoms = chase.instance.atoms();
-    const size_t m = atoms.size();
-    size_t bound =
-        std::min<size_t>(SmallQueryBound(q_, sigma_, nullptr),
-                         options_.witness_atoms_cap);
-    size_t visits = 0;
-    std::vector<uint32_t> subset;
-    std::function<void(size_t)> dfs = [&](size_t next) {
-      if (++visits > options_.subset_budget) return;
-      if (!subset.empty() && subset.size() <= bound) {
-        Instance sub = chase.instance.Restrict(subset);
-        bool covers = true;
-        for (Term t : chase.frozen_head) {
-          if (t.IsConstant() && !t.IsFrozenNull()) continue;
-          if (sub.AtomsMentioning(t).empty()) {
-            covers = false;
-            break;
-          }
-        }
-        if (covers && IsAcyclic(sub.atoms(), ConnectingTerms::kAllTerms)) {
-          consider(QueryFromInstance(sub, chase.frozen_head));
-        }
-      }
-      if (subset.size() >= bound) return;
-      for (size_t i = next; i < m; ++i) {
-        subset.push_back(static_cast<uint32_t>(i));
-        dfs(i + 1);
-        subset.pop_back();
-      }
-    };
-    dfs(0);
-    return out;
-  }
-
- private:
-  const ConjunctiveQuery& q_;
-  const DependencySet& sigma_;
-  const SemAcOptions& options_;
-};
-
-}  // namespace
-
 std::optional<ApproximationResult> AcyclicApproximation(
     const ConjunctiveQuery& q, const DependencySet& sigma,
     const SemAcOptions& options) {
-  // Constants in q block the generic fallback witness (footnote in §8.2).
-  for (const Atom& a : q.body()) {
-    if (a.MentionsKind(TermKind::kConstant)) return std::nullopt;
-  }
-
-  ApproximationResult result;
-
-  // If q is semantically acyclic, its witness is the (exact) approximation.
-  SemAcResult decision = DecideSemanticAcyclicity(q, sigma, options);
-  if (decision.answer == SemAcAnswer::kYes && decision.witness.has_value()) {
-    result.approximation = *decision.witness;
-    result.is_exact = true;
-    result.maximality_exact = true;
-    result.candidates = {*decision.witness};
-    return result;
-  }
-
-  QueryChaseResult chase = ChaseQuery(q, sigma, options.chase);
-  ContainmentOracle oracle(q, sigma, options.chase, options.rewrite);
-  CandidateCollector collector(q, sigma, options);
-  result.candidates = collector.Collect(chase, oracle);
-  result.candidates.push_back(TrivialAcyclicUnderApproximation(q));
-
-  // Pick a maximal element under ⊆Σ among the collected candidates.
-  size_t best = 0;
-  for (size_t i = 1; i < result.candidates.size(); ++i) {
-    // candidates[i] strictly above current best?
-    Tri up = ContainedUnder(result.candidates[best], result.candidates[i],
-                            sigma, options.chase);
-    Tri down = ContainedUnder(result.candidates[i], result.candidates[best],
-                              sigma, options.chase);
-    if (up == Tri::kYes && down != Tri::kYes) best = i;
-  }
-  result.approximation = result.candidates[best];
-  result.is_exact = false;
-  result.maximality_exact = decision.exact;
-  return result;
+  // One-shot wrapper over a transient Engine (see Engine::Approximate for
+  // the Status-carrying session API).
+  Engine engine(sigma, options);
+  ApproximateOutcome out = engine.Approximate(engine.Prepare(q));
+  if (!out.status.ok()) return std::nullopt;
+  return std::move(out.result);
 }
 
 }  // namespace semacyc

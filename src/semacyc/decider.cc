@@ -2,10 +2,8 @@
 
 #include <algorithm>
 
-#include "core/core_min.h"
-#include "core/hypergraph.h"
 #include "deps/classify.h"
-#include "semacyc/compaction.h"
+#include "semacyc/engine.h"
 
 namespace semacyc {
 
@@ -21,18 +19,46 @@ const char* ToString(SemAcAnswer a) {
   return "?";
 }
 
-size_t SmallQueryBound(const ConjunctiveQuery& q, const DependencySet& sigma,
-                       bool* theoretically_justified) {
+const char* ToString(Strategy s) {
+  switch (s) {
+    case Strategy::kNone:
+      return "none";
+    case Strategy::kAlreadyAcyclic:
+      return "already-acyclic";
+    case Strategy::kCore:
+      return "core";
+    case Strategy::kFailingChase:
+      return "failing-chase";
+    case Strategy::kChaseCompaction:
+      return "chase-compaction";
+    case Strategy::kImages:
+      return "images";
+    case Strategy::kSubsets:
+      return "subsets";
+    case Strategy::kExhaustive:
+      return "exhaustive";
+    case Strategy::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared bound logic of both SmallQueryBound overloads, off predigested
+/// schema flags.
+size_t BoundFromFacts(const ConjunctiveQuery& q, const DependencySet& sigma,
+                      bool egds_bounded, bool guarded, bool nr_or_sticky,
+                      bool* theoretically_justified) {
   bool justified = false;
   size_t bound = 2 * std::max<size_t>(q.size(), 1);
   if (!sigma.HasTgds()) {
     // Egds: Theorem 21/Prop 22 machinery (K2 / unary FDs) gives 2·|q|.
-    justified = IsK2Set(sigma.egds) || IsUnaryFdSet(sigma.egds);
+    justified = egds_bounded;
   } else if (!sigma.HasEgds()) {
-    TgdClassification cls = Classify(sigma.tgds);
-    if (cls.guarded) {
+    if (guarded) {
       justified = true;  // Prop 8 via Prop 12
-    } else if (cls.non_recursive || cls.sticky) {
+    } else if (nr_or_sticky) {
       justified = true;  // Prop 15 via Props 17/19
       bound = 2 * PaperRewriteHeightBound(q, sigma.tgds);
     }
@@ -43,132 +69,36 @@ size_t SmallQueryBound(const ConjunctiveQuery& q, const DependencySet& sigma,
   return bound;
 }
 
+}  // namespace
+
+size_t SmallQueryBound(const ConjunctiveQuery& q, const DependencySet& sigma,
+                       bool* theoretically_justified) {
+  bool egds_bounded = IsK2Set(sigma.egds) || IsUnaryFdSet(sigma.egds);
+  bool guarded = false;
+  bool nr_or_sticky = false;
+  if (sigma.HasTgds() && !sigma.HasEgds()) {
+    TgdClassification cls = Classify(sigma.tgds);
+    guarded = cls.guarded;
+    nr_or_sticky = cls.non_recursive || cls.sticky;
+  }
+  return BoundFromFacts(q, sigma, egds_bounded, guarded, nr_or_sticky,
+                        theoretically_justified);
+}
+
+size_t SmallQueryBound(const ConjunctiveQuery& q, const DependencySet& sigma,
+                       const SchemaFacts& facts,
+                       bool* theoretically_justified) {
+  return BoundFromFacts(q, sigma, facts.egds_bounded, facts.guarded,
+                        facts.nr_or_sticky, theoretically_justified);
+}
+
 SemAcResult DecideSemanticAcyclicity(const ConjunctiveQuery& q,
                                      const DependencySet& sigma,
                                      const SemAcOptions& options) {
-  SemAcResult result;
-  const acyclic::AcyclicityClass target = options.target_class;
-  bool bound_justified = false;
-  result.small_query_bound = SmallQueryBound(q, sigma, &bound_justified);
-
-  // Records a witness together with its (tightest) classification.
-  auto accept = [&result](ConjunctiveQuery witness, const char* strategy) {
-    result.witness_class = ClassifyQuery(witness).cls;
-    result.answer = SemAcAnswer::kYes;
-    result.witness = std::move(witness);
-    result.strategy = strategy;
-    result.exact = true;
-  };
-
-  // Strategy 0: q itself reaches the target class.
-  if (MeetsAcyclicityClass(q.body(), ConnectingTerms::kVariables, target)) {
-    accept(q, "already-acyclic");
-    return result;
-  }
-
-  // Strategy 1: the core of q reaches the target class. Complete for
-  // Σ = ∅ and *every* target: constraint-free equivalence preserves cores
-  // up to isomorphism, and β/γ/Berge-acyclicity are hereditary under atom
-  // removal, so any witness q' ≡ q yields the (isomorphic) core of q as a
-  // witness too. (For α the same completeness is the §1 classical result.)
-  ConjunctiveQuery core = ComputeCore(q);
-  if (MeetsAcyclicityClass(core.body(), ConnectingTerms::kVariables, target)) {
-    accept(core, "core");
-    return result;
-  }
-  if (sigma.size() == 0) {
-    result.answer = SemAcAnswer::kNo;
-    result.strategy = "core";
-    result.exact = true;
-    return result;
-  }
-
-  // Chase once; shared by the remaining strategies.
-  QueryChaseResult chase = ChaseQuery(q, sigma, options.chase);
-  if (chase.failed) {
-    // q is unsatisfiable on every model of Σ; any acyclic query that is
-    // also unsatisfiable under Σ is equivalent to it. The constant-free
-    // single-atom query over one of q's predicates chased to failure would
-    // do; for simplicity report YES with the core as placeholder only if
-    // it is unsatisfiable too — otherwise answer via the trivial argument:
-    // q ≡Σ q' holds for any q' that is empty under Σ. We use q's first
-    // atom repeated — but verifying emptiness generically is involved, so
-    // we return kYes with no witness and flag it.
-    result.answer = SemAcAnswer::kYes;
-    result.strategy = "failing-chase";
-    result.exact = true;
-    return result;
-  }
-
-  ContainmentOracle oracle(q, sigma, options.chase, options.rewrite);
-
-  // Strategy 2: the chase itself is acyclic -> compact it (Lemma 9). The
-  // compaction preserves α-acyclicity only, so for stricter targets the
-  // compacted witness is re-classified and kept only when it qualifies.
-  if (chase.saturated &&
-      IsAcyclic(chase.instance.atoms(), ConnectingTerms::kAllTerms)) {
-    std::optional<CompactionResult> compact =
-        CompactAcyclicWitness(q, chase.instance, chase.frozen_head);
-    if (compact.has_value() &&
-        MeetsAcyclicityClass(compact->witness.body(),
-                             ConnectingTerms::kVariables, target)) {
-      accept(compact->witness, "chase-compaction");
-      return result;
-    }
-  }
-
-  size_t bound = std::min<size_t>(result.small_query_bound,
-                                  options.witness_atoms_cap);
-  result.bound_used = bound;
-
-  // Strategy 3: homomorphic images of q inside the chase.
-  if (options.enable_images) {
-    WitnessSearchOutcome images = FindWitnessInQueryImages(
-        q, chase, oracle, options.image_homs, target);
-    result.candidates_tested += images.candidates_tested;
-    if (images.answer == Tri::kYes) {
-      accept(std::move(*images.witness), "images");
-      return result;
-    }
-  }
-
-  // Strategy 4: target-acyclic sub-instances of the chase.
-  if (options.enable_subsets) {
-    WitnessSearchOutcome subsets = FindWitnessInChaseSubsets(
-        q, chase, oracle, bound, options.subset_budget, target);
-    result.candidates_tested += subsets.candidates_tested;
-    if (subsets.answer == Tri::kYes) {
-      accept(std::move(*subsets.witness), "subsets");
-      return result;
-    }
-  }
-
-  // Strategy 5: exhaustive canonical enumeration up to the bound.
-  if (options.enable_exhaustive) {
-    WitnessSearchOutcome exhaustive = ExhaustiveWitnessSearch(
-        q, sigma, chase, oracle, bound, options.exhaustive_budget, target);
-    result.candidates_tested += exhaustive.candidates_tested;
-    if (exhaustive.answer == Tri::kYes) {
-      accept(std::move(*exhaustive.witness), "exhaustive");
-      return result;
-    }
-    // A definitive NO needs: full enumeration, saturated chase, exact
-    // oracle, an uncapped theoretical bound, and the α target (the
-    // small-query theorems only cover α-acyclic witnesses).
-    if (exhaustive.exhausted && chase.saturated && oracle.exact() &&
-        bound_justified && bound >= result.small_query_bound &&
-        target == acyclic::AcyclicityClass::kAlpha) {
-      result.answer = SemAcAnswer::kNo;
-      result.strategy = "exhaustive";
-      result.exact = true;
-      return result;
-    }
-  }
-
-  result.answer = SemAcAnswer::kUnknown;
-  result.strategy = "budget-exhausted";
-  result.exact = false;
-  return result;
+  // One-shot wrapper: a transient Engine runs the identical pipeline; its
+  // caches simply never see a second call.
+  Engine engine(sigma, options);
+  return engine.Decide(q);
 }
 
 }  // namespace semacyc

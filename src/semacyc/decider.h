@@ -12,6 +12,22 @@ namespace semacyc {
 enum class SemAcAnswer { kYes, kNo, kUnknown };
 const char* ToString(SemAcAnswer a);
 
+/// The pipeline stage that produced an answer (DESIGN.md §3). Replaces the
+/// former stringly-typed SemAcResult::strategy; ToString renders the
+/// historical names ("already-acyclic", "core", ...).
+enum class Strategy {
+  kNone,             // no decision was produced (default-constructed result)
+  kAlreadyAcyclic,   // q itself meets the target class
+  kCore,             // the core of q meets it (also the Σ = ∅ NO argument)
+  kFailingChase,     // chase(q, Σ) failed: q is empty under Σ
+  kChaseCompaction,  // the chase was acyclic; Lemma 9 compaction
+  kImages,           // homomorphic image of q inside the chase
+  kSubsets,          // acyclic sub-instance of the chase
+  kExhaustive,       // bounded canonical enumeration (YES or definitive NO)
+  kBudgetExhausted,  // every strategy ran out: kUnknown
+};
+const char* ToString(Strategy s);
+
 /// Configuration of the decision pipeline (see DESIGN.md §3).
 struct SemAcOptions {
   ChaseOptions chase;
@@ -43,12 +59,17 @@ struct SemAcResult {
   /// The tightest acyclicity class of the witness body (at least
   /// target_class). Only meaningful when `witness` is set.
   acyclic::AcyclicityClass witness_class = acyclic::AcyclicityClass::kCyclic;
-  /// The strategy that produced the answer ("already-acyclic", "core",
-  /// "chase-compaction", "images", "subsets", "exhaustive", ...).
-  std::string strategy;
+  /// The strategy that produced the answer.
+  Strategy strategy = Strategy::kNone;
   /// The small-query bound used (2·|q| for APC classes, 2·f_C(q,Σ) for
   /// UCQ-rewritable classes), before the cap.
   size_t small_query_bound = 0;
+  /// Whether `small_query_bound` is backed by one of the paper's theorems
+  /// (Props 8/15/22) — when false the bound is the 2·|q| heuristic and a
+  /// finished exhaustive search still cannot claim an exact NO. This is
+  /// the out-param of SmallQueryBound, surfaced so `exact` is
+  /// self-explanatory.
+  bool bound_justified = false;
   /// The witness-size bound actually enumerated.
   size_t bound_used = 0;
   /// Whether a kNo answer (or the absence of a witness) is definitive.
@@ -74,6 +95,12 @@ SemAcResult DecideSemanticAcyclicity(const ConjunctiveQuery& q,
 /// 2·f_C(q,Σ) for UCQ-rewritable classes (Prop 15). For sets outside the
 /// studied classes, falls back to 2·|q| (heuristic, flagged non-exact).
 size_t SmallQueryBound(const ConjunctiveQuery& q, const DependencySet& sigma,
+                       bool* theoretically_justified = nullptr);
+
+/// Same bound from precomputed Σ facts (the Engine path: the per-schema
+/// classification is done once, not per query).
+size_t SmallQueryBound(const ConjunctiveQuery& q, const DependencySet& sigma,
+                       const SchemaFacts& facts,
                        bool* theoretically_justified = nullptr);
 
 }  // namespace semacyc

@@ -1,0 +1,514 @@
+#include "semacyc/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <unordered_set>
+
+#include "core/canonical.h"
+#include "core/core_min.h"
+#include "core/homomorphism.h"
+#include "core/hypergraph.h"
+#include "deps/classify.h"
+#include "semacyc/compaction.h"
+
+namespace semacyc {
+
+Engine::OracleEntry::OracleEntry(ConjunctiveQuery q,
+                                 const PreparedSchema& schema,
+                                 const SemAcOptions& options,
+                                 RewriteCache* rewrite_cache)
+    : query(std::move(q)),
+      oracle(query, schema.sigma, options.chase, options.rewrite, schema.facts,
+             rewrite_cache, /*try_rewriting=*/true, /*memoize=*/true,
+             /*synchronized=*/true) {}
+
+Engine::Engine(DependencySet sigma, SemAcOptions options, EngineConfig config)
+    : options_(options), config_(config) {
+  schema_.sigma = std::move(sigma);
+  if (schema_.sigma.HasTgds()) {
+    schema_.tgd_classes = Classify(schema_.sigma.tgds);
+  }
+  schema_.facts = SchemaFacts::Compute(schema_.sigma, schema_.tgd_classes);
+}
+
+PreparedQuery Engine::Prepare(const ConjunctiveQuery& q) const {
+  ++prepares_;
+  PreparedQuery out;
+  out.q_ = q;
+  out.fp_ = CanonicalFingerprint(q);
+  out.cls_ = ClassifyQuery(q);
+  out.bound_ = SmallQueryBound(q, schema_.sigma, schema_.facts,
+                               &out.bound_justified_);
+  return out;
+}
+
+std::shared_ptr<const QueryChaseResult> Engine::ChaseOf(
+    const ConjunctiveQuery& q) const {
+  if (config_.cache_chases) {
+    return chase_cache_.GetOrCompute(q, schema_.sigma, options_.chase);
+  }
+  return std::make_shared<const QueryChaseResult>(
+      ChaseQuery(q, schema_.sigma, options_.chase));
+}
+
+const Engine::OracleEntry& Engine::OracleFor(const PreparedQuery& q) const {
+  {
+    std::lock_guard<std::mutex> lock(oracles_mu_);
+    auto it = oracles_.find(q.fingerprint());
+    if (it != oracles_.end()) {
+      for (const auto& entry : it->second) {
+        if (AreIsomorphic(entry->query, q.query())) {
+          ++oracle_reuses_;
+          return *entry;
+        }
+      }
+    }
+  }
+  // Construction may build the UCQ rewriting — run it outside the lock. A
+  // racing thread may build the same entry; the first insert wins.
+  auto fresh = std::make_unique<OracleEntry>(q.query(), schema_, options_,
+                                             &rewrite_cache_);
+  std::lock_guard<std::mutex> lock(oracles_mu_);
+  auto& bucket = oracles_[q.fingerprint()];
+  for (const auto& entry : bucket) {
+    if (AreIsomorphic(entry->query, q.query())) return *entry;
+  }
+  bucket.push_back(std::move(fresh));
+  return *bucket.back();
+}
+
+SemAcResult Engine::Decide(const ConjunctiveQuery& q) const {
+  return Decide(Prepare(q));
+}
+
+const ContainmentOracle* Engine::SelectOracle(
+    const PreparedQuery& q, std::optional<ContainmentOracle>* local) const {
+  if (config_.reuse_oracles) return &OracleFor(q).oracle;
+  local->emplace(q.query(), schema_.sigma, options_.chase, options_.rewrite,
+                 schema_.facts, &rewrite_cache_);
+  return &**local;
+}
+
+SemAcResult Engine::Decide(const PreparedQuery& q) const {
+  ++decisions_count_;
+  if (config_.cache_decisions) {
+    std::lock_guard<std::mutex> lock(decisions_mu_);
+    auto it = decisions_.find(q.fingerprint());
+    if (it != decisions_.end()) {
+      for (const CachedDecision& cached : it->second) {
+        if (AreIsomorphic(cached.query, q.query())) {
+          ++decision_cache_hits_;
+          return cached.result;
+        }
+      }
+    }
+  }
+  SemAcResult result = DecideUncached(q);
+  if (config_.cache_decisions) {
+    std::lock_guard<std::mutex> lock(decisions_mu_);
+    auto& bucket = decisions_[q.fingerprint()];
+    for (const CachedDecision& cached : bucket) {
+      if (AreIsomorphic(cached.query, q.query())) {
+        return cached.result;  // lost the race; serve the first insert
+      }
+    }
+    bucket.push_back({q.query(), result});
+  }
+  return result;
+}
+
+SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
+  const ConjunctiveQuery& q = pq.query();
+  const DependencySet& sigma = schema_.sigma;
+  const acyclic::AcyclicityClass target = options_.target_class;
+
+  SemAcResult result;
+  result.small_query_bound = pq.small_query_bound();
+  result.bound_justified = pq.bound_justified();
+
+  // Records a witness together with its (tightest) classification.
+  auto accept = [&result](ConjunctiveQuery witness, Strategy strategy) {
+    result.witness_class = ClassifyQuery(witness).cls;
+    result.answer = SemAcAnswer::kYes;
+    result.witness = std::move(witness);
+    result.strategy = strategy;
+    result.exact = true;
+  };
+
+  // Strategy 0: q itself reaches the target class (precomputed in
+  // Prepare — the prepared classification is the tightest class).
+  if (pq.MeetsTarget(target)) {
+    accept(q, Strategy::kAlreadyAcyclic);
+    return result;
+  }
+
+  // Strategy 1: the core of q reaches the target class. Complete for
+  // Σ = ∅ and *every* target: constraint-free equivalence preserves cores
+  // up to isomorphism, and β/γ/Berge-acyclicity are hereditary under atom
+  // removal, so any witness q' ≡ q yields the (isomorphic) core of q as a
+  // witness too. (For α the same completeness is the §1 classical result.)
+  ConjunctiveQuery core = ComputeCore(q);
+  if (MeetsAcyclicityClass(core.body(), ConnectingTerms::kVariables, target)) {
+    accept(core, Strategy::kCore);
+    return result;
+  }
+  if (sigma.size() == 0) {
+    result.answer = SemAcAnswer::kNo;
+    result.strategy = Strategy::kCore;
+    result.exact = true;
+    return result;
+  }
+
+  // Chase once; shared by the remaining strategies (and, through the
+  // chase cache, by every other call for this query).
+  std::shared_ptr<const QueryChaseResult> chase_ptr = ChaseOf(q);
+  const QueryChaseResult& chase = *chase_ptr;
+  if (chase.failed) {
+    // q is unsatisfiable on every model of Σ; any acyclic query that is
+    // also unsatisfiable under Σ is equivalent to it. Verifying emptiness
+    // generically is involved, so report YES with no witness and flag it.
+    result.answer = SemAcAnswer::kYes;
+    result.strategy = Strategy::kFailingChase;
+    result.exact = true;
+    return result;
+  }
+
+  // Persistent per-query oracle (memo/rewriting survive across calls), or
+  // a transient one mirroring the free-function path when reuse is off.
+  std::optional<ContainmentOracle> local_oracle;
+  const ContainmentOracle* oracle = SelectOracle(pq, &local_oracle);
+
+  // Strategy 2: the chase itself is acyclic -> compact it (Lemma 9). The
+  // compaction preserves α-acyclicity only, so for stricter targets the
+  // compacted witness is re-classified and kept only when it qualifies.
+  if (chase.saturated &&
+      IsAcyclic(chase.instance.atoms(), ConnectingTerms::kAllTerms)) {
+    std::optional<CompactionResult> compact =
+        CompactAcyclicWitness(q, chase.instance, chase.frozen_head);
+    if (compact.has_value() &&
+        MeetsAcyclicityClass(compact->witness.body(),
+                             ConnectingTerms::kVariables, target)) {
+      accept(compact->witness, Strategy::kChaseCompaction);
+      return result;
+    }
+  }
+
+  size_t bound = std::min<size_t>(result.small_query_bound,
+                                  options_.witness_atoms_cap);
+  result.bound_used = bound;
+
+  // Strategy 3: homomorphic images of q inside the chase.
+  if (options_.enable_images) {
+    WitnessSearchOutcome images = FindWitnessInQueryImages(
+        q, chase, *oracle, options_.image_homs, target);
+    result.candidates_tested += images.candidates_tested;
+    if (images.answer == Tri::kYes) {
+      accept(std::move(*images.witness), Strategy::kImages);
+      return result;
+    }
+  }
+
+  // Strategy 4: target-acyclic sub-instances of the chase.
+  if (options_.enable_subsets) {
+    WitnessSearchOutcome subsets = FindWitnessInChaseSubsets(
+        q, chase, *oracle, bound, options_.subset_budget, target);
+    result.candidates_tested += subsets.candidates_tested;
+    if (subsets.answer == Tri::kYes) {
+      accept(std::move(*subsets.witness), Strategy::kSubsets);
+      return result;
+    }
+  }
+
+  // Strategy 5: exhaustive canonical enumeration up to the bound.
+  if (options_.enable_exhaustive) {
+    WitnessSearchOutcome exhaustive = ExhaustiveWitnessSearch(
+        q, sigma, chase, *oracle, bound, options_.exhaustive_budget, target);
+    result.candidates_tested += exhaustive.candidates_tested;
+    if (exhaustive.answer == Tri::kYes) {
+      accept(std::move(*exhaustive.witness), Strategy::kExhaustive);
+      return result;
+    }
+    // A definitive NO needs: full enumeration, saturated chase, exact
+    // oracle, an uncapped theoretical bound, and the α target (the
+    // small-query theorems only cover α-acyclic witnesses).
+    if (exhaustive.exhausted && chase.saturated && oracle->exact() &&
+        result.bound_justified && bound >= result.small_query_bound &&
+        target == acyclic::AcyclicityClass::kAlpha) {
+      result.answer = SemAcAnswer::kNo;
+      result.strategy = Strategy::kExhaustive;
+      result.exact = true;
+      return result;
+    }
+  }
+
+  result.answer = SemAcAnswer::kUnknown;
+  result.strategy = Strategy::kBudgetExhausted;
+  result.exact = false;
+  return result;
+}
+
+std::vector<SemAcResult> Engine::DecideBatch(
+    const std::vector<PreparedQuery>& batch, size_t threads) const {
+  std::vector<SemAcResult> out(batch.size());
+  threads = std::min(threads, batch.size());
+  if (threads <= 1) {
+    for (size_t i = 0; i < batch.size(); ++i) out[i] = Decide(batch[i]);
+    return out;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (size_t i; (i = next.fetch_add(1)) < batch.size();) {
+      out[i] = Decide(batch[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+Tri Engine::ContainedUnderCached(const ConjunctiveQuery& q1,
+                                 const ConjunctiveQuery& q2) const {
+  // Lemma 1 off the shared chase memo: c(x̄1) ∈ q2(chase(q1, Σ)).
+  std::shared_ptr<const QueryChaseResult> chased = ChaseOf(q1);
+  if (chased->failed) return Tri::kYes;  // q1 is empty on every model of Σ
+  if (EvaluatesTo(q2, chased->instance, chased->frozen_head)) return Tri::kYes;
+  return chased->saturated ? Tri::kNo : Tri::kUnknown;
+}
+
+UcqSemAcResult Engine::DecideUcq(const UnionQuery& Q) const {
+  UcqSemAcResult result;
+  const auto& disjuncts = Q.disjuncts();
+  result.disjuncts.resize(disjuncts.size());
+  result.exact = true;
+
+  // Redundancy pass (UCQ minimization under Σ): q_i is redundant when some
+  // other kept disjunct contains it. Mutually equivalent disjuncts keep
+  // the one with the smaller index.
+  std::vector<bool> redundant(disjuncts.size(), false);
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    for (size_t j = 0; j < disjuncts.size(); ++j) {
+      if (i == j || redundant[j]) continue;
+      Tri forward = ContainedUnderCached(disjuncts[i], disjuncts[j]);
+      if (forward != Tri::kYes) {
+        if (forward == Tri::kUnknown) result.exact = false;
+        continue;
+      }
+      Tri backward = ContainedUnderCached(disjuncts[j], disjuncts[i]);
+      if (backward == Tri::kYes && j > i) continue;  // keep the earlier one
+      redundant[i] = true;
+      break;
+    }
+    result.disjuncts[i].redundant = redundant[i];
+  }
+
+  std::vector<ConjunctiveQuery> witness_disjuncts;
+  bool all_yes = true;
+  bool any_unknown = false;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (redundant[i]) continue;
+    SemAcResult decision = Decide(disjuncts[i]);
+    result.disjuncts[i].decision = decision;
+    if (decision.answer == SemAcAnswer::kYes) {
+      // A witness-less YES (failing chase) means the disjunct is empty
+      // under Σ: dropping it from the union preserves equivalence.
+      if (decision.witness.has_value()) {
+        witness_disjuncts.push_back(*decision.witness);
+      }
+    } else if (decision.answer == SemAcAnswer::kNo) {
+      all_yes = false;
+      if (!decision.exact) result.exact = false;
+    } else {
+      all_yes = false;
+      any_unknown = true;
+    }
+  }
+
+  if (all_yes) {
+    result.answer = SemAcAnswer::kYes;
+    // Every kept disjunct empty under Σ leaves nothing to assemble: the
+    // UCQ itself is empty under Σ, a witness-less YES like the CQ case.
+    if (!witness_disjuncts.empty()) {
+      result.witness = UnionQuery(std::move(witness_disjuncts));
+    }
+  } else if (any_unknown || !result.exact) {
+    result.answer = SemAcAnswer::kUnknown;
+    result.exact = false;
+  } else {
+    result.answer = SemAcAnswer::kNo;
+  }
+  return result;
+}
+
+namespace {
+
+/// Collects acyclic candidates q' with q' ⊆Σ q: acyclic chase subsets
+/// verified through the oracle, like the decider's YES-strategies, but
+/// keeping every verified candidate instead of stopping at the first
+/// equivalent (§8.2's A(q), up to the explored budget).
+std::vector<ConjunctiveQuery> CollectApproximationCandidates(
+    const QueryChaseResult& chase, const ContainmentOracle& oracle,
+    size_t bound, size_t budget) {
+  std::vector<ConjunctiveQuery> out;
+  std::unordered_set<uint64_t> seen;
+  auto consider = [&](const ConjunctiveQuery& candidate) {
+    if (!seen.insert(CanonicalFingerprint(candidate)).second) return;
+    if (oracle.ContainedInQ(candidate) == Tri::kYes) {
+      out.push_back(candidate);
+    }
+  };
+
+  const auto& atoms = chase.instance.atoms();
+  const size_t m = atoms.size();
+  size_t visits = 0;
+  std::vector<uint32_t> subset;
+  std::function<void(size_t)> dfs = [&](size_t next) {
+    if (++visits > budget) return;
+    if (!subset.empty() && subset.size() <= bound) {
+      Instance sub = chase.instance.Restrict(subset);
+      bool covers = true;
+      for (Term t : chase.frozen_head) {
+        if (t.IsConstant() && !t.IsFrozenNull()) continue;
+        if (sub.AtomsMentioning(t).empty()) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers && IsAcyclic(sub.atoms(), ConnectingTerms::kAllTerms)) {
+        consider(QueryFromInstance(sub, chase.frozen_head));
+      }
+    }
+    if (subset.size() >= bound) return;
+    for (size_t i = next; i < m; ++i) {
+      subset.push_back(static_cast<uint32_t>(i));
+      dfs(i + 1);
+      subset.pop_back();
+    }
+  };
+  dfs(0);
+  return out;
+}
+
+}  // namespace
+
+ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
+  ApproximateOutcome out;
+  // Constants in q block the generic fallback witness (footnote in §8.2).
+  for (const Atom& a : pq.query().body()) {
+    if (a.MentionsKind(TermKind::kConstant)) {
+      out.status = Status::Unsupported(
+          "acyclic approximation needs a constant-free query (§8.2)");
+      return out;
+    }
+  }
+
+  // If q is semantically acyclic, its witness is the (exact) approximation.
+  SemAcResult decision = Decide(pq);
+  if (decision.answer == SemAcAnswer::kYes && decision.witness.has_value()) {
+    out.result.approximation = *decision.witness;
+    out.result.is_exact = true;
+    out.result.maximality_exact = true;
+    out.result.candidates = {*decision.witness};
+    return out;
+  }
+
+  std::shared_ptr<const QueryChaseResult> chase = ChaseOf(pq.query());
+  std::optional<ContainmentOracle> local_oracle;
+  const ContainmentOracle* oracle = SelectOracle(pq, &local_oracle);
+  size_t bound =
+      std::min<size_t>(pq.small_query_bound(), options_.witness_atoms_cap);
+  out.result.candidates = CollectApproximationCandidates(
+      *chase, *oracle, bound, options_.subset_budget);
+  out.result.candidates.push_back(
+      TrivialAcyclicUnderApproximation(pq.query()));
+
+  // Pick a maximal element under ⊆Σ among the collected candidates. The
+  // chase memo for this is call-local: candidates are transient synthetic
+  // queries, and pinning their chases in the engine-lifetime cache would
+  // grow it by up to subset_budget entries per Approximate call.
+  QueryChaseCache local_chases;
+  auto contained = [&](const ConjunctiveQuery& a,
+                       const ConjunctiveQuery& b) -> Tri {
+    std::shared_ptr<const QueryChaseResult> chased =
+        local_chases.GetOrCompute(a, schema_.sigma, options_.chase);
+    if (chased->failed) return Tri::kYes;
+    if (EvaluatesTo(b, chased->instance, chased->frozen_head)) {
+      return Tri::kYes;
+    }
+    return chased->saturated ? Tri::kNo : Tri::kUnknown;
+  };
+  auto& candidates = out.result.candidates;
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    // candidates[i] strictly above current best?
+    Tri up = contained(candidates[best], candidates[i]);
+    Tri down = contained(candidates[i], candidates[best]);
+    if (up == Tri::kYes && down != Tri::kYes) best = i;
+  }
+  out.result.approximation = candidates[best];
+  out.result.is_exact = false;
+  out.result.maximality_exact = decision.exact;
+  return out;
+}
+
+EvalOutcome Engine::Eval(const PreparedQuery& q, const Instance& database) const {
+  EvalOutcome out;
+  SemAcResult decision = Decide(q);
+  if (decision.answer != SemAcAnswer::kYes || !decision.witness.has_value()) {
+    out.status = Status::NotFound(
+        decision.answer == SemAcAnswer::kYes
+            ? "q is empty under the schema (failing chase); its answer set "
+              "is empty on every database satisfying it"
+            : "no acyclic reformulation found within the budgets");
+    return out;
+  }
+  out.reformulated = true;
+  out.witness = *decision.witness;
+  // View-based join tree over the witness body: the view references the
+  // outcome's own witness (already in place above), so nothing is copied.
+  std::optional<JoinTreeView> tree =
+      BuildJoinTreeView(out.witness.body(), ConnectingTerms::kVariables);
+  if (!tree.has_value()) {
+    // Unreachable for a verified witness; fail soft rather than crash.
+    out.reformulated = false;
+    out.status = Status::NotFound("witness unexpectedly cyclic");
+    return out;
+  }
+  out.evaluation = EvaluateAcyclic(out.witness, *tree, database);
+  return out;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.prepares = prepares_.load();
+  s.decisions = decisions_count_.load();
+  s.decision_cache_hits = decision_cache_hits_.load();
+  s.chase_cache_hits = chase_cache_.hits();
+  s.chase_cache_misses = chase_cache_.misses();
+  s.rewrite_cache_hits = rewrite_cache_.hits();
+  s.rewrite_cache_misses = rewrite_cache_.misses();
+  s.oracle_reuses = oracle_reuses_.load();
+  // Snapshot the entry pointers first, then read the per-oracle counters
+  // *outside* oracles_mu_: each counter read takes that oracle's answer
+  // lock, which an in-flight containment check may hold for a long chase —
+  // nesting it under the map mutex would let a stats poll stall every
+  // concurrent Decide at OracleFor. Entries are never erased, so the
+  // pointers stay valid after the map lock is released.
+  std::vector<const OracleEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(oracles_mu_);
+    for (const auto& [fp, bucket] : oracles_) {
+      for (const auto& entry : bucket) entries.push_back(entry.get());
+    }
+  }
+  for (const OracleEntry* entry : entries) {
+    s.oracle_hits += entry->oracle.cache_hits();
+    s.oracle_misses += entry->oracle.cache_misses();
+    s.oracle_prefiltered += entry->oracle.prefiltered();
+  }
+  return s;
+}
+
+}  // namespace semacyc

@@ -1,0 +1,258 @@
+#ifndef SEMACYC_SEMACYC_ENGINE_H_
+#define SEMACYC_SEMACYC_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "deps/classify.h"
+#include "eval/yannakakis.h"
+#include "semacyc/approximation.h"
+#include "semacyc/decider.h"
+#include "semacyc/ucq_semac.h"
+
+namespace semacyc {
+
+/// Outcome status for Engine entrypoints whose free-function ancestors
+/// returned bare std::optional / silent flags: the code says *why* there is
+/// no payload, not just that there is none.
+struct Status {
+  enum class Code {
+    kOk,
+    /// The input is outside the operation's supported fragment (e.g.
+    /// approximation of a query with constants, §8.2 footnote).
+    kUnsupported,
+    /// The operation ran but could not produce the payload within its
+    /// budgets / with a definitive answer (e.g. no acyclic reformulation
+    /// found for Eval).
+    kNotFound,
+  };
+
+  Code code = Code::kOk;
+  std::string message;
+
+  bool ok() const { return code == Code::kOk; }
+  static Status Ok() { return {}; }
+  static Status Unsupported(std::string message) {
+    return {Code::kUnsupported, std::move(message)};
+  }
+  static Status NotFound(std::string message) {
+    return {Code::kNotFound, std::move(message)};
+  }
+};
+
+/// Σ analyzed once, shared by every decision against this schema: the
+/// dependency-set classification, the guardedness/stickiness/termination
+/// facts, and the predicate-level reachability graph behind the oracle
+/// prefilter. Built by Engine's constructor; immutable afterwards.
+struct PreparedSchema {
+  DependencySet sigma;
+  /// Classification of sigma.tgds (all flags false when there are none).
+  TgdClassification tgd_classes;
+  /// Derived facts consumed by oracles and the small-query bound.
+  SchemaFacts facts;
+};
+
+/// A query analyzed once against an Engine's schema: hypergraph
+/// classification (with certificates), canonical fingerprint (the shared
+/// cache key) and the paper's small-query bound. Cheap to copy; valid for
+/// any Engine over the same schema, but the bound is schema-dependent —
+/// prepare per engine.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  const ConjunctiveQuery& query() const { return q_; }
+  uint64_t fingerprint() const { return fp_; }
+  /// Classification of the body hypergraph (kVariables connecting).
+  const acyclic::Classification& classification() const { return cls_; }
+  acyclic::AcyclicityClass acyclicity_class() const { return cls_.cls; }
+  bool MeetsTarget(acyclic::AcyclicityClass target) const {
+    return acyclic::AtLeast(cls_.cls, target);
+  }
+  /// The paper's small-query bound for (q, Σ) and whether it is backed by
+  /// one of the small-query theorems (see SmallQueryBound).
+  size_t small_query_bound() const { return bound_; }
+  bool bound_justified() const { return bound_justified_; }
+
+ private:
+  friend class Engine;
+  ConjunctiveQuery q_;
+  uint64_t fp_ = 0;
+  acyclic::Classification cls_;
+  size_t bound_ = 0;
+  bool bound_justified_ = false;
+};
+
+/// Cache/behavior switches. The defaults are the production configuration;
+/// tests and benches disable individual layers to expose the one below
+/// (e.g. cache_decisions = false measures oracle-memo reuse in isolation).
+struct EngineConfig {
+  /// Serve repeat decisions of the same query from a result cache
+  /// (isomorphism-resolved: an isomorphic query gets the cached result,
+  /// whose witness is stated over the original query's variables).
+  bool cache_decisions = true;
+  /// Share chase(q, Σ) across entrypoints and repeat calls.
+  bool cache_chases = true;
+  /// Keep one containment oracle per query alive across calls, so its
+  /// memo/rewriting survive (the free functions rebuild one per call).
+  bool reuse_oracles = true;
+};
+
+/// Aggregate cache counters (see Engine::stats).
+struct EngineStats {
+  size_t prepares = 0;
+  size_t decisions = 0;
+  size_t decision_cache_hits = 0;
+  size_t chase_cache_hits = 0;
+  size_t chase_cache_misses = 0;
+  size_t rewrite_cache_hits = 0;
+  size_t rewrite_cache_misses = 0;
+  /// Oracle-entry reuse (a Decide found its query's oracle already built).
+  size_t oracle_reuses = 0;
+  /// Summed over all live oracles: memoized answers served / computed /
+  /// rejected by the reachability prefilter.
+  size_t oracle_hits = 0;
+  size_t oracle_misses = 0;
+  size_t oracle_prefiltered = 0;
+};
+
+/// Result of Engine::Approximate — ApproximationResult plus an explicit
+/// status (the free function returns std::nullopt for unsupported inputs).
+struct ApproximateOutcome {
+  Status status;
+  ApproximationResult result;  // meaningful when status.ok()
+};
+
+/// Result of Engine::Eval — the Prop 24 FPT pipeline with an explicit
+/// status instead of a silent `reformulated = false`.
+struct EvalOutcome {
+  Status status;
+  bool reformulated = false;
+  ConjunctiveQuery witness;
+  YannakakisResult evaluation;  // meaningful when reformulated
+};
+
+/// Session-oriented entrypoint for the realistic workload — many queries
+/// against one fixed Σ. An Engine analyzes the schema once and keeps every
+/// reusable artifact alive across calls:
+///
+///   * the PreparedSchema (dependency classification, termination and
+///     boundedness facts, the predicate-reachability graph);
+///   * a chase memo (chase(q, Σ) computed once per distinct query);
+///   * a UCQ-rewriting cache feeding the containment oracles;
+///   * one memoized ContainmentOracle per distinct query, persistent
+///     across calls and strategies;
+///   * a decision cache serving repeat (or isomorphic) queries instantly.
+///
+/// The free functions (DecideSemanticAcyclicity, AcyclicApproximation,
+/// DecideUcqSemanticAcyclicity, FptEvaluate) are one-shot wrappers over a
+/// transient Engine, so both paths run identical code.
+///
+/// Thread safety: all public methods are const and safe to call
+/// concurrently on a shared Engine. Shared caches are mutex-guarded;
+/// per-query oracles serialize individual containment answers (concurrent
+/// decisions of *distinct* queries do not contend). Racing computations of
+/// the same artifact keep the first inserted result, so every caller
+/// observes the same answer. DecideBatch with threads > 1 is exactly
+/// concurrent Decide over the batch.
+class Engine {
+ public:
+  explicit Engine(DependencySet sigma, SemAcOptions options = {},
+                  EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const PreparedSchema& schema() const { return schema_; }
+  const DependencySet& sigma() const { return schema_.sigma; }
+  const SemAcOptions& options() const { return options_; }
+
+  /// Analyzes q against this schema (classification with certificates,
+  /// fingerprint, small-query bound). Prepared state is immutable and
+  /// copyable; prepare once, decide many times.
+  PreparedQuery Prepare(const ConjunctiveQuery& q) const;
+
+  /// Decides whether q is semantically acyclic under the schema (same
+  /// pipeline and guarantees as DecideSemanticAcyclicity, off prepared and
+  /// cached state).
+  SemAcResult Decide(const PreparedQuery& q) const;
+  /// Convenience: Prepare + Decide.
+  SemAcResult Decide(const ConjunctiveQuery& q) const;
+
+  /// Decides a batch. With threads > 1 the batch is worked by that many
+  /// concurrent callers of Decide (answers are positionally aligned with
+  /// the input either way).
+  std::vector<SemAcResult> DecideBatch(const std::vector<PreparedQuery>& batch,
+                                       size_t threads = 1) const;
+
+  /// §8.2 acyclic approximation off prepared state.
+  ApproximateOutcome Approximate(const PreparedQuery& q) const;
+
+  /// §8.1 UCQ semantic acyclicity; every disjunct runs off the shared
+  /// caches.
+  UcqSemAcResult DecideUcq(const UnionQuery& Q) const;
+
+  /// Prop 24 FPT evaluation: reformulate (cached), then Yannakakis over a
+  /// view-based join tree of the witness (no atom copies per call).
+  EvalOutcome Eval(const PreparedQuery& q, const Instance& database) const;
+
+  /// Point-in-time aggregate of the cache counters (gathers the per-oracle
+  /// counters under their locks; safe concurrently with decisions).
+  EngineStats stats() const;
+
+ private:
+  struct OracleEntry {
+    ConjunctiveQuery query;
+    ContainmentOracle oracle;
+    OracleEntry(ConjunctiveQuery q, const PreparedSchema& schema,
+                const SemAcOptions& options, RewriteCache* rewrite_cache);
+  };
+  struct CachedDecision {
+    ConjunctiveQuery query;
+    SemAcResult result;
+  };
+
+  SemAcResult DecideUncached(const PreparedQuery& q) const;
+  std::shared_ptr<const QueryChaseResult> ChaseOf(
+      const ConjunctiveQuery& q) const;
+  /// The persistent oracle for q (created on first use). The reference is
+  /// stable for the Engine's lifetime.
+  const OracleEntry& OracleFor(const PreparedQuery& q) const;
+  /// The oracle a strategy should use: the persistent one, or — when
+  /// oracle reuse is configured off — a transient one constructed into
+  /// `local` mirroring the free-function path.
+  const ContainmentOracle* SelectOracle(
+      const PreparedQuery& q, std::optional<ContainmentOracle>* local) const;
+  /// q1 ⊆Σ q2 through the chase cache (Lemma 1).
+  Tri ContainedUnderCached(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) const;
+
+  PreparedSchema schema_;
+  SemAcOptions options_;
+  EngineConfig config_;
+
+  mutable QueryChaseCache chase_cache_;
+  mutable RewriteCache rewrite_cache_;
+  mutable std::mutex oracles_mu_;
+  mutable std::unordered_map<uint64_t,
+                             std::vector<std::unique_ptr<OracleEntry>>>
+      oracles_;
+  mutable std::mutex decisions_mu_;
+  mutable std::unordered_map<uint64_t, std::vector<CachedDecision>>
+      decisions_;
+
+  mutable std::atomic<size_t> prepares_{0};
+  mutable std::atomic<size_t> decisions_count_{0};
+  mutable std::atomic<size_t> decision_cache_hits_{0};
+  mutable std::atomic<size_t> oracle_reuses_{0};
+};
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_SEMACYC_ENGINE_H_

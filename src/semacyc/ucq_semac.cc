@@ -1,66 +1,16 @@
 #include "semacyc/ucq_semac.h"
 
+#include "semacyc/engine.h"
+
 namespace semacyc {
 
 UcqSemAcResult DecideUcqSemanticAcyclicity(const UnionQuery& Q,
                                            const DependencySet& sigma,
                                            const SemAcOptions& options) {
-  UcqSemAcResult result;
-  const auto& disjuncts = Q.disjuncts();
-  result.disjuncts.resize(disjuncts.size());
-  result.exact = true;
-
-  // Redundancy pass (UCQ minimization under Σ): q_i is redundant when some
-  // other kept disjunct contains it. Mutually equivalent disjuncts keep
-  // the one with the smaller index.
-  std::vector<bool> redundant(disjuncts.size(), false);
-  for (size_t i = 0; i < disjuncts.size(); ++i) {
-    for (size_t j = 0; j < disjuncts.size(); ++j) {
-      if (i == j || redundant[j]) continue;
-      Tri forward = ContainedUnder(disjuncts[i], disjuncts[j], sigma,
-                                   options.chase);
-      if (forward != Tri::kYes) {
-        if (forward == Tri::kUnknown) result.exact = false;
-        continue;
-      }
-      Tri backward = ContainedUnder(disjuncts[j], disjuncts[i], sigma,
-                                    options.chase);
-      if (backward == Tri::kYes && j > i) continue;  // keep the earlier one
-      redundant[i] = true;
-      break;
-    }
-    result.disjuncts[i].redundant = redundant[i];
-  }
-
-  std::vector<ConjunctiveQuery> witness_disjuncts;
-  bool all_yes = true;
-  bool any_unknown = false;
-  for (size_t i = 0; i < disjuncts.size(); ++i) {
-    if (redundant[i]) continue;
-    SemAcResult decision =
-        DecideSemanticAcyclicity(disjuncts[i], sigma, options);
-    result.disjuncts[i].decision = decision;
-    if (decision.answer == SemAcAnswer::kYes) {
-      witness_disjuncts.push_back(*decision.witness);
-    } else if (decision.answer == SemAcAnswer::kNo) {
-      all_yes = false;
-      if (!decision.exact) result.exact = false;
-    } else {
-      all_yes = false;
-      any_unknown = true;
-    }
-  }
-
-  if (all_yes) {
-    result.answer = SemAcAnswer::kYes;
-    result.witness = UnionQuery(std::move(witness_disjuncts));
-  } else if (any_unknown || !result.exact) {
-    result.answer = SemAcAnswer::kUnknown;
-    result.exact = false;
-  } else {
-    result.answer = SemAcAnswer::kNo;
-  }
-  return result;
+  // One-shot wrapper: the disjuncts of Q share the transient Engine's
+  // chase memo and oracles within this call.
+  Engine engine(sigma, options);
+  return engine.DecideUcq(Q);
 }
 
 }  // namespace semacyc

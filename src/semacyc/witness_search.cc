@@ -16,30 +16,77 @@
 
 namespace semacyc {
 
+SchemaFacts SchemaFacts::Compute(const DependencySet& sigma) {
+  return Compute(sigma, sigma.HasTgds() ? Classify(sigma.tgds)
+                                        : TgdClassification{});
+}
+
+SchemaFacts SchemaFacts::Compute(const DependencySet& sigma,
+                                 const TgdClassification& tgd_classes) {
+  SchemaFacts facts;
+  // Static guarantees for the chase-based path: egd-only chases always
+  // terminate; weakly acyclic tgd sets (which subsume NR and all full
+  // sets) guarantee tgd-chase termination.
+  if (!sigma.HasTgds()) {
+    facts.chase_exact = true;
+  } else if (!sigma.HasEgds() && IsWeaklyAcyclic(sigma.tgds)) {
+    facts.chase_exact = true;
+  }
+  if (sigma.HasTgds()) {
+    const TgdClassification& cls = tgd_classes;
+    facts.rewritable = cls.non_recursive || cls.sticky || cls.linear;
+    facts.guarded = cls.guarded;
+    facts.nr_or_sticky = cls.non_recursive || cls.sticky;
+  }
+  // Vacuously true on an egd-free set, matching SmallQueryBound's
+  // egd-only branch for Σ = ∅.
+  facts.egds_bounded = IsK2Set(sigma.egds) || IsUnaryFdSet(sigma.egds);
+  for (const Tgd& t : sigma.tgds) {
+    for (const Atom& h : t.head()) {
+      facts.tgd_head_preds.insert(h.predicate().id());
+      for (const Atom& b : t.body()) {
+        facts.reverse_pred_edges[h.predicate().id()].push_back(
+            b.predicate().id());
+      }
+    }
+  }
+  return facts;
+}
+
 ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
                                      const DependencySet& sigma,
                                      const ChaseOptions& chase_options,
                                      const RewriteOptions& rewrite_options,
                                      bool try_rewriting, bool memoize)
-    : q_(q), sigma_(sigma), chase_options_(chase_options), memoize_(memoize) {
-  // Static guarantees for the chase-based path: egd-only chases always
-  // terminate; weakly acyclic tgd sets (which subsume NR and all full
-  // sets) guarantee tgd-chase termination.
-  if (!sigma.HasTgds()) {
-    exact_ = true;
-  } else if (!sigma.HasEgds() && IsWeaklyAcyclic(sigma.tgds)) {
-    exact_ = true;
-  }
+    : ContainmentOracle(q, sigma, chase_options, rewrite_options,
+                        SchemaFacts::Compute(sigma), /*rewrite_cache=*/nullptr,
+                        try_rewriting, memoize, /*synchronized=*/false) {}
+
+ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
+                                     const DependencySet& sigma,
+                                     const ChaseOptions& chase_options,
+                                     const RewriteOptions& rewrite_options,
+                                     const SchemaFacts& facts,
+                                     RewriteCache* rewrite_cache,
+                                     bool try_rewriting, bool memoize,
+                                     bool synchronized)
+    : q_(q),
+      sigma_(sigma),
+      chase_options_(chase_options),
+      memoize_(memoize),
+      synchronized_(synchronized) {
+  exact_ = facts.chase_exact;
   // Rewriting is only worth its (possibly exponential) construction cost
   // when the chase may diverge — i.e. outside the weakly acyclic classes.
-  if (try_rewriting && !exact_ && !sigma.HasEgds() && sigma.HasTgds()) {
-    TgdClassification cls = Classify(sigma.tgds);
-    if (cls.non_recursive || cls.sticky || cls.linear) {
-      RewriteResult rewriting = RewriteToUcq(q, sigma.tgds, rewrite_options);
-      if (rewriting.complete) {
-        rewriting_ = std::move(rewriting);
-        exact_ = true;
-      }
+  if (try_rewriting && !exact_ && !sigma.HasEgds() && facts.rewritable) {
+    std::shared_ptr<const RewriteResult> rewriting =
+        rewrite_cache != nullptr
+            ? rewrite_cache->GetOrCompute(q, sigma.tgds, rewrite_options)
+            : std::make_shared<const RewriteResult>(
+                  RewriteToUcq(q, sigma.tgds, rewrite_options));
+    if (rewriting->complete) {
+      rewriting_ = std::move(rewriting);
+      exact_ = true;
     }
   }
   // Predicate-reachability prefilter (fast path only). Sound for kNo only
@@ -52,26 +99,14 @@ ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
     // some tgd head predicate. If none of those occur in q, the
     // q-homomorphism into chase(candidate, Σ) can only use candidate's own
     // atoms, so containment is the classical Chandra–Merlin test.
-    std::unordered_set<uint32_t> head_preds;
-    for (const Tgd& t : sigma.tgds) {
-      for (const Atom& h : t.head()) head_preds.insert(h.predicate().id());
-    }
     chase_free_ = true;
     for (const Atom& a : q.body()) {
-      if (head_preds.count(a.predicate().id())) {
+      if (facts.tgd_head_preds.count(a.predicate().id())) {
         chase_free_ = false;
         break;
       }
     }
     prefilter_ = true;
-    std::unordered_map<uint32_t, std::vector<uint32_t>> reverse;
-    for (const Tgd& t : sigma.tgds) {
-      for (const Atom& h : t.head()) {
-        for (const Atom& b : t.body()) {
-          reverse[h.predicate().id()].push_back(b.predicate().id());
-        }
-      }
-    }
     std::unordered_set<uint32_t> q_preds;
     for (const Atom& a : q.body()) q_preds.insert(a.predicate().id());
     for (uint32_t p : q_preds) {
@@ -81,8 +116,8 @@ ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
       while (!stack.empty()) {
         uint32_t cur = stack.back();
         stack.pop_back();
-        auto it = reverse.find(cur);
-        if (it == reverse.end()) continue;
+        auto it = facts.reverse_pred_edges.find(cur);
+        if (it == facts.reverse_pred_edges.end()) continue;
         for (uint32_t src : it->second) {
           if (sources.insert(src).second) stack.push_back(src);
         }
@@ -108,7 +143,7 @@ bool ContainmentOracle::PassesPredicateFilter(
 }
 
 Tri ContainmentOracle::Decide(const ConjunctiveQuery& candidate) const {
-  if (rewriting_.has_value()) {
+  if (rewriting_ != nullptr) {
     return RewriteContained(candidate, *rewriting_);
   }
   return ContainedUnder(candidate, q_, sigma_, chase_options_);
@@ -140,6 +175,31 @@ Tri ContainmentOracle::DecideChaseFree(
 }
 
 Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate) const {
+  if (!synchronized_) return ContainedInQLocked(candidate);
+  std::lock_guard<std::mutex> lock(mu_);
+  return ContainedInQLocked(candidate);
+}
+
+size_t ContainmentOracle::cache_hits() const {
+  if (!synchronized_) return hits_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t ContainmentOracle::cache_misses() const {
+  if (!synchronized_) return misses_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ContainmentOracle::prefiltered() const {
+  if (!synchronized_) return prefiltered_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return prefiltered_;
+}
+
+Tri ContainmentOracle::ContainedInQLocked(
+    const ConjunctiveQuery& candidate) const {
   if (!memoize_) return Decide(candidate);
   if (prefilter_ && !PassesPredicateFilter(candidate)) {
     ++prefiltered_;

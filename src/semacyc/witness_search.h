@@ -2,6 +2,8 @@
 #define SEMACYC_SEMACYC_WITNESS_SEARCH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -11,9 +13,42 @@
 
 #include "acyclic/classify.h"
 #include "chase/query_chase.h"
+#include "deps/classify.h"
 #include "rewrite/ucq_rewriter.h"
 
 namespace semacyc {
+
+/// Σ-only facts shared by every per-query containment oracle and by the
+/// small-query-bound computation for a fixed schema — the analyze-once
+/// payload of semacyc::Engine's prepared schema. The free-function
+/// entrypoints recompute them per call (via the oracle's legacy
+/// constructor); an Engine computes them once and hands them to every
+/// oracle it builds.
+struct SchemaFacts {
+  /// Chase-based containment answers are exact: Σ is egd-only, or a
+  /// weakly acyclic tgd-only set (chase termination is guaranteed).
+  bool chase_exact = false;
+  /// Σ lies in a class whose UCQ rewriting is worth building when the
+  /// chase may diverge (linear / non-recursive / sticky).
+  bool rewritable = false;
+  /// Small-query-bound facts (Props 8/15/22): guarded tgds, NR-or-sticky
+  /// tgds (bound via PaperRewriteHeightBound), bounded egd classes
+  /// (K2 / unary FDs).
+  bool guarded = false;
+  bool nr_or_sticky = false;
+  bool egds_bounded = false;
+  /// Body←head predicate edges of Σ's tgds (the reachability prefilter
+  /// walks them backwards from q's predicates) and the set of tgd head
+  /// predicates (the chase-free degeneration tests against it).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> reverse_pred_edges;
+  std::unordered_set<uint32_t> tgd_head_preds;
+
+  static SchemaFacts Compute(const DependencySet& sigma);
+  /// Same facts from an already-computed tgd classification (the Engine
+  /// classifies Σ once and reuses it here).
+  static SchemaFacts Compute(const DependencySet& sigma,
+                             const TgdClassification& tgd_classes);
+};
 
 /// Oracle answering "candidate ⊆Σ q" for a fixed (q, Σ). When Σ is
 /// tgd-only and the UCQ rewriting of q is complete, candidates are checked
@@ -46,19 +81,34 @@ class ContainmentOracle {
                     const RewriteOptions& rewrite_options,
                     bool try_rewriting = true, bool memoize = true);
 
+  /// Prepared-schema constructor (Engine path): `facts` carries the Σ-only
+  /// analysis (consumed during construction, not stored), `rewrite_cache`
+  /// (may be null) shares UCQ rewritings across oracles for the same q,
+  /// and `synchronized = true` makes ContainedInQ safe to call from
+  /// concurrent threads (one lock per answer; the memo and counters are
+  /// shared state).
+  ContainmentOracle(const ConjunctiveQuery& q, const DependencySet& sigma,
+                    const ChaseOptions& chase_options,
+                    const RewriteOptions& rewrite_options,
+                    const SchemaFacts& facts, RewriteCache* rewrite_cache,
+                    bool try_rewriting = true, bool memoize = true,
+                    bool synchronized = false);
+
   /// candidate ⊆Σ q.
   Tri ContainedInQ(const ConjunctiveQuery& candidate) const;
   /// True when kNo answers are exact.
   bool exact() const { return exact_; }
   /// Whether the cached-rewriting fast path is active.
-  bool uses_rewriting() const { return rewriting_.has_value(); }
+  bool uses_rewriting() const { return rewriting_ != nullptr; }
   /// Memoization counters (hits are answers served without a chase or
   /// rewriting evaluation; prefiltered counts instant-NO rejections).
-  size_t cache_hits() const { return hits_; }
-  size_t cache_misses() const { return misses_; }
-  size_t prefiltered() const { return prefiltered_; }
+  /// Synchronized oracles read them under the same lock as ContainedInQ.
+  size_t cache_hits() const;
+  size_t cache_misses() const;
+  size_t prefiltered() const;
 
  private:
+  Tri ContainedInQLocked(const ConjunctiveQuery& candidate) const;
   Tri Decide(const ConjunctiveQuery& candidate) const;
   Tri DecideChaseFree(const ConjunctiveQuery& candidate) const;
   bool PassesPredicateFilter(const ConjunctiveQuery& candidate) const;
@@ -66,9 +116,11 @@ class ContainmentOracle {
   const ConjunctiveQuery& q_;
   const DependencySet& sigma_;
   ChaseOptions chase_options_;
-  std::optional<RewriteResult> rewriting_;
+  std::shared_ptr<const RewriteResult> rewriting_;
   bool exact_ = false;
   bool memoize_;
+  bool synchronized_ = false;
+  mutable std::mutex mu_;
   /// Predicate-reachability prefilter state: for each distinct predicate
   /// of q, the set of predicates from which it is reachable in Σ's
   /// body-to-head predicate graph (ANY-body over-approximation).

@@ -268,7 +268,7 @@ TEST(TargetClassTest, BetaTargetAcceptsBetaAcyclicQueryDirectly) {
   options.target_class = AcyclicityClass::kBeta;
   SemAcResult result = DecideSemanticAcyclicity(q, sigma, options);
   EXPECT_EQ(result.answer, SemAcAnswer::kYes);
-  EXPECT_EQ(result.strategy, "already-acyclic");
+  EXPECT_EQ(result.strategy, Strategy::kAlreadyAcyclic);
   EXPECT_TRUE(AtLeast(result.witness_class, AcyclicityClass::kBeta));
 }
 
@@ -293,7 +293,7 @@ TEST(TargetClassTest, FoldingCoreReachesBergeTarget) {
   options.target_class = AcyclicityClass::kBerge;
   SemAcResult result = DecideSemanticAcyclicity(diamond, sigma, options);
   EXPECT_EQ(result.answer, SemAcAnswer::kYes);
-  EXPECT_EQ(result.strategy, "core");
+  EXPECT_EQ(result.strategy, Strategy::kCore);
   EXPECT_EQ(result.witness_class, AcyclicityClass::kBerge);
 }
 

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/canonical.h"
+#include "core/homomorphism.h"
+#include "core/hypergraph.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/engine.h"
+
+namespace semacyc {
+namespace {
+
+/// Field-wise equality of two decisions (SemAcResult has no operator==).
+/// Witnesses are compared up to isomorphism: the pipeline is deterministic
+/// in structure, but witness variables are minted from a process-wide
+/// fresh-name counter, so two runs of the same decision name them apart.
+void ExpectSameDecision(const SemAcResult& a, const SemAcResult& b) {
+  EXPECT_EQ(a.answer, b.answer);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.small_query_bound, b.small_query_bound);
+  EXPECT_EQ(a.bound_justified, b.bound_justified);
+  EXPECT_EQ(a.witness.has_value(), b.witness.has_value());
+  if (a.witness.has_value() && b.witness.has_value()) {
+    EXPECT_TRUE(AreIsomorphic(*a.witness, *b.witness))
+        << a.witness->ToString() << "\n  vs\n  " << b.witness->ToString();
+    EXPECT_EQ(a.witness_class, b.witness_class);
+  }
+}
+
+/// The workload of the parity/reuse tests: one schema, queries drawn from
+/// the generator families plus the paper's named examples.
+struct Workload {
+  DependencySet sigma;
+  std::vector<ConjunctiveQuery> queries;
+};
+
+Workload GuardedWorkload(uint64_t seed) {
+  Workload w;
+  w.sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  Generator gen(seed);
+  w.queries.push_back(MustParseQuery("T(x,y), E(y,z), E(z,x)"));
+  w.queries.push_back(gen.CycleQuery(3));
+  w.queries.push_back(gen.CycleQuery(4));
+  w.queries.push_back(gen.RandomAcyclicQuery(4, 2, 2, "E"));
+  w.queries.push_back(MustParseQuery("E(a,b), E(b,c), E(a,d), E(d,c)"));
+  w.queries.push_back(gen.AlphaNotBetaQuery(1));
+  w.queries.push_back(gen.BergeTreeQuery(5));
+  return w;
+}
+
+Workload NrWorkload(uint64_t seed) {
+  Workload w;
+  w.sigma = MustParseDependencySet("B1(x,y), B2(y,z) -> B3(z,x)");
+  Generator gen(seed);
+  w.queries.push_back(MustParseQuery("B1(x,y), B2(y,z), B3(z,x)"));
+  w.queries.push_back(MustParseQuery("B1(x,y), B2(y,x)"));
+  w.queries.push_back(gen.RandomAcyclicQuery(3, 2, 3, "B"));
+  w.queries.push_back(gen.BetaNotGammaQuery(1));
+  return w;
+}
+
+Workload EgdWorkload(uint64_t) {
+  Workload w;
+  w.sigma = MustParseDependencySet("R(a,b), R(a,c) -> b = c");
+  w.queries.push_back(MustParseQuery("R(x,y), R(x,z), E(y,z)"));
+  w.queries.push_back(MustParseQuery("E(a,b), E(b,c), E(c,a)"));
+  w.queries.push_back(MustParseQuery("R(x,y), E(y,y)"));
+  return w;
+}
+
+SemAcOptions SweepOptions() {
+  SemAcOptions options;
+  options.subset_budget = 8000;
+  options.exhaustive_budget = 8000;
+  return options;
+}
+
+TEST(EngineTest, PreparedStateMatchesDirectAnalysis) {
+  Workload w = GuardedWorkload(11);
+  Engine engine(w.sigma, SweepOptions());
+  for (const ConjunctiveQuery& q : w.queries) {
+    PreparedQuery pq = engine.Prepare(q);
+    EXPECT_EQ(pq.fingerprint(), CanonicalFingerprint(q));
+    EXPECT_EQ(pq.classification().cls, ClassifyQuery(q).cls);
+    bool justified = false;
+    EXPECT_EQ(pq.small_query_bound(), SmallQueryBound(q, w.sigma, &justified));
+    EXPECT_EQ(pq.bound_justified(), justified);
+  }
+}
+
+/// Engine-vs-free-function parity: a *warm* shared engine (every query
+/// decided twice, in between other queries) answers exactly like the cold
+/// one-shot free function.
+TEST(EngineTest, ParitySweepAcrossGeneratorFamilies) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (Workload w :
+         {GuardedWorkload(seed), NrWorkload(seed), EgdWorkload(seed)}) {
+      SemAcOptions options = SweepOptions();
+      Engine engine(w.sigma, options);
+      std::vector<PreparedQuery> prepared;
+      for (const auto& q : w.queries) prepared.push_back(engine.Prepare(q));
+      // First pass warms every cache; second pass must not drift.
+      std::vector<SemAcResult> warm;
+      for (const auto& pq : prepared) warm.push_back(engine.Decide(pq));
+      for (size_t i = 0; i < prepared.size(); ++i) {
+        SemAcResult cold =
+            DecideSemanticAcyclicity(w.queries[i], w.sigma, options);
+        SemAcResult again = engine.Decide(prepared[i]);
+        ExpectSameDecision(cold, warm[i]);
+        ExpectSameDecision(cold, again);
+        if (cold.answer == SemAcAnswer::kYes && cold.witness.has_value()) {
+          EXPECT_EQ(EquivalentUnder(w.queries[i], *cold.witness, w.sigma),
+                    Tri::kYes);
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineTest, DecisionCacheServesRepeats) {
+  Workload w = GuardedWorkload(5);
+  Engine engine(w.sigma, SweepOptions());
+  PreparedQuery pq = engine.Prepare(w.queries[0]);
+  SemAcResult first = engine.Decide(pq);
+  SemAcResult second = engine.Decide(pq);
+  ExpectSameDecision(first, second);
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.decisions, 2u);
+  EXPECT_EQ(stats.decision_cache_hits, 1u);
+}
+
+TEST(EngineTest, DecisionCacheResolvesIsomorphicQueries) {
+  Workload w = GuardedWorkload(6);
+  Engine engine(w.sigma, SweepOptions());
+  ConjunctiveQuery q = MustParseQuery("T(x,y), E(y,z), E(z,x)");
+  ConjunctiveQuery renamed = MustParseQuery("T(u,v), E(v,w), E(w,u)");
+  engine.Decide(q);
+  SemAcResult hit = engine.Decide(renamed);
+  EXPECT_EQ(engine.stats().decision_cache_hits, 1u);
+  EXPECT_EQ(hit.answer, SemAcAnswer::kYes);
+}
+
+/// Oracle persistence: with the decision cache off, re-deciding the same
+/// query re-enumerates the same candidates, and the surviving per-query
+/// oracle answers them from its memo instead of re-chasing.
+TEST(EngineTest, OracleMemoSurvivesAcrossCalls) {
+  // Transitive closure keeps the triangle cyclic and its chase finite, and
+  // — because the tgd head predicate occurs in q — forces the oracle onto
+  // its memoized chase path (not the chase-free degeneration). Every
+  // strategy runs in full, so the candidate stream is long enough to make
+  // reuse visible.
+  DependencySet sigma = MustParseDependencySet("E(x,y), E(y,z) -> E(x,z)");
+  Generator gen(2);
+  ConjunctiveQuery triangle = gen.CycleQuery(3);
+  EngineConfig config;
+  config.cache_decisions = false;
+  Engine engine(sigma, SweepOptions(), config);
+  PreparedQuery pq = engine.Prepare(triangle);
+
+  SemAcResult first = engine.Decide(pq);
+  EngineStats after_first = engine.stats();
+  ASSERT_GT(first.candidates_tested, 0u);
+  ASSERT_GT(after_first.oracle_misses + after_first.oracle_prefiltered, 0u);
+
+  SemAcResult second = engine.Decide(pq);
+  EngineStats after_second = engine.stats();
+  ExpectSameDecision(first, second);
+  EXPECT_GE(after_second.oracle_reuses, 1u);
+  // No new memo misses in the second run: every non-prefiltered candidate
+  // was served from the surviving memo.
+  EXPECT_EQ(after_second.oracle_misses, after_first.oracle_misses);
+  EXPECT_GT(after_second.oracle_hits, after_first.oracle_hits);
+}
+
+TEST(EngineTest, ChaseCacheSharedAcrossEntrypoints) {
+  Workload w = GuardedWorkload(7);
+  EngineConfig config;
+  config.cache_decisions = false;
+  Engine engine(w.sigma, SweepOptions(), config);
+  PreparedQuery pq = engine.Prepare(w.queries[1]);  // cyclic triangle
+  engine.Decide(pq);
+  size_t misses_once = engine.stats().chase_cache_misses;
+  engine.Decide(pq);
+  EXPECT_EQ(engine.stats().chase_cache_misses, misses_once);
+  EXPECT_GT(engine.stats().chase_cache_hits, 0u);
+}
+
+/// Concurrent decisions on one shared Engine are deterministic: every
+/// thread sees the same answers the sequential reference produced.
+TEST(EngineTest, ConcurrentDecideIsDeterministic) {
+  Workload w = GuardedWorkload(13);
+  SemAcOptions options = SweepOptions();
+  std::vector<SemAcResult> reference;
+  {
+    Engine engine(w.sigma, options);
+    for (const auto& q : w.queries) reference.push_back(engine.Decide(q));
+  }
+
+  Engine shared(w.sigma, options);
+  std::vector<PreparedQuery> prepared;
+  for (const auto& q : w.queries) prepared.push_back(shared.Prepare(q));
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::vector<SemAcResult>> per_thread(kThreads);
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      // Different starting offsets so threads race on different queries.
+      for (size_t k = 0; k < prepared.size(); ++k) {
+        size_t i = (k + t) % prepared.size();
+        per_thread[t].push_back(shared.Decide(prepared[i]));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t k = 0; k < prepared.size(); ++k) {
+      size_t i = (k + t) % prepared.size();
+      ExpectSameDecision(reference[i], per_thread[t][k]);
+    }
+  }
+}
+
+TEST(EngineTest, DecideBatchMatchesSequentialAnyThreadCount) {
+  Workload w = NrWorkload(21);
+  SemAcOptions options = SweepOptions();
+  Engine engine(w.sigma, options);
+  std::vector<PreparedQuery> batch;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& q : w.queries) batch.push_back(engine.Prepare(q));
+  }
+  std::vector<SemAcResult> sequential = engine.DecideBatch(batch, 1);
+  std::vector<SemAcResult> parallel = engine.DecideBatch(batch, 4);
+  ASSERT_EQ(sequential.size(), batch.size());
+  ASSERT_EQ(parallel.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameDecision(sequential[i], parallel[i]);
+  }
+}
+
+TEST(EngineTest, EvalRunsYannakakisOverTheWitness) {
+  MusicStoreWorkload w = MakeMusicStoreWorkload(3, 6, 6, 3, 0.5);
+  Engine engine(w.sigma);
+  PreparedQuery pq = engine.Prepare(w.q);
+  EvalOutcome out = engine.Eval(pq, w.database);
+  ASSERT_TRUE(out.status.ok()) << out.status.message;
+  ASSERT_TRUE(out.reformulated);
+  EXPECT_TRUE(IsAcyclic(out.witness));
+  // Same answers as the generic evaluator on the original query.
+  auto generic = EvaluateQuery(w.q, w.database);
+  EXPECT_EQ(out.evaluation.answers.size(), generic.size());
+  // Repeat Eval is served off the decision cache.
+  EvalOutcome again = engine.Eval(pq, w.database);
+  ASSERT_TRUE(again.reformulated);
+  EXPECT_EQ(again.evaluation.answers.size(), out.evaluation.answers.size());
+  EXPECT_GE(engine.stats().decision_cache_hits, 1u);
+}
+
+TEST(EngineTest, EvalReportsWhyWithoutReformulation) {
+  DependencySet empty;
+  Engine engine(empty, SweepOptions());
+  Generator gen(4);
+  PreparedQuery pq = engine.Prepare(gen.CycleQuery(4));
+  Instance db;
+  EvalOutcome out = engine.Eval(pq, db);
+  EXPECT_FALSE(out.reformulated);
+  EXPECT_EQ(out.status.code, Status::Code::kNotFound);
+  EXPECT_FALSE(out.status.message.empty());
+}
+
+TEST(EngineTest, ApproximateReportsUnsupportedOnConstants) {
+  DependencySet empty;
+  Engine engine(empty);
+  PreparedQuery pq = engine.Prepare(MustParseQuery("R(x,'a'), R(y,x)"));
+  ApproximateOutcome out = engine.Approximate(pq);
+  EXPECT_EQ(out.status.code, Status::Code::kUnsupported);
+  // The free-function wrapper maps this to its historical nullopt.
+  EXPECT_FALSE(
+      AcyclicApproximation(pq.query(), empty, SemAcOptions{}).has_value());
+}
+
+TEST(EngineTest, ApproximateParityWithFreeFunction) {
+  Generator gen(9);
+  ConjunctiveQuery q = gen.CliqueQuery(3);
+  DependencySet sigma = MustParseDependencySet("E(x,y) -> E(y,x)");
+  SemAcOptions options = SweepOptions();
+  Engine engine(sigma, options);
+  ApproximateOutcome engine_out = engine.Approximate(engine.Prepare(q));
+  ASSERT_TRUE(engine_out.status.ok());
+  std::optional<ApproximationResult> free_out =
+      AcyclicApproximation(q, sigma, options);
+  ASSERT_TRUE(free_out.has_value());
+  EXPECT_EQ(engine_out.result.approximation, free_out->approximation);
+  EXPECT_EQ(engine_out.result.is_exact, free_out->is_exact);
+}
+
+TEST(EngineTest, DecideUcqSharesCachesAndSurvivesEmptyDisjuncts) {
+  DependencySet sigma = MustParseDependencySet("R(u,v), R(u,w) -> v = w");
+  ConjunctiveQuery unsat =
+      MustParseQuery("R(x,'a'), R(x,'b'), E(x,y), E(y,z), E(z,x)");
+  ConjunctiveQuery fine = MustParseQuery("E(x,y), R(x,x)");
+  Engine engine(sigma, SweepOptions());
+
+  // A failing-chase disjunct alongside a satisfiable one: the failing one
+  // is contained in everything, hence redundant; the witness is the rest.
+  UcqSemAcResult both = engine.DecideUcq(UnionQuery({unsat, fine}));
+  EXPECT_EQ(both.answer, SemAcAnswer::kYes);
+  ASSERT_TRUE(both.witness.has_value());
+  for (const ConjunctiveQuery& d : both.witness->disjuncts()) {
+    EXPECT_TRUE(IsAcyclic(d));
+  }
+
+  // A UCQ that is empty under Σ outright: YES with no witness to
+  // assemble — the path that used to dereference a missing optional.
+  UcqSemAcResult all_empty = engine.DecideUcq(UnionQuery({unsat}));
+  EXPECT_EQ(all_empty.answer, SemAcAnswer::kYes);
+  EXPECT_FALSE(all_empty.witness.has_value());
+
+  // Free-function parity.
+  UcqSemAcResult wrapped = DecideUcqSemanticAcyclicity(
+      UnionQuery({unsat, fine}), sigma, SweepOptions());
+  EXPECT_EQ(wrapped.answer, both.answer);
+}
+
+TEST(EngineTest, BoundJustificationIsSurfaced) {
+  ConjunctiveQuery q = MustParseQuery("E(x,y), E(y,z), E(z,x)");
+  // Guarded: justified. Full recursive: heuristic.
+  SemAcResult guarded = DecideSemanticAcyclicity(
+      q, MustParseDependencySet("E(x,y) -> E(y,w)"), SweepOptions());
+  EXPECT_TRUE(guarded.bound_justified);
+  SemAcResult recursive = DecideSemanticAcyclicity(
+      q, MustParseDependencySet("E(x,y), E(y,z) -> E(x,z)"), SweepOptions());
+  EXPECT_FALSE(recursive.bound_justified);
+}
+
+TEST(EngineTest, StrategyToStringKeepsHistoricalNames) {
+  EXPECT_STREQ(ToString(Strategy::kAlreadyAcyclic), "already-acyclic");
+  EXPECT_STREQ(ToString(Strategy::kCore), "core");
+  EXPECT_STREQ(ToString(Strategy::kFailingChase), "failing-chase");
+  EXPECT_STREQ(ToString(Strategy::kChaseCompaction), "chase-compaction");
+  EXPECT_STREQ(ToString(Strategy::kImages), "images");
+  EXPECT_STREQ(ToString(Strategy::kSubsets), "subsets");
+  EXPECT_STREQ(ToString(Strategy::kExhaustive), "exhaustive");
+  EXPECT_STREQ(ToString(Strategy::kBudgetExhausted), "budget-exhausted");
+}
+
+/// The view-based join tree satellites eval/yannakakis: same running
+/// intersection and same evaluation results as the atom-copying JoinTree.
+TEST(EngineTest, JoinTreeViewMatchesOwningJoinTree) {
+  Generator gen(17);
+  for (int i = 0; i < 10; ++i) {
+    ConjunctiveQuery q = gen.RandomAcyclicQuery(6, 3, 3, "V");
+    std::optional<JoinTree> owning =
+        BuildJoinTree(q.body(), ConnectingTerms::kVariables);
+    std::optional<JoinTreeView> view =
+        BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
+    ASSERT_TRUE(owning.has_value());
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->parent(), owning->parent());
+    EXPECT_EQ(view->root(), owning->root());
+    EXPECT_TRUE(view->Validate(q.Variables()));
+
+    Instance db = gen.RandomDatabase(
+        {Predicate::Get("V0", 3), Predicate::Get("V1", 3),
+         Predicate::Get("V2", 3)},
+        40, 5);
+    YannakakisResult via_view = EvaluateAcyclic(q, *view, db);
+    YannakakisResult direct = EvaluateAcyclic(q, db);
+    ASSERT_TRUE(via_view.ok);
+    EXPECT_EQ(via_view.answers, direct.answers);
+  }
+}
+
+}  // namespace
+}  // namespace semacyc

@@ -29,7 +29,7 @@ TEST(SemAcTest, AcyclicQueryIsTriviallyYes) {
   DependencySet sigma;
   SemAcResult result = DecideSemanticAcyclicity(q, sigma);
   VerifyYes(q, sigma, result);
-  EXPECT_EQ(result.strategy, "already-acyclic");
+  EXPECT_EQ(result.strategy, Strategy::kAlreadyAcyclic);
 }
 
 TEST(SemAcTest, NonCoreCyclicQueryFoldsAway) {
@@ -39,7 +39,7 @@ TEST(SemAcTest, NonCoreCyclicQueryFoldsAway) {
   DependencySet sigma;
   SemAcResult result = DecideSemanticAcyclicity(diamond, sigma);
   VerifyYes(diamond, sigma, result);
-  EXPECT_EQ(result.strategy, "core");
+  EXPECT_EQ(result.strategy, Strategy::kCore);
 }
 
 TEST(SemAcTest, DirectedFourCycleIsNo) {
@@ -180,7 +180,7 @@ TEST(SemAcTest, UnsatisfiableUnderEgdsIsYes) {
   DependencySet sigma = MustParseDependencySet("R(u,v), R(u,w) -> v = w");
   SemAcResult result = DecideSemanticAcyclicity(q, sigma);
   EXPECT_EQ(result.answer, SemAcAnswer::kYes);
-  EXPECT_EQ(result.strategy, "failing-chase");
+  EXPECT_EQ(result.strategy, Strategy::kFailingChase);
 }
 
 TEST(SemAcTest, SmallQueryBoundsPerClass) {
