@@ -8,20 +8,33 @@
 //
 // Batch mode (many queries against one schema file, one JSON line per
 // decision, a single Engine / PreparedSchema shared by every call):
-//   semacyc_cli --batch <schema-file> [<queries-file>]
+//   semacyc_cli [--stats] [--cache-mb <n>] --batch <schema-file> [<queries-file>]
 // The schema file holds a dependency set ('%' comments allowed); queries
 // come one per line from <queries-file> or stdin (blank lines and '%'
 // comment lines skipped).
 //
+// Batch flags:
+//   --stats       after the run, print Engine::Stats() (per-cache entries,
+//                 bytes, hits/misses/inserts/evictions) plus the aggregate
+//                 counters as one JSON object line on stdout.
+//   --cache-mb N  bound the engine's cache memory: N MiB total, split
+//                 across the four caches (chase half, oracles a quarter,
+//                 rewritings and decisions an eighth each) with LRU
+//                 eviction. Default: unbounded.
+//
 // Exit code, one-shot: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
 // Exit code, batch: 0 once the schema parsed (per-line errors are reported
 // as JSON on the line that failed), 3 on usage/schema errors.
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/core_min.h"
 #include "core/hypergraph.h"
@@ -65,7 +78,34 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-int RunBatch(const char* schema_path, const char* queries_path) {
+void PrintCacheStatsJson(const char* name, const CacheStats& s,
+                         bool trailing_comma) {
+  std::printf(
+      "\"%s\": {\"entries\": %zu, \"bytes\": %zu, \"hits\": %zu, "
+      "\"misses\": %zu, \"inserts\": %zu, \"evictions\": %zu, "
+      "\"max_bytes\": %zu}%s",
+      name, s.entries, s.bytes, s.hits, s.misses, s.inserts, s.evictions,
+      s.max_bytes, trailing_comma ? ", " : "");
+}
+
+void PrintStatsJson(const Engine& engine) {
+  EngineStats agg = engine.stats();
+  EngineCacheStats caches = engine.Stats();
+  std::printf(
+      "{\"stats\": {\"prepares\": %zu, \"decisions\": %zu, "
+      "\"oracle_hits\": %zu, \"oracle_misses\": %zu, "
+      "\"oracle_prefiltered\": %zu, \"caches\": {",
+      agg.prepares, agg.decisions, agg.oracle_hits, agg.oracle_misses,
+      agg.oracle_prefiltered);
+  PrintCacheStatsJson("chase", caches.chase, true);
+  PrintCacheStatsJson("rewrite", caches.rewrite, true);
+  PrintCacheStatsJson("oracles", caches.oracles, true);
+  PrintCacheStatsJson("decisions", caches.decisions, false);
+  std::printf("}}}\n");
+}
+
+int RunBatch(const char* schema_path, const char* queries_path,
+             bool print_stats, size_t cache_mb) {
   std::ifstream schema_file(schema_path);
   if (!schema_file) {
     std::fprintf(stderr, "cannot open schema file: %s\n", schema_path);
@@ -93,7 +133,11 @@ int RunBatch(const char* schema_path, const char* queries_path) {
 
   // One Engine for the whole stream: Σ is analyzed once and every
   // repeated (or isomorphic) query is served from the shared caches.
-  Engine engine(*sigma.value);
+  EngineOptions options;
+  if (cache_mb > 0) {
+    options.SetTotalCacheBudget(cache_mb * size_t{1024} * 1024);
+  }
+  Engine engine(*sigma.value, options);
   std::string line;
   while (std::getline(in, line)) {
     size_t first = line.find_first_not_of(" \t\r");
@@ -129,6 +173,7 @@ int RunBatch(const char* schema_path, const char* queries_path) {
                "oracle memo)\n",
                stats.decisions, stats.decision_cache_hits,
                stats.chase_cache_hits, stats.oracle_hits);
+  if (print_stats) PrintStatsJson(engine);
   return 0;
 }
 
@@ -176,26 +221,70 @@ int RunOneShot(const char* query_text, const char* sigma_text) {
   return 2;
 }
 
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s '<query>' '<dependencies>'\n"
+               "       %s [--stats] [--cache-mb <n>] --batch <schema-file> "
+               "[<queries-file>]\n"
+               "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
+               "  dependencies: tgds 'body -> head' and egds 'body -> x = "
+               "y',\n"
+               "                separated by '.'; may be empty ('')\n"
+               "  batch mode:   one query per line, one JSON line per "
+               "decision,\n"
+               "                a single prepared schema shared by the "
+               "whole run\n"
+               "  --stats:      print Engine::Stats() as one JSON line "
+               "after the batch\n"
+               "  --cache-mb:   total cache budget in MiB, LRU-split "
+               "across the four caches\n",
+               prog, prog);
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 3 && std::strcmp(argv[1], "--batch") == 0) {
-    return RunBatch(argv[2], argc >= 4 ? argv[3] : nullptr);
+  bool batch = false;
+  bool print_stats = false;
+  size_t cache_mb = 0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const char* text = argv[++i];
+      // Digits only: strtoull would silently wrap "-1" to ULLONG_MAX.
+      if (*text == '\0') return Usage(argv[0]);
+      for (const char* c = text; *c != '\0'; ++c) {
+        if (*c < '0' || *c > '9') return Usage(argv[0]);
+      }
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(text, &end, 10);
+      // Reject zero (the default is already unbounded; an explicit 0 is
+      // more likely a typo than a request for it), out-of-range input,
+      // and budgets whose MiB conversion would overflow size_t.
+      if (errno != 0 || end == nullptr || *end != '\0' || n == 0 ||
+          n > (SIZE_MAX >> 20)) {
+        return Usage(argv[0]);
+      }
+      cache_mb = static_cast<size_t>(n);
+    } else {
+      positional.push_back(argv[i]);
+    }
   }
-  if (argc != 3) {
-    std::fprintf(stderr,
-                 "usage: %s '<query>' '<dependencies>'\n"
-                 "       %s --batch <schema-file> [<queries-file>]\n"
-                 "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
-                 "  dependencies: tgds 'body -> head' and egds 'body -> x = "
-                 "y',\n"
-                 "                separated by '.'; may be empty ('')\n"
-                 "  batch mode:   one query per line, one JSON line per "
-                 "decision,\n"
-                 "                a single prepared schema shared by the "
-                 "whole run\n",
-                 argv[0], argv[0]);
-    return 3;
+  if (batch) {
+    if (positional.empty() || positional.size() > 2) return Usage(argv[0]);
+    return RunBatch(positional[0],
+                    positional.size() >= 2 ? positional[1] : nullptr,
+                    print_stats, cache_mb);
   }
-  return RunOneShot(argv[1], argv[2]);
+  if (positional.size() != 2 || print_stats || cache_mb > 0) {
+    return Usage(argv[0]);
+  }
+  return RunOneShot(positional[0], positional[1]);
 }

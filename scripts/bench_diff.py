@@ -102,10 +102,20 @@ def main():
                              "units of the timing field (default 5.0)")
     args = parser.parse_args()
 
-    if not Path(args.previous).is_dir():
-        # A first run (or expired artifacts) has no baseline: report & pass.
-        print(f"no previous bench results at {args.previous}; nothing to "
-              "compare")
+    # A missing, non-directory, or empty previous artifact (first run on a
+    # branch or fork, or artifacts past their retention window) is not an
+    # error: there is simply no baseline yet. Pass with a notice so the CI
+    # log says why nothing was compared.
+    previous = Path(args.previous)
+    if not previous.is_dir():
+        print(f"notice: no previous bench results at {args.previous} "
+              "(first run or expired artifacts); nothing to compare, "
+              "passing")
+        return 0
+    if not any(previous.glob("BENCH_*.json")):
+        print(f"notice: previous bench artifact at {args.previous} is "
+              "empty (first run on a fork or expired artifacts); nothing "
+              "to compare, passing")
         return 0
     if not Path(args.current).is_dir():
         print(f"error: current bench directory {args.current} not found")
@@ -114,7 +124,10 @@ def main():
     prev = index_dir(args.previous)
     cur = index_dir(args.current)
     if not prev or not cur:
-        print("no comparable BENCH_*.json rows on one side; skipping")
+        # Files existed but held no comparable rows (corrupt or
+        # shape-only reports): still not a regression signal.
+        print("notice: no comparable BENCH_*.json rows on one side; "
+              "passing")
         return 0
 
     regressions = []

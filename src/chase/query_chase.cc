@@ -39,47 +39,41 @@ QueryChaseResult ChaseQuery(const ConjunctiveQuery& q,
   return result;
 }
 
-std::shared_ptr<const QueryChaseResult> QueryChaseCache::Find(
-    uint64_t fp, const ConjunctiveQuery& q) const {
-  auto it = map_.find(fp);
-  if (it == map_.end()) return nullptr;
-  for (const auto& [cached, chase] : it->second) {
-    if (cached == q) return chase;
+size_t QueryChaseResult::ApproxBytes() const {
+  return sizeof(QueryChaseResult) + instance.ApproxBytes() +
+         frozen_head.size() * sizeof(Term) +
+         var_to_frozen.size() * (2 * sizeof(Term) + 4 * sizeof(void*));
+}
+
+std::shared_ptr<const QueryChaseResult> ChaseIsoMatch::Resolve(
+    const ConjunctiveQuery& key,
+    const std::shared_ptr<const QueryChaseResult>& value,
+    const ConjunctiveQuery& probe) {
+  std::optional<Substitution> iso = FindIsomorphism(key, probe);
+  if (!iso.has_value()) return nullptr;
+  // The instance's frozen nulls are anonymous and frozen_head is aligned
+  // with the head position-wise (preserved by the bijection), so both
+  // transport verbatim; only var_to_frozen needs the rename σ(v) → frozen.
+  auto adapted = std::make_shared<QueryChaseResult>();
+  adapted->instance = value->instance;
+  adapted->frozen_head = value->frozen_head;
+  adapted->saturated = value->saturated;
+  adapted->failed = value->failed;
+  adapted->steps = value->steps;
+  adapted->var_to_frozen.reserve(value->var_to_frozen.size());
+  for (const auto& [var, frozen] : value->var_to_frozen) {
+    adapted->var_to_frozen.emplace(Apply(*iso, var), frozen);
   }
-  return nullptr;
+  return adapted;
 }
 
 std::shared_ptr<const QueryChaseResult> QueryChaseCache::GetOrCompute(
     const ConjunctiveQuery& q, const DependencySet& sigma,
     const ChaseOptions& options) {
-  uint64_t fp = CanonicalFingerprint(q);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (auto cached = Find(fp, q)) {
-      ++hits_;
-      return cached;
-    }
-  }
-  auto computed =
-      std::make_shared<const QueryChaseResult>(ChaseQuery(q, sigma, options));
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto cached = Find(fp, q)) {
-    ++hits_;  // lost the race; serve the first insert for determinism
-    return cached;
-  }
-  ++misses_;
-  map_[fp].emplace_back(q, computed);
-  return computed;
-}
-
-size_t QueryChaseCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-size_t QueryChaseCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  return cache_.GetOrCompute(q, [&]() {
+    return std::make_shared<const QueryChaseResult>(
+        ChaseQuery(q, sigma, options));
+  });
 }
 
 Tri ContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,

@@ -2,6 +2,7 @@
 #define SEMACYC_CORE_CANONICAL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -13,6 +14,13 @@ namespace semacyc {
 /// mapping head position-wise and body onto body. Used to deduplicate
 /// rewriting frontiers and witness candidates.
 bool AreIsomorphic(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// The witnessing variable bijection of AreIsomorphic: a substitution σ
+/// with σ(q1) = q2 (head position-wise, body onto body), or std::nullopt
+/// when the queries are not isomorphic. The chase memo's iso-resolution
+/// rename layer transports cached per-variable state through σ.
+std::optional<Substitution> FindIsomorphism(const ConjunctiveQuery& q1,
+                                            const ConjunctiveQuery& q2);
 
 /// A hash-interned canonical form: a 64-bit fingerprint of the same
 /// renaming/reordering-invariant that StructuralKey encodes (isomorphic

@@ -1,0 +1,380 @@
+#ifndef SEMACYC_CORE_FINGERPRINT_CACHE_H_
+#define SEMACYC_CORE_FINGERPRINT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/query.h"
+
+namespace semacyc {
+
+/// Per-cache policy knobs. The default is the pre-eviction behavior
+/// (unbounded, everything cached); budgets turn on LRU eviction.
+struct CacheConfig {
+  /// Disabled caches compute on every call and store nothing — the
+  /// bypass the Engine's legacy cache_* / reuse_* toggles map onto.
+  bool enabled = true;
+  /// Byte budget across the whole cache (0 = unbounded). Enforced per
+  /// shard at max_bytes / shards, so a skewed fingerprint distribution
+  /// can evict slightly before the global budget is reached.
+  size_t max_bytes = 0;
+  /// Entry budget across the whole cache (0 = unbounded), enforced per
+  /// shard at max(1, max_entries / shards). For an exact small-entry cap
+  /// (e.g. the 1-entry caches of the eviction tests), set shards = 1.
+  size_t max_entries = 0;
+  /// Number of mutex-guarded shards; rounded up to a power of two,
+  /// minimum 1. More shards = less lock contention, coarser budgets.
+  size_t shards = 8;
+};
+
+/// Observable counters of one FingerprintCache, snapshot under the shard
+/// locks (entries/bytes) and from the atomic counters (the rest).
+struct CacheStats {
+  size_t entries = 0;
+  size_t bytes = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  /// Entries added — one per miss, plus one per memoized *adapted* value
+  /// (an adapting Matcher's rename layer inserts on the hit path, so
+  /// inserts can exceed misses on such caches).
+  size_t inserts = 0;
+  size_t evictions = 0;
+  /// Configured budgets, echoed so one snapshot is self-describing.
+  size_t max_bytes = 0;
+  size_t max_entries = 0;
+  bool enabled = true;
+};
+
+/// Matcher for caches resolved by exact query equality only (the cache
+/// always tries exact equality first; this matcher adds no fallback).
+template <typename Value>
+struct ExactMatch {
+  static std::shared_ptr<const Value> Resolve(
+      const ConjunctiveQuery& /*key*/,
+      const std::shared_ptr<const Value>& /*value*/,
+      const ConjunctiveQuery& /*probe*/) {
+    return nullptr;
+  }
+};
+
+/// Matcher for values that are valid verbatim for every query isomorphic
+/// to their key (UCQ rewritings, containment oracles, decisions): the
+/// cached value is served unchanged.
+template <typename Value>
+struct IsoMatch {
+  static std::shared_ptr<const Value> Resolve(
+      const ConjunctiveQuery& key, const std::shared_ptr<const Value>& value,
+      const ConjunctiveQuery& probe) {
+    return AreIsomorphic(key, probe) ? value : nullptr;
+  }
+};
+
+/// One policy-bearing cache for every fingerprint-keyed memo in the
+/// system: chase(q, Σ) results, UCQ rewritings, per-query containment
+/// oracles and decision results are all instances of this template (the
+/// four previously hand-rolled their bucket/double-checked-insert logic
+/// independently, and none of them could evict).
+///
+/// Keys are ConjunctiveQuerys bucketed by canonical fingerprint
+/// (isomorphism-invariant, so every variant of a query lands in one
+/// bucket); within a bucket, a probe resolves by exact query equality
+/// first and then by the Matcher:
+///
+///   struct Matcher {
+///     /// Serve `value` (stored under `key`) for `probe`: nullptr when
+///     /// the entry does not apply; `value` itself when it applies
+///     /// verbatim; a freshly *adapted* value otherwise. Adapted values
+///     /// are inserted under the probe key, so each renamed variant pays
+///     /// the adaptation once and exact-hits afterwards.
+///     static std::shared_ptr<const Value> Resolve(
+///         const ConjunctiveQuery& key,
+///         const std::shared_ptr<const Value>& value,
+///         const ConjunctiveQuery& probe);
+///   };
+///
+/// Eviction is LRU per shard, driven by the byte/entry budgets of
+/// CacheConfig. Every entry is charged once at insert time with
+/// key.ApproxBytes() + value->ApproxBytes() + bookkeeping; values that
+/// grow afterwards (an oracle's memo) are not re-charged — budget sizing
+/// should leave headroom for that. Values are handed out as
+/// shared_ptr<const Value>, so eviction never invalidates a value a
+/// caller still holds.
+///
+/// Thread safety: all methods are safe to call concurrently. Lookups and
+/// inserts take one shard mutex; computations AND Matcher::Resolve calls
+/// run outside every lock (the matcher pass snapshots the bucket's
+/// key/value pairs first, so an expensive isomorphism search or value
+/// adaptation never serializes the shard). A racing computation of the
+/// same key keeps the first inserted value, so all callers observe one
+/// result; racing probes of two isomorphic-but-distinct keys may each
+/// insert their own entry, which is benign duplication bounded by LRU.
+template <typename Value, typename Matcher = ExactMatch<Value>>
+class FingerprintCache {
+ public:
+  FingerprintCache() : FingerprintCache(CacheConfig{}) {}
+  explicit FingerprintCache(const CacheConfig& config) : config_(config) {
+    size_t shards = 1;
+    while (shards < config_.shards && shards < 64) shards <<= 1;
+    shards_ = std::vector<Shard>(shards);
+    byte_budget_ = config_.max_bytes == 0
+                       ? 0
+                       : std::max<size_t>(1, config_.max_bytes / shards);
+    entry_budget_ = config_.max_entries == 0
+                        ? 0
+                        : std::max<size_t>(1, config_.max_entries / shards);
+  }
+
+  FingerprintCache(const FingerprintCache&) = delete;
+  FingerprintCache& operator=(const FingerprintCache&) = delete;
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Returns the cached value for q, or computes and inserts it.
+  /// `compute` must return std::shared_ptr<const Value>; it runs outside
+  /// every lock.
+  template <typename Compute>
+  std::shared_ptr<const Value> GetOrCompute(uint64_t fp,
+                                            const ConjunctiveQuery& q,
+                                            Compute&& compute) {
+    if (!config_.enabled) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return compute();
+    }
+    Shard& shard = ShardFor(fp);
+    if (auto served = Probe(shard, fp, q)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return served;
+    }
+    std::shared_ptr<const Value> computed = compute();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Exact-only recheck: a racing computation of the same key keeps the
+    // first insert. (A racing isomorphic-but-distinct key may insert its
+    // own entry — benign duplication, not worth an iso search per insert.)
+    if (auto served = ExactFindLocked(shard, fp, q)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return served;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    InsertLocked(shard, fp, q, computed);
+    return computed;
+  }
+
+  /// Convenience overload computing the fingerprint itself.
+  template <typename Compute>
+  std::shared_ptr<const Value> GetOrCompute(const ConjunctiveQuery& q,
+                                            Compute&& compute) {
+    return GetOrCompute(CanonicalFingerprint(q), q,
+                        std::forward<Compute>(compute));
+  }
+
+  /// Lookup without compute; counts as a hit or miss. Not read-only: like
+  /// any probe it touches LRU recency, and an adapting Matcher may
+  /// memoize the adapted value under the probe key.
+  std::shared_ptr<const Value> Find(uint64_t fp, const ConjunctiveQuery& q) {
+    if (!config_.enabled) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    auto served = Probe(ShardFor(fp), fp, q);
+    (served ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return served;
+  }
+
+  /// Snapshot of every resident value (MRU-first per shard). Used for
+  /// counter aggregation over live oracles; the shared_ptrs keep the
+  /// values alive past any concurrent eviction.
+  std::vector<std::shared_ptr<const Value>> Values() const {
+    std::vector<std::shared_ptr<const Value>> out;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const Entry& e : shard.lru) out.push_back(e.value);
+    }
+    return out;
+  }
+
+  CacheStats Stats() const {
+    CacheStats s;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      s.entries += shard.lru.size();
+      s.bytes += shard.bytes;
+    }
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.max_bytes = config_.max_bytes;
+    s.max_entries = config_.max_entries;
+    s.enabled = config_.enabled;
+    return s;
+  }
+
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Evicts LRU entries until the cache holds at most target_bytes
+  /// (enforced per shard at target_bytes / shards). Trim(0) drops every
+  /// entry; counters survive, the drops count as evictions.
+  void Trim(size_t target_bytes) {
+    size_t per_shard = target_bytes / shards_.size();
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      while (!shard.lru.empty() && shard.bytes > per_shard) {
+        EvictTailLocked(shard);
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    uint64_t fp = 0;
+    ConjunctiveQuery key;
+    std::shared_ptr<const Value> value;
+    size_t bytes = 0;
+  };
+  using EntryList = std::list<Entry>;
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. std::list iterators are stable, so
+    /// the fingerprint buckets can hold them across splices.
+    EntryList lru;
+    std::unordered_map<uint64_t, std::vector<typename EntryList::iterator>>
+        buckets;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t fp) {
+    // The low fingerprint bits index the bucket map already; fold the
+    // high half in so shard choice is not correlated with bucket choice.
+    return shards_[(fp ^ (fp >> 32)) & (shards_.size() - 1)];
+  }
+
+  /// Exact-equality scan under the shard lock (so a previously inserted
+  /// adapted entry beats re-adapting from the original); touches LRU.
+  std::shared_ptr<const Value> ExactFindLocked(Shard& shard, uint64_t fp,
+                                               const ConjunctiveQuery& q) {
+    auto bucket_it = shard.buckets.find(fp);
+    if (bucket_it == shard.buckets.end()) return nullptr;
+    for (auto it : bucket_it->second) {
+      if (it->key == q) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it);
+        return it->value;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Full probe: exact pass under the lock, then the Matcher pass on a
+  /// snapshot of the bucket *outside* the lock — Matcher::Resolve may run
+  /// an isomorphism search or copy a whole value, and must not serialize
+  /// the shard while it does.
+  std::shared_ptr<const Value> Probe(Shard& shard, uint64_t fp,
+                                     const ConjunctiveQuery& q) {
+    std::vector<std::pair<ConjunctiveQuery, std::shared_ptr<const Value>>>
+        candidates;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (auto served = ExactFindLocked(shard, fp, q)) return served;
+      auto bucket_it = shard.buckets.find(fp);
+      if (bucket_it == shard.buckets.end()) return nullptr;
+      candidates.reserve(bucket_it->second.size());
+      for (auto it : bucket_it->second) {
+        candidates.emplace_back(it->key, it->value);
+      }
+    }
+    for (const auto& [key, value] : candidates) {
+      std::shared_ptr<const Value> served = Matcher::Resolve(key, value, q);
+      if (served == nullptr) continue;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      TouchByKeyLocked(shard, fp, key);
+      if (served != value) {
+        // Adapted value: memoize it under the probe key — the next probe
+        // with this exact query is then a plain exact hit — unless a
+        // racing thread already inserted the same adaptation.
+        if (auto existing = ExactFindLocked(shard, fp, q)) return existing;
+        InsertLocked(shard, fp, q, served);
+      }
+      return served;
+    }
+    return nullptr;
+  }
+
+  /// Moves the entry with this exact key (if still resident) to the MRU
+  /// position; the matcher pass works on a snapshot, so the source entry
+  /// may have been evicted meanwhile.
+  void TouchByKeyLocked(Shard& shard, uint64_t fp,
+                        const ConjunctiveQuery& key) {
+    auto bucket_it = shard.buckets.find(fp);
+    if (bucket_it == shard.buckets.end()) return;
+    for (auto it : bucket_it->second) {
+      if (it->key == key) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it);
+        return;
+      }
+    }
+  }
+
+  void InsertLocked(Shard& shard, uint64_t fp, const ConjunctiveQuery& q,
+                    const std::shared_ptr<const Value>& value) {
+    Entry entry;
+    entry.fp = fp;
+    entry.key = q;
+    entry.value = value;
+    entry.bytes = sizeof(Entry) + q.ApproxBytes() + value->ApproxBytes();
+    if (byte_budget_ != 0 && entry.bytes > byte_budget_) {
+      // An entry that alone exceeds the shard budget is never kept:
+      // admitting it would flush every resident entry for a value that
+      // still could not stay. The caller keeps its shared_ptr; the
+      // declined insert counts as an eviction so the thrash is
+      // observable.
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    shard.bytes += entry.bytes;
+    shard.lru.push_front(std::move(entry));
+    shard.buckets[fp].push_back(shard.lru.begin());
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    while (!shard.lru.empty() &&
+           ((byte_budget_ != 0 && shard.bytes > byte_budget_) ||
+            (entry_budget_ != 0 && shard.lru.size() > entry_budget_))) {
+      EvictTailLocked(shard);
+    }
+  }
+
+  void EvictTailLocked(Shard& shard) {
+    auto victim = std::prev(shard.lru.end());
+    auto bucket_it = shard.buckets.find(victim->fp);
+    auto& vec = bucket_it->second;
+    for (size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == victim) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    if (vec.empty()) shard.buckets.erase(bucket_it);
+    shard.bytes -= victim->bytes;
+    shard.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  CacheConfig config_;
+  std::vector<Shard> shards_;
+  size_t byte_budget_ = 0;
+  size_t entry_budget_ = 0;
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+  mutable std::atomic<size_t> inserts_{0};
+  mutable std::atomic<size_t> evictions_{0};
+};
+
+}  // namespace semacyc
+
+#endif  // SEMACYC_CORE_FINGERPRINT_CACHE_H_

@@ -129,6 +129,12 @@ ConjunctiveQuery ConjunctiveQuery::RenameApart() const {
   return Substitute(sub);
 }
 
+size_t ConjunctiveQuery::ApproxBytes() const {
+  size_t bytes = sizeof(ConjunctiveQuery) + head_.size() * sizeof(Term);
+  for (const Atom& a : body_) bytes += sizeof(Atom) + a.arity() * sizeof(Term);
+  return bytes;
+}
+
 std::string ConjunctiveQuery::ToString() const {
   std::string out = "q(";
   for (size_t i = 0; i < head_.size(); ++i) {
@@ -215,6 +221,12 @@ size_t UnionQuery::Height() const {
   size_t h = 0;
   for (const auto& q : disjuncts_) h = std::max(h, q.size());
   return h;
+}
+
+size_t UnionQuery::ApproxBytes() const {
+  size_t bytes = sizeof(UnionQuery);
+  for (const auto& q : disjuncts_) bytes += q.ApproxBytes();
+  return bytes;
 }
 
 std::string UnionQuery::ToString() const {

@@ -57,6 +57,10 @@ class ConjunctiveQuery {
   /// produced earlier (used before combining two queries).
   ConjunctiveQuery RenameApart() const;
 
+  /// Approximate heap footprint (cache byte accounting): head and body
+  /// payload plus per-atom vector overhead. Deterministic, O(|q|).
+  size_t ApproxBytes() const;
+
   std::string ToString() const;
 
   friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
@@ -114,6 +118,9 @@ class UnionQuery {
 
   /// The height of the UCQ: the maximal size of its disjuncts (§5).
   size_t Height() const;
+
+  /// Approximate heap footprint (sum over disjuncts).
+  size_t ApproxBytes() const;
 
   std::string ToString() const;
 

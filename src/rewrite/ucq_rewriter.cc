@@ -297,47 +297,13 @@ size_t PaperRewriteHeightBound(const ConjunctiveQuery& q,
   return static_cast<size_t>(bound);
 }
 
-std::shared_ptr<const RewriteResult> RewriteCache::Find(
-    uint64_t fp, const ConjunctiveQuery& q) const {
-  auto it = map_.find(fp);
-  if (it == map_.end()) return nullptr;
-  for (const auto& [cached, rewriting] : it->second) {
-    if (AreIsomorphic(cached, q)) return rewriting;
-  }
-  return nullptr;
-}
-
 std::shared_ptr<const RewriteResult> RewriteCache::GetOrCompute(
     const ConjunctiveQuery& q, const std::vector<Tgd>& tgds,
     const RewriteOptions& options) {
-  uint64_t fp = CanonicalFingerprint(q);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (auto cached = Find(fp, q)) {
-      ++hits_;
-      return cached;
-    }
-  }
-  auto computed =
-      std::make_shared<const RewriteResult>(RewriteToUcq(q, tgds, options));
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto cached = Find(fp, q)) {
-    ++hits_;  // lost the race; serve the first insert for determinism
-    return cached;
-  }
-  ++misses_;
-  map_[fp].emplace_back(q, computed);
-  return computed;
-}
-
-size_t RewriteCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-size_t RewriteCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  return cache_.GetOrCompute(q, [&]() {
+    return std::make_shared<const RewriteResult>(
+        RewriteToUcq(q, tgds, options));
+  });
 }
 
 }  // namespace semacyc

@@ -4,12 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "chase/dependency.h"
+#include "core/fingerprint_cache.h"
 #include "core/query.h"
 
 namespace semacyc {
@@ -39,6 +38,9 @@ struct RewriteResult {
 
   /// The paper's f_C(q,Σ): the maximal disjunct size (UCQ height).
   size_t Height() const { return ucq.Height(); }
+
+  /// Approximate heap footprint (cache byte accounting).
+  size_t ApproxBytes() const { return sizeof(RewriteResult) + ucq.ApproxBytes(); }
 };
 
 /// Computes the UCQ rewriting Q of q under Σ (tgds only), XRewrite-style:
@@ -55,9 +57,10 @@ RewriteResult RewriteToUcq(const ConjunctiveQuery& q,
 size_t PaperRewriteHeightBound(const ConjunctiveQuery& q,
                                const std::vector<Tgd>& tgds);
 
-/// Thread-safe cache of UCQ rewritings for a *fixed* Σ, keyed by the
-/// canonical fingerprint of q with isomorphism resolution (a rewriting of
-/// q answers containment-in-q' for every q' isomorphic to q: bound
+/// Thread-safe cache of UCQ rewritings for a *fixed* Σ — a
+/// FingerprintCache keyed by the canonical fingerprint of q with
+/// isomorphism resolution (IsoMatch: a rewriting of q answers
+/// containment-in-q' verbatim for every q' isomorphic to q: bound
 /// disjunct variables are renamed away by the containment check, and
 /// isomorphism preserves the head position-wise). One lives inside each
 /// semacyc::Engine so repeated ContainmentOracle constructions for the
@@ -66,6 +69,9 @@ size_t PaperRewriteHeightBound(const ConjunctiveQuery& q,
 /// only — neither participates in the key.
 class RewriteCache {
  public:
+  RewriteCache() = default;
+  explicit RewriteCache(const CacheConfig& config) : cache_(config) {}
+
   /// Returns the cached rewriting of a query isomorphic to q, or computes
   /// and inserts it. Computation runs outside the lock; a racing insert of
   /// the same query keeps the first entry, so every caller sees one result.
@@ -73,21 +79,13 @@ class RewriteCache {
       const ConjunctiveQuery& q, const std::vector<Tgd>& tgds,
       const RewriteOptions& options);
 
-  size_t hits() const;
-  size_t misses() const;
+  size_t hits() const { return cache_.hits(); }
+  size_t misses() const { return cache_.misses(); }
+  CacheStats Stats() const { return cache_.Stats(); }
+  void Trim(size_t target_bytes) { cache_.Trim(target_bytes); }
 
  private:
-  std::shared_ptr<const RewriteResult> Find(uint64_t fp,
-                                            const ConjunctiveQuery& q) const;
-
-  mutable std::mutex mu_;
-  std::unordered_map<
-      uint64_t,
-      std::vector<std::pair<ConjunctiveQuery,
-                            std::shared_ptr<const RewriteResult>>>>
-      map_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  FingerprintCache<RewriteResult, IsoMatch<RewriteResult>> cache_;
 };
 
 }  // namespace semacyc

@@ -75,6 +75,12 @@ struct SemAcResult {
   /// Whether a kNo answer (or the absence of a witness) is definitive.
   bool exact = false;
   size_t candidates_tested = 0;
+
+  /// Approximate heap footprint (cache byte accounting).
+  size_t ApproxBytes() const {
+    return sizeof(SemAcResult) +
+           (witness.has_value() ? witness->ApproxBytes() : 0);
+  }
 };
 
 /// Decides whether q is semantically acyclic under Σ.

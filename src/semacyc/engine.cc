@@ -23,8 +23,35 @@ Engine::OracleEntry::OracleEntry(ConjunctiveQuery q,
              rewrite_cache, /*try_rewriting=*/true, /*memoize=*/true,
              /*synchronized=*/true) {}
 
+size_t Engine::OracleEntry::ApproxBytes() const {
+  // The rewriting (when built) is shared with the RewriteCache and by far
+  // the largest resident piece; the memo starts empty and is not
+  // re-charged as it grows.
+  return sizeof(OracleEntry) + query.ApproxBytes();
+}
+
+namespace {
+
+EngineOptions FromLegacyConfig(SemAcOptions options, EngineConfig config) {
+  EngineOptions out;
+  out.semac = options;
+  out.decisions.enabled = config.cache_decisions;
+  out.chase.enabled = config.cache_chases;
+  out.oracles.enabled = config.reuse_oracles;
+  return out;
+}
+
+}  // namespace
+
 Engine::Engine(DependencySet sigma, SemAcOptions options, EngineConfig config)
-    : options_(options), config_(config) {
+    : Engine(std::move(sigma), FromLegacyConfig(options, config)) {}
+
+Engine::Engine(DependencySet sigma, EngineOptions options)
+    : options_(options.semac),
+      chase_cache_(options.chase),
+      rewrite_cache_(options.rewrite),
+      oracles_(options.oracles),
+      decisions_(options.decisions) {
   schema_.sigma = std::move(sigma);
   if (schema_.sigma.HasTgds()) {
     schema_.tgd_classes = Classify(schema_.sigma.tgds);
@@ -45,77 +72,31 @@ PreparedQuery Engine::Prepare(const ConjunctiveQuery& q) const {
 
 std::shared_ptr<const QueryChaseResult> Engine::ChaseOf(
     const ConjunctiveQuery& q) const {
-  if (config_.cache_chases) {
-    return chase_cache_.GetOrCompute(q, schema_.sigma, options_.chase);
-  }
-  return std::make_shared<const QueryChaseResult>(
-      ChaseQuery(q, schema_.sigma, options_.chase));
+  return chase_cache_.GetOrCompute(q, schema_.sigma, options_.chase);
 }
 
-const Engine::OracleEntry& Engine::OracleFor(const PreparedQuery& q) const {
-  {
-    std::lock_guard<std::mutex> lock(oracles_mu_);
-    auto it = oracles_.find(q.fingerprint());
-    if (it != oracles_.end()) {
-      for (const auto& entry : it->second) {
-        if (AreIsomorphic(entry->query, q.query())) {
-          ++oracle_reuses_;
-          return *entry;
-        }
-      }
-    }
-  }
-  // Construction may build the UCQ rewriting — run it outside the lock. A
-  // racing thread may build the same entry; the first insert wins.
-  auto fresh = std::make_unique<OracleEntry>(q.query(), schema_, options_,
-                                             &rewrite_cache_);
-  std::lock_guard<std::mutex> lock(oracles_mu_);
-  auto& bucket = oracles_[q.fingerprint()];
-  for (const auto& entry : bucket) {
-    if (AreIsomorphic(entry->query, q.query())) return *entry;
-  }
-  bucket.push_back(std::move(fresh));
-  return *bucket.back();
+std::shared_ptr<const Engine::OracleEntry> Engine::OracleFor(
+    const PreparedQuery& q) const {
+  // Construction may build the UCQ rewriting — the cache runs the compute
+  // outside its locks; a racing build of the same entry keeps the first
+  // insert.
+  return oracles_.GetOrCompute(q.fingerprint(), q.query(), [&]() {
+    return std::make_shared<const OracleEntry>(q.query(), schema_, options_,
+                                               &rewrite_cache_);
+  });
 }
 
 SemAcResult Engine::Decide(const ConjunctiveQuery& q) const {
   return Decide(Prepare(q));
 }
 
-const ContainmentOracle* Engine::SelectOracle(
-    const PreparedQuery& q, std::optional<ContainmentOracle>* local) const {
-  if (config_.reuse_oracles) return &OracleFor(q).oracle;
-  local->emplace(q.query(), schema_.sigma, options_.chase, options_.rewrite,
-                 schema_.facts, &rewrite_cache_);
-  return &**local;
-}
-
 SemAcResult Engine::Decide(const PreparedQuery& q) const {
   ++decisions_count_;
-  if (config_.cache_decisions) {
-    std::lock_guard<std::mutex> lock(decisions_mu_);
-    auto it = decisions_.find(q.fingerprint());
-    if (it != decisions_.end()) {
-      for (const CachedDecision& cached : it->second) {
-        if (AreIsomorphic(cached.query, q.query())) {
-          ++decision_cache_hits_;
-          return cached.result;
-        }
-      }
-    }
-  }
-  SemAcResult result = DecideUncached(q);
-  if (config_.cache_decisions) {
-    std::lock_guard<std::mutex> lock(decisions_mu_);
-    auto& bucket = decisions_[q.fingerprint()];
-    for (const CachedDecision& cached : bucket) {
-      if (AreIsomorphic(cached.query, q.query())) {
-        return cached.result;  // lost the race; serve the first insert
-      }
-    }
-    bucket.push_back({q.query(), result});
-  }
-  return result;
+  std::shared_ptr<const SemAcResult> result =
+      decisions_.GetOrCompute(q.fingerprint(), q.query(), [&]() {
+        return std::make_shared<const SemAcResult>(DecideUncached(q));
+      });
+  return *result;
 }
 
 SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
@@ -174,10 +155,11 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
     return result;
   }
 
-  // Persistent per-query oracle (memo/rewriting survive across calls), or
-  // a transient one mirroring the free-function path when reuse is off.
-  std::optional<ContainmentOracle> local_oracle;
-  const ContainmentOracle* oracle = SelectOracle(pq, &local_oracle);
+  // Persistent per-query oracle (memo/rewriting survive across calls); a
+  // disabled oracle cache hands out a transient one, mirroring the
+  // free-function path. The lease keeps it alive past any eviction.
+  std::shared_ptr<const OracleEntry> lease = OracleFor(pq);
+  const ContainmentOracle* oracle = &lease->oracle;
 
   // Strategy 2: the chase itself is acyclic -> compact it (Lemma 9). The
   // compaction preserves α-acyclicity only, so for stricter targets the
@@ -415,8 +397,8 @@ ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
   }
 
   std::shared_ptr<const QueryChaseResult> chase = ChaseOf(pq.query());
-  std::optional<ContainmentOracle> local_oracle;
-  const ContainmentOracle* oracle = SelectOracle(pq, &local_oracle);
+  std::shared_ptr<const OracleEntry> lease = OracleFor(pq);
+  const ContainmentOracle* oracle = &lease->oracle;
   size_t bound =
       std::min<size_t>(pq.small_query_bound(), options_.witness_atoms_cap);
   out.result.candidates = CollectApproximationCandidates(
@@ -484,31 +466,41 @@ EngineStats Engine::stats() const {
   EngineStats s;
   s.prepares = prepares_.load();
   s.decisions = decisions_count_.load();
-  s.decision_cache_hits = decision_cache_hits_.load();
+  s.decision_cache_hits = decisions_.hits();
   s.chase_cache_hits = chase_cache_.hits();
   s.chase_cache_misses = chase_cache_.misses();
   s.rewrite_cache_hits = rewrite_cache_.hits();
   s.rewrite_cache_misses = rewrite_cache_.misses();
-  s.oracle_reuses = oracle_reuses_.load();
-  // Snapshot the entry pointers first, then read the per-oracle counters
-  // *outside* oracles_mu_: each counter read takes that oracle's answer
+  s.oracle_reuses = oracles_.hits();
+  // Snapshot the entries first, then read the per-oracle counters outside
+  // the cache's shard locks: each counter read takes that oracle's answer
   // lock, which an in-flight containment check may hold for a long chase —
-  // nesting it under the map mutex would let a stats poll stall every
-  // concurrent Decide at OracleFor. Entries are never erased, so the
-  // pointers stay valid after the map lock is released.
-  std::vector<const OracleEntry*> entries;
-  {
-    std::lock_guard<std::mutex> lock(oracles_mu_);
-    for (const auto& [fp, bucket] : oracles_) {
-      for (const auto& entry : bucket) entries.push_back(entry.get());
-    }
-  }
-  for (const OracleEntry* entry : entries) {
+  // nesting it under a shard mutex would let a stats poll stall every
+  // concurrent Decide at OracleFor. The shared_ptrs keep the entries
+  // alive across a concurrent eviction; an evicted oracle's counters
+  // leave the aggregate with it.
+  for (const std::shared_ptr<const OracleEntry>& entry : oracles_.Values()) {
     s.oracle_hits += entry->oracle.cache_hits();
     s.oracle_misses += entry->oracle.cache_misses();
     s.oracle_prefiltered += entry->oracle.prefiltered();
   }
   return s;
+}
+
+EngineCacheStats Engine::Stats() const {
+  EngineCacheStats s;
+  s.chase = chase_cache_.Stats();
+  s.rewrite = rewrite_cache_.Stats();
+  s.oracles = oracles_.Stats();
+  s.decisions = decisions_.Stats();
+  return s;
+}
+
+void Engine::TrimCaches() const {
+  chase_cache_.Trim(0);
+  rewrite_cache_.Trim(0);
+  oracles_.Trim(0);
+  decisions_.Trim(0);
 }
 
 }  // namespace semacyc

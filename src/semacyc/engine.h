@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/fingerprint_cache.h"
 #include "deps/classify.h"
 #include "eval/yannakakis.h"
 #include "semacyc/approximation.h"
@@ -92,6 +92,9 @@ class PreparedQuery {
 /// Cache/behavior switches. The defaults are the production configuration;
 /// tests and benches disable individual layers to expose the one below
 /// (e.g. cache_decisions = false measures oracle-memo reuse in isolation).
+/// Each toggle maps onto the `enabled` flag of the corresponding
+/// CacheConfig in EngineOptions; this struct survives as the legacy
+/// surface of the original constructor.
 struct EngineConfig {
   /// Serve repeat decisions of the same query from a result cache
   /// (isomorphism-resolved: an isomorphic query gets the cached result,
@@ -102,6 +105,48 @@ struct EngineConfig {
   /// Keep one containment oracle per query alive across calls, so its
   /// memo/rewriting survive (the free functions rebuild one per call).
   bool reuse_oracles = true;
+};
+
+/// Full construction surface of an Engine: the decision-pipeline options
+/// plus one CacheConfig per cache. The defaults are the production
+/// configuration — all four caches enabled and unbounded, exactly the
+/// legacy-constructor behavior; set max_bytes/max_entries to turn on LRU
+/// eviction per cache (multi-tenant / long-running services).
+struct EngineOptions {
+  SemAcOptions semac;
+  /// chase(q, Σ) memo (iso-resolved with a rename layer; see
+  /// QueryChaseCache). Typically the largest cache: entries hold whole
+  /// chase instances.
+  CacheConfig chase;
+  /// UCQ rewritings feeding the containment oracles (iso-resolved).
+  CacheConfig rewrite;
+  /// Persistent per-query containment oracles (iso-resolved). NOTE: an
+  /// oracle's memo grows after insertion and is not re-charged against
+  /// the byte budget — leave headroom, or bound by max_entries.
+  CacheConfig oracles;
+  /// Decision results for repeat (or isomorphic) queries.
+  CacheConfig decisions;
+
+  /// Splits one byte budget across the four caches — the shape of the
+  /// CLI's --cache-mb: the chase memo gets half (its entries are whole
+  /// instances), the oracle map a quarter, rewritings and decisions an
+  /// eighth each. Zero restores unbounded.
+  void SetTotalCacheBudget(size_t total_bytes) {
+    chase.max_bytes = total_bytes / 2;
+    oracles.max_bytes = total_bytes / 4;
+    rewrite.max_bytes = total_bytes / 8;
+    decisions.max_bytes = total_bytes / 8;
+  }
+};
+
+/// Per-cache introspection snapshot (see Engine::Stats): one CacheStats —
+/// entries, bytes, hits/misses/inserts/evictions, configured budgets —
+/// for each of the four FingerprintCaches.
+struct EngineCacheStats {
+  CacheStats chase;
+  CacheStats rewrite;
+  CacheStats oracles;
+  CacheStats decisions;
 };
 
 /// Aggregate cache counters (see Engine::stats).
@@ -144,27 +189,38 @@ struct EvalOutcome {
 ///
 ///   * the PreparedSchema (dependency classification, termination and
 ///     boundedness facts, the predicate-reachability graph);
-///   * a chase memo (chase(q, Σ) computed once per distinct query);
+///   * a chase memo (chase(q, Σ) computed once per distinct query, with
+///     an iso-resolution rename layer for α-renamed variants);
 ///   * a UCQ-rewriting cache feeding the containment oracles;
 ///   * one memoized ContainmentOracle per distinct query, persistent
 ///     across calls and strategies;
 ///   * a decision cache serving repeat (or isomorphic) queries instantly.
+///
+/// All four are FingerprintCache instances governed by the CacheConfigs
+/// of EngineOptions: unbounded by default, LRU-evicting under a byte or
+/// entry budget, introspectable through Stats() and droppable through
+/// TrimCaches(). Eviction never changes answers — an evicted artifact is
+/// simply recomputed on the next miss.
 ///
 /// The free functions (DecideSemanticAcyclicity, AcyclicApproximation,
 /// DecideUcqSemanticAcyclicity, FptEvaluate) are one-shot wrappers over a
 /// transient Engine, so both paths run identical code.
 ///
 /// Thread safety: all public methods are const and safe to call
-/// concurrently on a shared Engine. Shared caches are mutex-guarded;
-/// per-query oracles serialize individual containment answers (concurrent
-/// decisions of *distinct* queries do not contend). Racing computations of
-/// the same artifact keep the first inserted result, so every caller
-/// observes the same answer. DecideBatch with threads > 1 is exactly
-/// concurrent Decide over the batch.
+/// concurrently on a shared Engine. Shared caches are sharded and
+/// mutex-guarded per shard; per-query oracles serialize individual
+/// containment answers (concurrent decisions of *distinct* queries do not
+/// contend). Racing computations of the same artifact keep the first
+/// inserted result, so every caller observes the same answer. DecideBatch
+/// with threads > 1 is exactly concurrent Decide over the batch.
 class Engine {
  public:
   explicit Engine(DependencySet sigma, SemAcOptions options = {},
                   EngineConfig config = {});
+  /// Full construction surface: per-cache budgets and policies. The legacy
+  /// constructor above delegates here (its EngineConfig toggles become the
+  /// caches' `enabled` flags).
+  Engine(DependencySet sigma, EngineOptions options);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -203,54 +259,59 @@ class Engine {
   EvalOutcome Eval(const PreparedQuery& q, const Instance& database) const;
 
   /// Point-in-time aggregate of the cache counters (gathers the per-oracle
-  /// counters under their locks; safe concurrently with decisions).
+  /// counters under their locks; safe concurrently with decisions). For
+  /// the per-cache byte/eviction introspection see Stats() — mind the
+  /// capitalization: stats() is the legacy aggregate surface.
   EngineStats stats() const;
 
+  /// Per-cache introspection: entries, bytes, hit/miss/insert/eviction
+  /// counters and configured budgets of all four FingerprintCaches. Safe
+  /// concurrently with decisions. Distinct from the legacy lowercase
+  /// stats(), which returns the flat EngineStats aggregate.
+  EngineCacheStats Stats() const;
+
+  /// Explicit pressure relief: drops every resident cache entry (chase
+  /// memo, rewritings, oracles, decisions). Counters survive; the drops
+  /// count as evictions. In-flight decisions keep the shared_ptrs they
+  /// already hold, so trimming is safe concurrently with Decide.
+  void TrimCaches() const;
+
  private:
+  /// A persistent per-query containment oracle. The cache key carries the
+  /// query; the entry keeps its own copy because the oracle holds a
+  /// reference to it for its lifetime.
   struct OracleEntry {
     ConjunctiveQuery query;
     ContainmentOracle oracle;
     OracleEntry(ConjunctiveQuery q, const PreparedSchema& schema,
                 const SemAcOptions& options, RewriteCache* rewrite_cache);
-  };
-  struct CachedDecision {
-    ConjunctiveQuery query;
-    SemAcResult result;
+    /// Charged at insert time; the memo grows afterwards without being
+    /// re-charged (see EngineOptions::oracles).
+    size_t ApproxBytes() const;
   };
 
   SemAcResult DecideUncached(const PreparedQuery& q) const;
   std::shared_ptr<const QueryChaseResult> ChaseOf(
       const ConjunctiveQuery& q) const;
-  /// The persistent oracle for q (created on first use). The reference is
-  /// stable for the Engine's lifetime.
-  const OracleEntry& OracleFor(const PreparedQuery& q) const;
-  /// The oracle a strategy should use: the persistent one, or — when
-  /// oracle reuse is configured off — a transient one constructed into
-  /// `local` mirroring the free-function path.
-  const ContainmentOracle* SelectOracle(
-      const PreparedQuery& q, std::optional<ContainmentOracle>* local) const;
+  /// The persistent oracle for q, created on first use. The shared_ptr
+  /// keeps the entry alive across a concurrent eviction; with the oracle
+  /// cache disabled the entry is transient (computed, served, not stored),
+  /// mirroring the free-function path.
+  std::shared_ptr<const OracleEntry> OracleFor(const PreparedQuery& q) const;
   /// q1 ⊆Σ q2 through the chase cache (Lemma 1).
   Tri ContainedUnderCached(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) const;
 
   PreparedSchema schema_;
   SemAcOptions options_;
-  EngineConfig config_;
 
   mutable QueryChaseCache chase_cache_;
   mutable RewriteCache rewrite_cache_;
-  mutable std::mutex oracles_mu_;
-  mutable std::unordered_map<uint64_t,
-                             std::vector<std::unique_ptr<OracleEntry>>>
-      oracles_;
-  mutable std::mutex decisions_mu_;
-  mutable std::unordered_map<uint64_t, std::vector<CachedDecision>>
-      decisions_;
+  mutable FingerprintCache<OracleEntry, IsoMatch<OracleEntry>> oracles_;
+  mutable FingerprintCache<SemAcResult, IsoMatch<SemAcResult>> decisions_;
 
   mutable std::atomic<size_t> prepares_{0};
   mutable std::atomic<size_t> decisions_count_{0};
-  mutable std::atomic<size_t> decision_cache_hits_{0};
-  mutable std::atomic<size_t> oracle_reuses_{0};
 };
 
 }  // namespace semacyc

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "core/canonical.h"
@@ -11,6 +12,28 @@
 
 namespace semacyc {
 namespace {
+
+/// Engine construction for the answer-only tests (parity, concurrency,
+/// batch): unbounded caches by default; the tiny-cache ctest job sets
+/// SEMACYC_TEST_CACHE_BYTES to a small per-cache byte budget so the same
+/// sweeps exercise the eviction paths on every push. Tests that assert
+/// hit/miss counters pin their own explicit configurations instead.
+EngineOptions EnvCacheOptions(SemAcOptions semac) {
+  EngineOptions options;
+  options.semac = semac;
+  if (const char* env = std::getenv("SEMACYC_TEST_CACHE_BYTES")) {
+    size_t bytes = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    if (bytes > 0) {
+      for (CacheConfig* c :
+           {&options.chase, &options.rewrite, &options.oracles,
+            &options.decisions}) {
+        c->max_bytes = bytes;
+        c->shards = 1;
+      }
+    }
+  }
+  return options;
+}
 
 /// Field-wise equality of two decisions (SemAcResult has no operator==).
 /// Witnesses are compared up to isomorphism: the pipeline is deterministic
@@ -99,7 +122,7 @@ TEST(EngineTest, ParitySweepAcrossGeneratorFamilies) {
     for (Workload w :
          {GuardedWorkload(seed), NrWorkload(seed), EgdWorkload(seed)}) {
       SemAcOptions options = SweepOptions();
-      Engine engine(w.sigma, options);
+      Engine engine(w.sigma, EnvCacheOptions(options));
       std::vector<PreparedQuery> prepared;
       for (const auto& q : w.queries) prepared.push_back(engine.Prepare(q));
       // First pass warms every cache; second pass must not drift.
@@ -199,7 +222,7 @@ TEST(EngineTest, ConcurrentDecideIsDeterministic) {
     for (const auto& q : w.queries) reference.push_back(engine.Decide(q));
   }
 
-  Engine shared(w.sigma, options);
+  Engine shared(w.sigma, EnvCacheOptions(options));
   std::vector<PreparedQuery> prepared;
   for (const auto& q : w.queries) prepared.push_back(shared.Prepare(q));
 
@@ -228,7 +251,7 @@ TEST(EngineTest, ConcurrentDecideIsDeterministic) {
 TEST(EngineTest, DecideBatchMatchesSequentialAnyThreadCount) {
   Workload w = NrWorkload(21);
   SemAcOptions options = SweepOptions();
-  Engine engine(w.sigma, options);
+  Engine engine(w.sigma, EnvCacheOptions(options));
   std::vector<PreparedQuery> batch;
   for (int rep = 0; rep < 3; ++rep) {
     for (const auto& q : w.queries) batch.push_back(engine.Prepare(q));
@@ -346,6 +369,204 @@ TEST(EngineTest, StrategyToStringKeepsHistoricalNames) {
   EXPECT_STREQ(ToString(Strategy::kSubsets), "subsets");
   EXPECT_STREQ(ToString(Strategy::kExhaustive), "exhaustive");
   EXPECT_STREQ(ToString(Strategy::kBudgetExhausted), "budget-exhausted");
+}
+
+/// The chase memo's iso-resolution rename layer: an α-renamed variant of
+/// a cached query hits the memo, and the adapted result is the chase of
+/// the variant (frozen head evaluates, var_to_frozen keyed by the
+/// variant's own variables, same saturation facts).
+TEST(EngineTest, ChaseCacheResolvesIsomorphicQueries) {
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  ConjunctiveQuery q = MustParseQuery("q(a) :- E(a,b), E(b,c), E(c,a)");
+  ConjunctiveQuery renamed = MustParseQuery("q(u) :- E(u,v), E(v,w), E(w,u)");
+  ChaseOptions chase_options;
+
+  QueryChaseCache cache;
+  std::shared_ptr<const QueryChaseResult> original =
+      cache.GetOrCompute(q, sigma, chase_options);
+  EXPECT_EQ(cache.misses(), 1u);
+  std::shared_ptr<const QueryChaseResult> adapted =
+      cache.GetOrCompute(renamed, sigma, chase_options);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);  // served by the rename layer, no chase
+
+  // The adapted result shares the instance verbatim and transports the
+  // saturation facts; var_to_frozen is keyed by the variant's variables.
+  EXPECT_EQ(adapted->instance, original->instance);
+  EXPECT_EQ(adapted->saturated, original->saturated);
+  EXPECT_EQ(adapted->failed, original->failed);
+  for (Term v : renamed.Variables()) {
+    EXPECT_TRUE(adapted->var_to_frozen.count(v))
+        << "missing frozen image for " << v.ToString();
+  }
+  EXPECT_EQ(adapted->var_to_frozen.at(Term::Variable("u")),
+            adapted->frozen_head[0]);
+  // Lemma 1 sanity: c(x̄) ∈ q'(chase(q', Σ)) through the adapted result.
+  EXPECT_TRUE(
+      EvaluatesTo(renamed, adapted->instance, adapted->frozen_head));
+
+  // The next probe with the same variant exact-hits the memoized
+  // adaptation instead of re-adapting.
+  cache.GetOrCompute(renamed, sigma, chase_options);
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // Engine level: with the decision cache off, deciding an α-renamed
+  // variant still hits the shared chase memo and answers identically.
+  EngineConfig config;
+  config.cache_decisions = false;
+  Engine engine(sigma, SweepOptions(), config);
+  SemAcResult first = engine.Decide(q);
+  size_t misses_after_first = engine.stats().chase_cache_misses;
+  SemAcResult second = engine.Decide(renamed);
+  EXPECT_EQ(engine.stats().chase_cache_misses, misses_after_first);
+  EXPECT_GT(engine.stats().chase_cache_hits, 0u);
+  EXPECT_EQ(first.answer, second.answer);
+  EXPECT_EQ(first.strategy, second.strategy);
+}
+
+/// Eviction correctness: answers under 1-entry and tiny-byte-budget
+/// caches are identical to unbounded-cache answers (and to the free
+/// function) across the generator families — eviction only ever costs
+/// recomputation, never changes a result.
+TEST(EngineTest, EvictionParitySweepAcrossGeneratorFamilies) {
+  for (uint64_t seed : {1u, 3u}) {
+    for (Workload w :
+         {GuardedWorkload(seed), NrWorkload(seed), EgdWorkload(seed)}) {
+      SemAcOptions options = SweepOptions();
+      std::vector<SemAcResult> reference;
+      {
+        Engine unbounded(w.sigma, options);
+        for (const auto& q : w.queries) {
+          reference.push_back(unbounded.Decide(q));
+        }
+      }
+
+      EngineOptions one_entry;
+      one_entry.semac = options;
+      EngineOptions tiny_bytes;
+      tiny_bytes.semac = options;
+      for (EngineOptions* o : {&one_entry, &tiny_bytes}) {
+        for (CacheConfig* c :
+             {&o->chase, &o->rewrite, &o->oracles, &o->decisions}) {
+          c->shards = 1;
+          if (o == &one_entry) c->max_entries = 1;
+          if (o == &tiny_bytes) c->max_bytes = 512;
+        }
+      }
+
+      for (const EngineOptions& bounded : {one_entry, tiny_bytes}) {
+        Engine engine(w.sigma, bounded);
+        // Two passes so the second runs against whatever survived
+        // eviction in the first.
+        for (int pass = 0; pass < 2; ++pass) {
+          for (size_t i = 0; i < w.queries.size(); ++i) {
+            ExpectSameDecision(reference[i], engine.Decide(w.queries[i]));
+          }
+        }
+      }
+    }
+  }
+}
+
+/// CacheStats accounting through Engine::Stats(): hits/misses/entries on
+/// the unbounded configuration, evictions under a tiny byte budget, and
+/// TrimCaches() as explicit pressure relief.
+TEST(EngineTest, CacheStatsAccountingAndTrim) {
+  Workload w = GuardedWorkload(23);
+  SemAcOptions options = SweepOptions();
+
+  Engine engine(w.sigma, options);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& q : w.queries) engine.Decide(q);
+  }
+  EngineCacheStats stats = engine.Stats();
+  EXPECT_GT(stats.decisions.entries, 0u);
+  EXPECT_GT(stats.decisions.bytes, 0u);
+  EXPECT_GT(stats.decisions.hits, 0u);  // second pass served from cache
+  EXPECT_EQ(stats.decisions.misses, stats.decisions.inserts);
+  EXPECT_GT(stats.chase.entries, 0u);
+  EXPECT_GT(stats.chase.bytes, 0u);
+  EXPECT_EQ(stats.chase.evictions, 0u);  // unbounded: nothing evicts
+  EXPECT_EQ(stats.chase.max_bytes, 0u);
+  EXPECT_GT(stats.oracles.entries, 0u);
+
+  // Trim drops every resident entry; deciding afterwards still works.
+  engine.TrimCaches();
+  EngineCacheStats trimmed = engine.Stats();
+  EXPECT_EQ(trimmed.chase.entries, 0u);
+  EXPECT_EQ(trimmed.chase.bytes, 0u);
+  EXPECT_GT(trimmed.chase.evictions + trimmed.decisions.evictions +
+                trimmed.oracles.evictions + trimmed.rewrite.evictions,
+            0u);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    engine.Decide(w.queries[i]);
+  }
+
+  // A tiny byte budget on the same workload must evict.
+  EngineOptions tiny;
+  tiny.semac = options;
+  tiny.SetTotalCacheBudget(2048);
+  for (CacheConfig* c :
+       {&tiny.chase, &tiny.rewrite, &tiny.oracles, &tiny.decisions}) {
+    c->shards = 1;
+  }
+  Engine bounded(w.sigma, tiny);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& q : w.queries) bounded.Decide(q);
+  }
+  EngineCacheStats bounded_stats = bounded.Stats();
+  size_t evictions = bounded_stats.chase.evictions +
+                     bounded_stats.rewrite.evictions +
+                     bounded_stats.oracles.evictions +
+                     bounded_stats.decisions.evictions;
+  EXPECT_GT(evictions, 0u);
+  size_t budget_bytes = bounded_stats.chase.max_bytes;
+  EXPECT_EQ(budget_bytes, 1024u);  // half of the 2 KiB total
+  EXPECT_LE(bounded_stats.chase.bytes, budget_bytes);
+}
+
+/// Eviction under contention: 8 threads over one engine whose caches all
+/// run a tiny byte budget; every thread must still observe the sequential
+/// reference answers (eviction may only cost recomputation).
+TEST(EngineTest, ConcurrentDecideDeterministicUnderEviction) {
+  Workload w = GuardedWorkload(29);
+  SemAcOptions options = SweepOptions();
+  std::vector<SemAcResult> reference;
+  {
+    Engine engine(w.sigma, options);
+    for (const auto& q : w.queries) reference.push_back(engine.Decide(q));
+  }
+
+  EngineOptions tiny;
+  tiny.semac = options;
+  for (CacheConfig* c :
+       {&tiny.chase, &tiny.rewrite, &tiny.oracles, &tiny.decisions}) {
+    c->max_bytes = 512;
+    c->shards = 1;  // maximal contention: one shard, everyone collides
+  }
+  Engine shared(w.sigma, tiny);
+  std::vector<PreparedQuery> prepared;
+  for (const auto& q : w.queries) prepared.push_back(shared.Prepare(q));
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::vector<SemAcResult>> per_thread(kThreads);
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      for (size_t k = 0; k < prepared.size(); ++k) {
+        size_t i = (k + t) % prepared.size();
+        per_thread[t].push_back(shared.Decide(prepared[i]));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t k = 0; k < prepared.size(); ++k) {
+      size_t i = (k + t) % prepared.size();
+      ExpectSameDecision(reference[i], per_thread[t][k]);
+    }
+  }
 }
 
 /// The view-based join tree satellites eval/yannakakis: same running

@@ -1,0 +1,214 @@
+#include "core/fingerprint_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/parser.h"
+
+namespace semacyc {
+namespace {
+
+/// A value with a controllable byte report, so budgets can be exercised
+/// without depending on the ApproxBytes estimates of real payloads.
+struct Payload {
+  int id = 0;
+  size_t bytes = 0;
+  size_t ApproxBytes() const { return bytes; }
+};
+
+ConjunctiveQuery Q(const std::string& text) { return MustParseQuery(text); }
+
+/// Distinct (non-isomorphic) queries: chain of n atoms over predicate Pn.
+ConjunctiveQuery ChainQuery(int n) {
+  std::string body;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) body += ", ";
+    body += "P" + std::to_string(n) + "(x" + std::to_string(i) + ",x" +
+            std::to_string(i + 1) + ")";
+  }
+  return Q(body);
+}
+
+TEST(FingerprintCacheTest, HitMissInsertAccounting) {
+  FingerprintCache<Payload, ExactMatch<Payload>> cache;
+  int computes = 0;
+  auto compute = [&](int id) {
+    return [&computes, id]() {
+      ++computes;
+      return std::make_shared<const Payload>(Payload{id, 64});
+    };
+  };
+  ConjunctiveQuery a = ChainQuery(1);
+  ConjunctiveQuery b = ChainQuery(2);
+
+  EXPECT_EQ(cache.GetOrCompute(a, compute(1))->id, 1);
+  EXPECT_EQ(cache.GetOrCompute(a, compute(99))->id, 1);  // hit, not recomputed
+  EXPECT_EQ(cache.GetOrCompute(b, compute(2))->id, 2);
+  EXPECT_EQ(computes, 2);
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.bytes, 2u * 64u);  // payload plus key/bookkeeping charge
+}
+
+TEST(FingerprintCacheTest, DisabledCacheComputesEveryTime) {
+  CacheConfig config;
+  config.enabled = false;
+  FingerprintCache<Payload, ExactMatch<Payload>> cache(config);
+  ConjunctiveQuery a = ChainQuery(1);
+  int computes = 0;
+  for (int i = 0; i < 3; ++i) {
+    cache.GetOrCompute(a, [&]() {
+      ++computes;
+      return std::make_shared<const Payload>(Payload{i, 8});
+    });
+  }
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().misses, 3u);
+}
+
+TEST(FingerprintCacheTest, LruEvictionUnderEntryBudget) {
+  CacheConfig config;
+  config.max_entries = 2;
+  config.shards = 1;  // exact small-entry budget needs one shard
+  FingerprintCache<Payload, ExactMatch<Payload>> cache(config);
+  auto value = [](int id) {
+    return [id]() { return std::make_shared<const Payload>(Payload{id, 16}); };
+  };
+  ConjunctiveQuery a = ChainQuery(1), b = ChainQuery(2), c = ChainQuery(3);
+
+  cache.GetOrCompute(a, value(1));
+  cache.GetOrCompute(b, value(2));
+  cache.GetOrCompute(a, value(1));  // touch a: b becomes LRU
+  cache.GetOrCompute(c, value(3));  // evicts b
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_NE(cache.Find(CanonicalFingerprint(a), a), nullptr);
+  EXPECT_EQ(cache.Find(CanonicalFingerprint(b), b), nullptr);  // evicted
+  EXPECT_NE(cache.Find(CanonicalFingerprint(c), c), nullptr);
+}
+
+TEST(FingerprintCacheTest, ByteBudgetEvictsAndNeverBreaksCallers) {
+  CacheConfig config;
+  config.max_bytes = 1;  // below any single entry: every insert self-evicts
+  config.shards = 1;
+  FingerprintCache<Payload, ExactMatch<Payload>> cache(config);
+  ConjunctiveQuery a = ChainQuery(1);
+  std::shared_ptr<const Payload> first = cache.GetOrCompute(a, []() {
+    return std::make_shared<const Payload>(Payload{7, 4096});
+  });
+  // The value survives in the caller's hands even though the cache
+  // declined to keep it.
+  EXPECT_EQ(first->id, 7);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // And the next probe recomputes (a miss, not a crash).
+  std::shared_ptr<const Payload> second = cache.GetOrCompute(a, []() {
+    return std::make_shared<const Payload>(Payload{8, 4096});
+  });
+  EXPECT_EQ(second->id, 8);
+}
+
+TEST(FingerprintCacheTest, TrimDropsEntriesAndCountsEvictions) {
+  FingerprintCache<Payload, ExactMatch<Payload>> cache;
+  for (int i = 1; i <= 4; ++i) {
+    cache.GetOrCompute(ChainQuery(i), [i]() {
+      return std::make_shared<const Payload>(Payload{i, 32});
+    });
+  }
+  EXPECT_EQ(cache.Stats().entries, 4u);
+  cache.Trim(0);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.evictions, 4u);
+  EXPECT_EQ(stats.misses, 4u);  // counters survive the trim
+}
+
+TEST(FingerprintCacheTest, IsoMatchServesRenamedVariants) {
+  FingerprintCache<Payload, IsoMatch<Payload>> cache;
+  ConjunctiveQuery q = Q("R(x,y), S(y,z)");
+  ConjunctiveQuery renamed = Q("R(u,v), S(v,w)");
+  cache.GetOrCompute(q, []() {
+    return std::make_shared<const Payload>(Payload{1, 16});
+  });
+  std::shared_ptr<const Payload> hit = cache.GetOrCompute(renamed, []() {
+    ADD_FAILURE() << "isomorphic probe should not recompute";
+    return std::make_shared<const Payload>(Payload{2, 16});
+  });
+  EXPECT_EQ(hit->id, 1);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(cache.Stats().entries, 1u);  // served verbatim, no new entry
+}
+
+TEST(FingerprintCacheTest, ConcurrentGetOrComputeKeepsFirstInsert) {
+  FingerprintCache<Payload, ExactMatch<Payload>> cache;
+  ConjunctiveQuery a = ChainQuery(4);
+  constexpr size_t kThreads = 8;
+  std::atomic<int> computes{0};
+  std::vector<std::shared_ptr<const Payload>> seen(kThreads);
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      seen[t] = cache.GetOrCompute(a, [&]() {
+        return std::make_shared<const Payload>(
+            Payload{computes.fetch_add(1) + 1, 16});
+      });
+    });
+  }
+  for (auto& t : pool) t.join();
+  // Whatever raced, every thread observed one shared value object.
+  for (size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+/// Eviction under contention: 8 threads over a 2-entry cache; the cache
+/// must stay within budget, never serve a wrong value, and end coherent.
+TEST(FingerprintCacheTest, ConcurrentEvictionStaysCoherent) {
+  CacheConfig config;
+  config.max_entries = 2;
+  config.shards = 1;
+  FingerprintCache<Payload, ExactMatch<Payload>> cache(config);
+  std::vector<ConjunctiveQuery> keys;
+  for (int i = 1; i <= 6; ++i) keys.push_back(ChainQuery(i));
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> pool;
+  std::atomic<bool> mismatch{false};
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      for (size_t k = 0; k < 60; ++k) {
+        size_t i = (k + t) % keys.size();
+        auto v = cache.GetOrCompute(keys[i], [i]() {
+          return std::make_shared<const Payload>(
+              Payload{static_cast<int>(i), 16});
+        });
+        if (v->id != static_cast<int>(i)) mismatch.store(true);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_FALSE(mismatch.load());
+  CacheStats stats = cache.Stats();
+  EXPECT_LE(stats.entries, 2u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.misses, stats.inserts);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * 60u);
+}
+
+}  // namespace
+}  // namespace semacyc
