@@ -221,24 +221,43 @@ int RunOneShot(const char* query_text, const char* sigma_text) {
   return 2;
 }
 
-int Usage(const char* prog) {
-  std::fprintf(stderr,
+/// The flag reference, shared by `--help` (stdout, exit 0) and usage
+/// errors (stderr, exit 3). docs/CLI.md documents the same flags — keep
+/// the two in sync.
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(out,
                "usage: %s '<query>' '<dependencies>'\n"
                "       %s [--stats] [--cache-mb <n>] --batch <schema-file> "
                "[<queries-file>]\n"
+               "       %s --help\n"
                "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
                "  dependencies: tgds 'body -> head' and egds 'body -> x = "
                "y',\n"
                "                separated by '.'; may be empty ('')\n"
-               "  batch mode:   one query per line, one JSON line per "
-               "decision,\n"
-               "                a single prepared schema shared by the "
-               "whole run\n"
+               "  --batch:      one query per line from <queries-file> or "
+               "stdin,\n"
+               "                one JSON line per decision, a single "
+               "prepared\n"
+               "                schema shared by the whole run (see "
+               "docs/CLI.md\n"
+               "                for the JSON output schema)\n"
                "  --stats:      print Engine::Stats() as one JSON line "
                "after the batch\n"
                "  --cache-mb:   total cache budget in MiB, LRU-split "
-               "across the four caches\n",
-               prog, prog);
+               "across the four caches\n"
+               "                (chase 1/2, oracles 1/4, rewrite & "
+               "decisions 1/8 each);\n"
+               "                default: unbounded\n"
+               "  --help:       print this reference and exit\n"
+               "exit codes, one-shot: 0 yes, 1 no, 2 unknown, 3 "
+               "usage/parse error\n"
+               "exit codes, batch:    0 once the schema parsed, 3 on "
+               "usage/schema errors\n",
+               prog, prog, prog);
+}
+
+int Usage(const char* prog) {
+  PrintUsage(stderr, prog);
   return 3;
 }
 
@@ -250,7 +269,11 @@ int main(int argc, char** argv) {
   size_t cache_mb = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--batch") == 0) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;

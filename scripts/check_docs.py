@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Docs guardrails: markdown link check + README quickstart extraction.
+
+Two modes, both wired into CI (the `docs` job) so the documentation
+cannot rot silently:
+
+  check_docs.py --link-check FILE.md [FILE.md ...]
+      Verifies that every relative markdown link target exists on disk,
+      resolved against the linking file's directory. External links
+      (http/https/mailto) and pure in-page #anchors are skipped — CI
+      must not depend on network reachability. Exits 1 listing every
+      broken link otherwise.
+
+  check_docs.py --extract-quickstart FILE.md
+      Prints the first ```cpp fenced code block of the file to stdout.
+      That block is the README's compilable-quickstart contract: CI
+      compiles and runs it verbatim against the built library, so the
+      snippet can never drift from the actual API.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_links(paths):
+    broken = []
+    for path in paths:
+        md = pathlib.Path(path)
+        if not md.is_file():
+            broken.append((path, "<the markdown file itself is missing>"))
+            continue
+        text = md.read_text(encoding="utf-8")
+        # Fenced code blocks often hold example syntax that merely looks
+        # like links; strip them before scanning.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (md.parent / file_part).resolve()
+            if not resolved.exists():
+                broken.append((path, target))
+    if broken:
+        for origin, target in broken:
+            print(f"BROKEN LINK in {origin}: {target}", file=sys.stderr)
+        return 1
+    print(f"link check OK across {len(paths)} file(s)")
+    return 0
+
+
+def extract_quickstart(path):
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    match = re.search(r"```cpp\n(.*?)```", text, flags=re.DOTALL)
+    if match is None:
+        print(f"no ```cpp block found in {path}", file=sys.stderr)
+        return 1
+    sys.stdout.write(match.group(1))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--link-check", action="store_true",
+                      help="verify relative link targets exist")
+    mode.add_argument("--extract-quickstart", action="store_true",
+                      help="print the first ```cpp block to stdout")
+    parser.add_argument("files", nargs="+", help="markdown files")
+    args = parser.parse_args()
+    if args.link_check:
+        return check_links(args.files)
+    if len(args.files) != 1:
+        print("--extract-quickstart takes exactly one file", file=sys.stderr)
+        return 2
+    return extract_quickstart(args.files[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,19 +18,26 @@ namespace semacyc {
 /// Per-cache policy knobs. The default is the pre-eviction behavior
 /// (unbounded, everything cached); budgets turn on LRU eviction.
 struct CacheConfig {
-  /// Disabled caches compute on every call and store nothing — the
-  /// bypass the Engine's legacy cache_* / reuse_* toggles map onto.
+  /// Default true. Disabled caches compute on every call and store
+  /// nothing — the bypass the Engine's legacy cache_* / reuse_* toggles
+  /// map onto. Disable per cache only to measure the layer beneath it.
   bool enabled = true;
-  /// Byte budget across the whole cache (0 = unbounded). Enforced per
-  /// shard at max_bytes / shards, so a skewed fingerprint distribution
-  /// can evict slightly before the global budget is reached.
+  /// Byte budget across the whole cache (bytes of ApproxBytes accounting;
+  /// 0 = unbounded, the default). Enforced per shard at
+  /// max_bytes / shards, so a skewed fingerprint distribution can evict
+  /// slightly before the global budget is reached. Set on long-running or
+  /// multi-tenant engines; leave 0 for one-shot workloads.
   size_t max_bytes = 0;
-  /// Entry budget across the whole cache (0 = unbounded), enforced per
-  /// shard at max(1, max_entries / shards). For an exact small-entry cap
-  /// (e.g. the 1-entry caches of the eviction tests), set shards = 1.
+  /// Entry budget across the whole cache (entry count; 0 = unbounded,
+  /// the default), enforced per shard at max(1, max_entries / shards).
+  /// Prefer it over max_bytes for caches whose entries grow after
+  /// insertion (the oracle map). For an exact small-entry cap (e.g. the
+  /// 1-entry caches of the eviction tests), set shards = 1.
   size_t max_entries = 0;
-  /// Number of mutex-guarded shards; rounded up to a power of two,
-  /// minimum 1. More shards = less lock contention, coarser budgets.
+  /// Number of mutex-guarded shards (count; rounded up to a power of
+  /// two, minimum 1). Default 8 — fine up to a few dozen threads. More
+  /// shards = less lock contention, coarser budgets; raise only when
+  /// profiling shows shard contention.
   size_t shards = 8;
 };
 

@@ -12,21 +12,28 @@ namespace semacyc {
 
 /// Options for the homomorphism search.
 struct HomOptions {
-  /// Pre-bound mappings (e.g. head variables to target constants). Terms
-  /// bound here are used verbatim; they need not be "mappable" kinds.
+  /// Pre-bound mappings (e.g. head variables to target constants).
+  /// Default empty (unconstrained search). Terms bound here are used
+  /// verbatim; they need not be "mappable" kinds. Set when answer
+  /// positions are pinned — evaluation, containment, witness checks.
   Substitution fixed;
-  /// Whether source nulls are treated as mappable (like variables). When
-  /// false, nulls must map to themselves. Variables are always mappable;
+  /// Whether source nulls are treated as mappable (like variables).
+  /// Default true — the right semantics for chase instances. Set false
+  /// only when nulls are rigid identifiers that must map to themselves
+  /// (e.g. comparing instances literally). Variables are always mappable;
   /// constants never are (they map identically).
   bool map_nulls = true;
-  /// Require the term mapping to be injective (isomorphism checks).
+  /// Require the term mapping to be injective. Default false; set true
+  /// only for isomorphism checks (core computation, iso resolution).
   bool injective = false;
-  /// Stop after this many solutions. 0 means "no cap" (use with on_solution
-  /// or all-solutions collection; beware of exponential counts).
+  /// Stop after this many solutions (count, not bytes). Default 1 — the
+  /// existence check. 0 means "no cap"; raise only when enumerating
+  /// answers and beware of exponential counts.
   size_t max_solutions = 1;
-  /// Abort the search after this many backtracking steps (0 = unlimited).
-  /// When the budget is exhausted the search reports "not found"; callers
-  /// that need exactness must leave this at 0.
+  /// Abort the search after this many backtracking steps (step count;
+  /// 0 = unlimited, the default). When the budget is exhausted the search
+  /// reports "not found" with budget_exhausted set; callers that need
+  /// exactness must leave this at 0.
   size_t step_budget = 0;
 };
 

@@ -1,0 +1,412 @@
+#include "core/incremental_hom.h"
+
+#include <cassert>
+
+namespace semacyc {
+
+constexpr uint32_t IncrementalHomomorphism::kNoDense;
+
+IncrementalHomomorphism::IncrementalHomomorphism(const Instance& target)
+    : target_(&target) {
+  // Dense interning: one hash per distinct target term, once per session,
+  // so the per-push tuple scans run on integer arrays only.
+  const std::vector<Atom>& atoms = target.atoms();
+  dense_tuples_.resize(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    std::vector<uint32_t>& tuple = dense_tuples_[i];
+    tuple.reserve(atoms[i].arity());
+    for (Term t : atoms[i].args()) {
+      auto [it, inserted] =
+          dense_of_.emplace(t, static_cast<uint32_t>(dense_terms_.size()));
+      if (inserted) dense_terms_.push_back(t);
+      tuple.push_back(it->second);
+    }
+  }
+}
+
+void IncrementalHomomorphism::Reset(const Substitution& fixed) {
+  depth_ = 0;
+  while (vars_in_use_ > 0) ReleaseVar(static_cast<uint32_t>(vars_in_use_ - 1));
+  found_ = true;
+  fixed_ = fixed;
+  for (const auto& [src, dst] : fixed_) {
+    VarState& v = vars_[InternVar(src)];
+    v.is_fixed = true;
+    v.fixed_term = dst;
+    // A fixed image outside the target has an empty domain: any atom
+    // mentioning the seed is then refuted by the scan, which is exact —
+    // but the empty conjunction still maps, so found_ stays true here.
+    auto it = dense_of_.find(dst);
+    if (it == dense_of_.end()) continue;
+    v.values.push_back(it->second);
+    v.where[it->second] = 1;
+    v.active = 1;
+    v.bound = it->second;
+  }
+}
+
+uint32_t IncrementalHomomorphism::InternVar(Term t) {
+  uint32_t id = static_cast<uint32_t>(vars_in_use_++);
+  if (id == vars_.size()) vars_.emplace_back();
+  VarState& v = vars_[id];
+  v.term = t;
+  v.values.clear();
+  // `where` stays all-zero between occupants (ReleaseVar clears only the
+  // entries its values touched), so reuse is O(1).
+  v.where.resize(dense_terms_.size(), 0);
+  v.active = 0;
+  v.bound = kNoDense;
+  v.fixed_term = Term();
+  v.is_fixed = false;
+  var_index_.emplace(t, id);
+  return id;
+}
+
+void IncrementalHomomorphism::ReleaseVar(uint32_t id) {
+  assert(id + 1 == vars_in_use_);
+  VarState& v = vars_[id];
+  for (uint32_t d : v.values) v.where[d] = 0;
+  var_index_.erase(v.term);
+  --vars_in_use_;
+}
+
+void IncrementalHomomorphism::ShrinkDomain(uint32_t var_id, Level* level,
+                                           const SlotScratch& slot) {
+  VarState& v = vars_[var_id];
+  level->trail.emplace_back(var_id, static_cast<uint32_t>(v.active));
+  size_t i = 0;
+  while (i < v.active) {
+    uint32_t d = v.values[i];
+    if (slot.stamp[d] == slot.epoch) {
+      ++i;
+      continue;
+    }
+    --v.active;
+    if (i != v.active) {
+      std::swap(v.values[i], v.values[v.active]);
+      v.where[v.values[i]] = static_cast<uint32_t>(i) + 1;
+      v.where[v.values[v.active]] = static_cast<uint32_t>(v.active) + 1;
+    }
+  }
+}
+
+bool IncrementalHomomorphism::Repair() {
+  // Any homomorphism of the pushed atoms picks, for each level, a tuple
+  // that was compatible when that level was pushed (its images lie in
+  // every domain along the way — domains only shrink), so a DFS over the
+  // cached per-level tuple lists is complete; it is sound because tuple
+  // consistency is re-checked against the dense bindings directly.
+  repair_binding_.assign(vars_in_use_, kNoDense);
+  for (size_t id = 0; id < vars_in_use_; ++id) {
+    if (vars_[id].is_fixed) repair_binding_[id] = vars_[id].bound;
+  }
+  repair_undo_.clear();
+  // Most-constrained-first: levels with fewer compatible tuples bind their
+  // variables first, so the DFS fails (or commits) early. Insertion sort —
+  // depth is the candidate-atom bound, single digits.
+  repair_order_.resize(depth_);
+  for (size_t i = 0; i < depth_; ++i) repair_order_[i] = static_cast<uint32_t>(i);
+  for (size_t i = 1; i < depth_; ++i) {
+    uint32_t x = repair_order_[i];
+    size_t j = i;
+    while (j > 0 &&
+           levels_[repair_order_[j - 1]].tuples.size() >
+               levels_[x].tuples.size()) {
+      repair_order_[j] = repair_order_[j - 1];
+      --j;
+    }
+    repair_order_[j] = x;
+  }
+  if (!RepairDfs(0)) return false;
+  // Adopt wholesale: every live variable occurs in some pushed atom (or is
+  // a fixed seed), so the search bound them all. Overwritten bindings of
+  // older variables stay valid after pops — a homomorphism restricted to
+  // fewer atoms is still a homomorphism.
+  for (size_t id = 0; id < vars_in_use_; ++id) {
+    if (!vars_[id].is_fixed && repair_binding_[id] != kNoDense) {
+      vars_[id].bound = repair_binding_[id];
+    }
+  }
+  return true;
+}
+
+bool IncrementalHomomorphism::RepairDfs(size_t level_idx) {
+  if (level_idx == depth_) return true;
+  const Level& level = levels_[repair_order_[level_idx]];
+  for (uint32_t idx : level.tuples) {
+    const std::vector<uint32_t>& tgt = dense_tuples_[idx];
+    size_t undo_mark = repair_undo_.size();
+    bool ok = true;
+    for (size_t i = 0; i < tgt.size() && ok; ++i) {
+      uint32_t var = level.pos_var[i];
+      if (var == kNoDense) continue;  // ground: baked into the list
+      uint32_t& bound = repair_binding_[var];
+      if (bound == kNoDense) {
+        if (!InDomain(vars_[var], tgt[i])) {
+          ok = false;
+          continue;
+        }
+        bound = tgt[i];
+        repair_undo_.push_back(var);
+      } else if (bound != tgt[i]) {
+        ok = false;
+      }
+    }
+    if (ok && RepairDfs(level_idx + 1)) return true;
+    while (repair_undo_.size() > undo_mark) {
+      repair_binding_[repair_undo_.back()] = kNoDense;
+      repair_undo_.pop_back();
+    }
+  }
+  return false;
+}
+
+bool IncrementalHomomorphism::PushAtom(const Atom& atom) {
+  ++stats_.pushes;
+  if (depth_ == levels_.size()) levels_.emplace_back();
+  Level& level = levels_[depth_];
+  level.trail.clear();
+  level.fresh.clear();
+  level.tuples.clear();
+  level.saved_found = found_;
+  level.dead_prefix = !found_;
+  ++depth_;
+  if (level.dead_prefix) {
+    // Homomorphisms restrict: an unmappable prefix stays unmappable under
+    // any extension, so the verdict is forced and free.
+    ++stats_.dead_prefix;
+    return false;
+  }
+
+  const size_t arity = atom.arity();
+
+  // Slot assembly: one slot per distinct mappable term of the atom. Terms
+  // already interned (earlier atoms or fixed seeds — fixed constants count)
+  // are mappable; otherwise variables and nulls are, constants are ground.
+  size_t num_slots = 0;
+  slot_of_position_.assign(arity, -1);
+  ground_dense_.assign(arity, kNoDense);
+  level.pos_var.assign(arity, kNoDense);
+  for (size_t i = 0; i < arity; ++i) {
+    Term t = atom.arg(i);
+    uint32_t var_id;
+    bool interned_now = false;
+    auto it = var_index_.find(t);
+    if (it != var_index_.end()) {
+      var_id = it->second;
+    } else if (t.IsVariable() || t.IsNull()) {
+      var_id = InternVar(t);
+      interned_now = true;
+    } else {
+      // Ground: the position must carry exactly this term (a term outside
+      // the target keeps the kNoDense sentinel and matches no tuple).
+      auto dense = dense_of_.find(t);
+      if (dense != dense_of_.end()) ground_dense_[i] = dense->second;
+      continue;
+    }
+    int slot = -1;
+    for (size_t s = 0; s < num_slots; ++s) {
+      if (slots_[s].var == var_id) {
+        slot = static_cast<int>(s);
+        break;
+      }
+    }
+    if (slot < 0) {
+      if (num_slots == slots_.size()) slots_.emplace_back();
+      SlotScratch& sl = slots_[num_slots];
+      sl.var = var_id;
+      sl.fresh = interned_now;
+      sl.support_list.clear();
+      sl.stamp.resize(dense_terms_.size(), 0);
+      ++sl.epoch;
+      slot = static_cast<int>(num_slots++);
+      if (interned_now) level.fresh.push_back(var_id);
+    }
+    slot_of_position_[i] = slot;
+    level.pos_var[i] = var_id;
+  }
+
+  // Probe selection: scan the smallest tuple set the index offers. A
+  // ground position contributes its (predicate, position, term) bucket; a
+  // position carrying a small-domain variable contributes the union of the
+  // per-value buckets (disjoint, so no dedup) — complete either way, since
+  // a compatible tuple's value at the position must be the ground term
+  // resp. lie in the domain. Fallback: the whole per-predicate list.
+  constexpr size_t kMaxProbeValues = 3;
+  const std::vector<uint32_t>& pred_bucket =
+      target_->AtomsOf(atom.predicate());
+  size_t best_sum = pred_bucket.size();
+  bool impossible = pred_bucket.empty();
+  scan_buckets_.clear();
+  if (!impossible) scan_buckets_.push_back(&pred_bucket);
+  for (size_t i = 0; i < arity && !impossible; ++i) {
+    int slot = slot_of_position_[i];
+    size_t sum = 0;
+    probe_buckets_.clear();
+    if (slot < 0) {
+      if (ground_dense_[i] == kNoDense) {
+        impossible = true;  // a term outside the target matches nothing
+        break;
+      }
+      const std::vector<uint32_t>* b =
+          target_->FindCandidates(atom.predicate(), i, atom.arg(i));
+      if (b != nullptr) {
+        sum = b->size();
+        probe_buckets_.push_back(b);
+      }
+    } else {
+      const SlotScratch& sl = slots_[static_cast<size_t>(slot)];
+      const VarState& v = vars_[sl.var];
+      if (sl.fresh) continue;
+      if (v.active > kMaxProbeValues) continue;
+      for (size_t k = 0; k < v.active; ++k) {
+        const std::vector<uint32_t>* b = target_->FindCandidates(
+            atom.predicate(), i, dense_terms_[v.values[k]]);
+        if (b == nullptr) continue;
+        sum += b->size();
+        probe_buckets_.push_back(b);
+      }
+    }
+    if (sum == 0) {
+      impossible = true;  // no tuple can satisfy this position
+      break;
+    }
+    if (sum < best_sum) {
+      best_sum = sum;
+      scan_buckets_ = probe_buckets_;
+    }
+  }
+  if (impossible) scan_buckets_.clear();
+
+  // One scan over the candidate tuples does all three jobs: per-variable
+  // support collection (forward checking), the compatibility existence
+  // check, and the hunt for a tuple extending the current witness.
+  bool any_compatible = false;
+  bool have_extension = false;
+  tuple_vals_.assign(num_slots, kNoDense);
+  for (const std::vector<uint32_t>* bucket : scan_buckets_) {
+    for (uint32_t idx : *bucket) {
+      const std::vector<uint32_t>& tgt = dense_tuples_[idx];
+      bool ok = true;
+      for (size_t s = 0; s < num_slots; ++s) tuple_vals_[s] = kNoDense;
+      for (size_t i = 0; i < arity && ok; ++i) {
+        uint32_t d = tgt[i];
+        int slot = slot_of_position_[i];
+        if (slot < 0) {
+          ok = ground_dense_[i] == d;
+          continue;
+        }
+        uint32_t& tv = tuple_vals_[static_cast<size_t>(slot)];
+        if (tv != kNoDense) {
+          ok = tv == d;
+          continue;
+        }
+        const SlotScratch& sl = slots_[static_cast<size_t>(slot)];
+        if (!sl.fresh && !InDomain(vars_[sl.var], d)) {
+          ok = false;
+          continue;
+        }
+        tv = d;
+      }
+      if (!ok) continue;
+      any_compatible = true;
+      level.tuples.push_back(idx);
+      for (size_t s = 0; s < num_slots; ++s) {
+        SlotScratch& sl = slots_[s];
+        if (sl.stamp[tuple_vals_[s]] != sl.epoch) {
+          sl.stamp[tuple_vals_[s]] = sl.epoch;
+          sl.support_list.push_back(tuple_vals_[s]);
+        }
+      }
+      if (!have_extension) {
+        bool matches_witness = true;
+        for (size_t s = 0; s < num_slots && matches_witness; ++s) {
+          uint32_t bound = vars_[slots_[s].var].bound;
+          if (bound != kNoDense && bound != tuple_vals_[s]) {
+            matches_witness = false;
+          }
+        }
+        if (matches_witness) {
+          have_extension = true;
+          extend_vals_ = tuple_vals_;
+        }
+      }
+    }
+  }
+
+  if (!any_compatible) {
+    // Exact NO: domains over-approximate the image of every homomorphism
+    // of the pushed atoms (induction over pushes), so an atom with no
+    // domain-compatible tuple admits none.
+    found_ = false;
+    ++stats_.fc_rejects;
+    return false;
+  }
+
+  // Domain updates: fresh variables are born with their support as domain;
+  // existing domains shrink to their support (recorded on the trail). A
+  // compatible tuple contributed one support value per slot, so no domain
+  // empties here — the empty case surfaced as !any_compatible above.
+  for (size_t s = 0; s < num_slots; ++s) {
+    SlotScratch& sl = slots_[s];
+    VarState& v = vars_[sl.var];
+    if (sl.fresh) {
+      v.values = sl.support_list;
+      for (uint32_t k = 0; k < v.values.size(); ++k) {
+        v.where[v.values[k]] = k + 1;
+      }
+      v.active = v.values.size();
+    } else if (sl.support_list.size() != v.active) {
+      // Support is a subset of the pre-push domain (membership was checked
+      // during the scan), so equal sizes mean nothing shrank — skip the
+      // sweep and the trail entry entirely.
+      ShrinkDomain(sl.var, &level, sl);
+    }
+  }
+
+  if (have_extension) {
+    // The prefix witness extends: bind the atom's fresh variables to the
+    // extension tuple's values and the combined mapping is a homomorphism
+    // of all pushed atoms.
+    for (size_t s = 0; s < num_slots; ++s) {
+      VarState& v = vars_[slots_[s].var];
+      if (v.bound == kNoDense) v.bound = extend_vals_[s];
+    }
+    ++stats_.extends;
+    return true;
+  }
+
+  ++stats_.repairs;
+  if (Repair()) return true;
+  ++stats_.repair_fails;
+  found_ = false;
+  return false;
+}
+
+void IncrementalHomomorphism::PopAtom() {
+  assert(depth_ > 0);
+  Level& level = levels_[--depth_];
+  found_ = level.saved_found;
+  if (level.dead_prefix) return;
+  for (size_t i = level.trail.size(); i-- > 0;) {
+    vars_[level.trail[i].first].active = level.trail[i].second;
+  }
+  // Fresh variables die with their introducing atom; they sit on top of
+  // the variable stack in interning order, so reverse release unwinds it.
+  for (size_t i = level.fresh.size(); i-- > 0;) ReleaseVar(level.fresh[i]);
+}
+
+Substitution IncrementalHomomorphism::Witness() const {
+  Substitution out;
+  for (size_t id = 0; id < vars_in_use_; ++id) {
+    const VarState& v = vars_[id];
+    if (v.is_fixed) {
+      out.emplace(v.term, v.fixed_term);
+    } else if (v.bound != kNoDense) {
+      out.emplace(v.term, dense_terms_[v.bound]);
+    }
+  }
+  return out;
+}
+
+}  // namespace semacyc

@@ -30,7 +30,11 @@ const char* ToString(Strategy s);
 
 /// Configuration of the decision pipeline (see DESIGN.md §3).
 struct SemAcOptions {
+  /// Chase termination budgets (defaults in chase/tgd_chase.h); raise
+  /// when saturation matters more than latency.
   ChaseOptions chase;
+  /// UCQ-rewriting budgets (defaults in rewrite/ucq_rewriter.h); raise
+  /// on rewritable schemas whose rewriting is cut short.
   RewriteOptions rewrite;
   /// Which stratum of the acyclicity hierarchy witnesses must reach:
   /// kAlpha is the paper's notion; kBeta/kGamma/kBerge demand strictly
@@ -38,7 +42,13 @@ struct SemAcOptions {
   /// kAlpha a kNo is only emitted on the constraint-free core argument —
   /// the small-query theorems are proven for α-acyclic witnesses only.
   acyclic::AcyclicityClass target_class = acyclic::AcyclicityClass::kAlpha;
-  /// Budgets per strategy.
+  /// Budgets per strategy. Units: image_homs caps the number of
+  /// homomorphisms of q into the chase that the images strategy
+  /// considers (default 5000); subset_budget and exhaustive_budget cap
+  /// DFS node visits of the subsets resp. exhaustive enumerations
+  /// (defaults 200k / 300k). Raise for exactness on hard instances,
+  /// lower for latency; a hit budget downgrades NO to UNKNOWN, never
+  /// flips an answer.
   size_t image_homs = 5000;
   size_t subset_budget = 200000;
   size_t exhaustive_budget = 300000;
@@ -46,9 +56,18 @@ struct SemAcOptions {
   /// enumerating witnesses exhaustively (the theoretical bound for NR/S is
   /// the exponential 2·f_C(q,Σ); enumeration beyond ~8 atoms is hopeless).
   size_t witness_atoms_cap = 8;
+  /// Per-strategy switches, all default true; disable individual
+  /// strategies only to isolate one in tests/benches (a disabled
+  /// strategy can cost exactness, never correctness).
   bool enable_images = true;
   bool enable_subsets = true;
   bool enable_exhaustive = true;
+  /// Per-candidate machinery switches for the witness strategies (the
+  /// incremental classifier / incremental chase-homomorphism fast paths
+  /// vs the legacy reference pipeline). The defaults are the fast
+  /// configuration; every switch changes cost only, never answers — see
+  /// WitnessTuning in witness_search.h.
+  WitnessTuning witness;
 };
 
 /// Result of the decision procedure, with a machine-checkable witness.

@@ -183,7 +183,7 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
   // Strategy 3: homomorphic images of q inside the chase.
   if (options_.enable_images) {
     WitnessSearchOutcome images = FindWitnessInQueryImages(
-        q, chase, *oracle, options_.image_homs, target);
+        q, chase, *oracle, options_.image_homs, target, options_.witness);
     result.candidates_tested += images.candidates_tested;
     if (images.answer == Tri::kYes) {
       accept(std::move(*images.witness), Strategy::kImages);
@@ -194,7 +194,8 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
   // Strategy 4: target-acyclic sub-instances of the chase.
   if (options_.enable_subsets) {
     WitnessSearchOutcome subsets = FindWitnessInChaseSubsets(
-        q, chase, *oracle, bound, options_.subset_budget, target);
+        q, chase, *oracle, bound, options_.subset_budget, target,
+        options_.witness);
     result.candidates_tested += subsets.candidates_tested;
     if (subsets.answer == Tri::kYes) {
       accept(std::move(*subsets.witness), Strategy::kSubsets);
@@ -205,7 +206,8 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
   // Strategy 5: exhaustive canonical enumeration up to the bound.
   if (options_.enable_exhaustive) {
     WitnessSearchOutcome exhaustive = ExhaustiveWitnessSearch(
-        q, sigma, chase, *oracle, bound, options_.exhaustive_budget, target);
+        q, sigma, chase, *oracle, bound, options_.exhaustive_budget, target,
+        options_.witness);
     result.candidates_tested += exhaustive.candidates_tested;
     if (exhaustive.answer == Tri::kYes) {
       accept(std::move(*exhaustive.witness), Strategy::kExhaustive);

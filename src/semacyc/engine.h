@@ -113,18 +113,26 @@ struct EngineConfig {
 /// legacy-constructor behavior; set max_bytes/max_entries to turn on LRU
 /// eviction per cache (multi-tenant / long-running services).
 struct EngineOptions {
+  /// Decision-pipeline options (budgets, target class, witness tuning).
+  /// Default: the production configuration of SemAcOptions.
   SemAcOptions semac;
   /// chase(q, Σ) memo (iso-resolved with a rename layer; see
-  /// QueryChaseCache). Typically the largest cache: entries hold whole
-  /// chase instances.
+  /// QueryChaseCache). Default: enabled, unbounded. Typically the
+  /// largest cache — entries hold whole chase instances — so bound this
+  /// one first when memory matters.
   CacheConfig chase;
   /// UCQ rewritings feeding the containment oracles (iso-resolved).
+  /// Default: enabled, unbounded. Only populated on rewritable schemas;
+  /// rarely needs a budget of its own.
   CacheConfig rewrite;
-  /// Persistent per-query containment oracles (iso-resolved). NOTE: an
-  /// oracle's memo grows after insertion and is not re-charged against
-  /// the byte budget — leave headroom, or bound by max_entries.
+  /// Persistent per-query containment oracles (iso-resolved). Default:
+  /// enabled, unbounded. NOTE: an oracle's memo grows after insertion
+  /// and is not re-charged against the byte budget — leave headroom, or
+  /// bound by max_entries instead of max_bytes.
   CacheConfig oracles;
-  /// Decision results for repeat (or isomorphic) queries.
+  /// Decision results for repeat (or isomorphic) queries. Default:
+  /// enabled, unbounded. Entries are small; disable only to measure the
+  /// layers beneath (every repeat then re-runs the pipeline).
   CacheConfig decisions;
 
   /// Splits one byte budget across the four caches — the shape of the

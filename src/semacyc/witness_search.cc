@@ -8,6 +8,7 @@
 #include "core/canonical.h"
 #include "core/containment.h"
 #include "core/homomorphism.h"
+#include "core/incremental_hom.h"
 #include "core/hypergraph.h"
 #include "deps/classify.h"
 #include "deps/nonrecursive.h"
@@ -106,6 +107,62 @@ ContainmentOracle::ContainmentOracle(const ConjunctiveQuery& q,
         break;
       }
     }
+    if (chase_free_) {
+      // Compile q once for the per-candidate check: dense variable
+      // indices, and a greedy connected atom order (most already-bound
+      // variables first, head variables counting as pre-bound) so the
+      // backtracking stays anchored.
+      std::unordered_map<Term, int, TermHash> vidx;
+      for (const Atom& a : q.body()) {
+        for (Term t : a.args()) {
+          if (t.IsVariable()) {
+            vidx.emplace(t, static_cast<int>(vidx.size()));
+          }
+        }
+      }
+      cm_num_vars_ = vidx.size();
+      for (Term h : q.head()) {
+        cm_head_var_.push_back(h.IsVariable() ? vidx.at(h) : -1);
+      }
+      std::vector<char> seen(cm_num_vars_, 0);
+      for (Term h : q.head()) {
+        if (h.IsVariable()) seen[static_cast<size_t>(vidx.at(h))] = 1;
+      }
+      std::vector<bool> used(q.body().size(), false);
+      for (size_t step = 0; step < q.body().size(); ++step) {
+        size_t best = q.body().size();
+        int best_score = -1;
+        for (size_t i = 0; i < q.body().size(); ++i) {
+          if (used[i]) continue;
+          int score = 0;
+          for (Term t : q.body()[i].args()) {
+            if (!t.IsVariable() || seen[static_cast<size_t>(vidx.at(t))]) {
+              ++score;
+            }
+          }
+          if (score > best_score) {
+            best_score = score;
+            best = i;
+          }
+        }
+        used[best] = true;
+        const Atom& a = q.body()[best];
+        CmAtom ca;
+        ca.pred = a.predicate();
+        for (Term t : a.args()) {
+          if (t.IsVariable()) {
+            int v = vidx.at(t);
+            ca.var_at.push_back(v);
+            ca.const_at.push_back(Term());
+            seen[static_cast<size_t>(v)] = 1;
+          } else {
+            ca.var_at.push_back(-1);
+            ca.const_at.push_back(t);
+          }
+        }
+        cm_atoms_.push_back(std::move(ca));
+      }
+    }
     prefilter_ = true;
     std::unordered_set<uint32_t> q_preds;
     for (const Atom& a : q.body()) q_preds.insert(a.predicate().id());
@@ -153,25 +210,58 @@ Tri ContainmentOracle::DecideChaseFree(
     const ConjunctiveQuery& candidate) const {
   // Chandra–Merlin against the candidate body itself: its variables act as
   // the frozen canonical constants (rigid instance terms), no freezing or
-  // chase needed. Exact in both directions.
-  Substitution fixed;
+  // chase needed. Exact in both directions. Runs the q-side compiled at
+  // construction (cm_atoms_) over a dense binding array — this is the
+  // per-candidate inner loop of exhaustive witness search, so it must not
+  // allocate or hash.
+  cm_binding_.assign(cm_num_vars_, Term());
   for (size_t i = 0; i < q_.head().size(); ++i) {
-    Term h = q_.head()[i];
     Term c = candidate.head()[i];
-    if (!h.IsVariable()) {
-      if (h != c) return Tri::kNo;
+    int v = cm_head_var_[i];
+    if (v < 0) {
+      if (q_.head()[i] != c) return Tri::kNo;
       continue;
     }
-    auto it = fixed.find(h);
-    if (it != fixed.end()) {
-      if (it->second != c) return Tri::kNo;
-      continue;
+    Term& bound = cm_binding_[static_cast<size_t>(v)];
+    if (bound.IsValid()) {
+      if (bound != c) return Tri::kNo;
+    } else {
+      bound = c;
     }
-    fixed.emplace(h, c);
   }
-  Instance frozen;
-  frozen.InsertAll(candidate.body());
-  return HasHomomorphism(q_.body(), frozen, fixed) ? Tri::kYes : Tri::kNo;
+  cm_undo_.clear();
+  return CmDfs(candidate.body(), 0) ? Tri::kYes : Tri::kNo;
+}
+
+bool ContainmentOracle::CmDfs(const std::vector<Atom>& target_atoms,
+                              size_t depth) const {
+  if (depth == cm_atoms_.size()) return true;
+  const CmAtom& a = cm_atoms_[depth];
+  for (const Atom& t : target_atoms) {
+    if (t.predicate() != a.pred) continue;
+    size_t undo_mark = cm_undo_.size();
+    bool ok = true;
+    for (size_t i = 0; i < a.var_at.size() && ok; ++i) {
+      int v = a.var_at[i];
+      if (v < 0) {
+        ok = a.const_at[i] == t.arg(i);
+        continue;
+      }
+      Term& bound = cm_binding_[static_cast<size_t>(v)];
+      if (bound.IsValid()) {
+        ok = bound == t.arg(i);
+        continue;
+      }
+      bound = t.arg(i);
+      cm_undo_.push_back(v);
+    }
+    if (ok && CmDfs(target_atoms, depth + 1)) return true;
+    while (cm_undo_.size() > undo_mark) {
+      cm_binding_[static_cast<size_t>(cm_undo_.back())] = Term();
+      cm_undo_.pop_back();
+    }
+  }
+  return false;
 }
 
 Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate) const {
@@ -494,6 +584,8 @@ class CandidateEnumerator {
         target_(target),
         tuning_(tuning),
         inc_(target),
+        hom_(chase.instance),
+        use_inc_hom_(!tuning.legacy && tuning.incremental_hom),
         tested_(tuning.legacy) {
     // Signature: predicates of q plus head predicates of Σ's tgds (only
     // those can occur in chase(q,Σ), hence in any witness).
@@ -578,6 +670,9 @@ class CandidateEnumerator {
         hom_options_.fixed[head_[i]] = chase_.frozen_head[i];
       }
       hom_options_.max_solutions = 1;
+      // The incremental session is per head pattern, like the fixed
+      // binding it mirrors: Reset re-seeds it and keeps pooled storage.
+      if (use_inc_hom_) hom_.Reset(hom_options_.fixed);
       choices_ = ArgChoices();
       atoms_.clear();
       used_frontier_ = 0;
@@ -720,8 +815,19 @@ class CandidateEnumerator {
           return;
         }
       }
-      for (const Atom& existing : atoms_) {
-        if (existing == atom) return;
+      if (tuning_.legacy) {
+        // Pre-PR duplicate check: a linear scan of the whole prefix.
+        for (const Atom& existing : atoms_) {
+          if (existing == atom) return;
+        }
+      } else {
+        // Atoms grow in non-decreasing AtomOrderLess order, so only the
+        // trailing run of order-equal atoms can collide with the
+        // candidate: the scan stops at the first atom strictly below it.
+        for (auto it = atoms_.rbegin();
+             it != atoms_.rend() && !AtomOrderLess(*it, atom); ++it) {
+          if (*it == atom) return;
+        }
       }
       atoms_.push_back(atom);
       size_t saved_frontier = used_frontier_;
@@ -734,7 +840,18 @@ class CandidateEnumerator {
         // prefix can never recover, and pruning it here skips the hom for
         // the whole subtree.
         inc_.PushEdge(VarVertices(atom));
-        if (!inc_.CannotRecover() && MapsIntoChase()) Search();
+        if (!inc_.CannotRecover()) {
+          if (use_inc_hom_) {
+            // Incremental per-atom chase check, mirroring the classifier's
+            // push/pop discipline: the session's stack tracks atoms_ along
+            // the DFS path, so this push costs O(what the atom changed)
+            // instead of a from-scratch backtracking search.
+            if (hom_.PushAtom(atom)) Search();
+            hom_.PopAtom();
+          } else if (MapsIntoChase()) {
+            Search();
+          }
+        }
         inc_.PopEdge();
       }
       used_frontier_ = saved_frontier;
@@ -796,6 +913,11 @@ class CandidateEnumerator {
   std::vector<Term> choices_;
   HomOptions hom_options_;
   acyclic::IncrementalClassifier inc_;
+  /// Incremental chase-homomorphism session (fast path): PushAtom/PopAtom
+  /// mirror inc_'s PushEdge/PopEdge along the DFS path, replacing the
+  /// per-push MapsIntoChase full search.
+  IncrementalHomomorphism hom_;
+  bool use_inc_hom_;
   std::unordered_map<Term, int, TermHash> vertex_of_;
   std::vector<int> verts_scratch_;
   /// Pool variables consumed by atoms_ (the in-order-introduction

@@ -127,6 +127,26 @@ class ContainmentOracle {
   bool prefilter_ = false;
   /// Σ cannot contribute atoms over q's predicates: decide classically.
   bool chase_free_ = false;
+  /// Chase-free Chandra–Merlin machinery, compiled once from q at
+  /// construction: body variables dense-indexed, atoms pre-ordered
+  /// greedily connected (bound-variables-first), positions split into
+  /// variable/constant so the per-candidate check is an allocation-free
+  /// backtracking over a dense binding array. Scratch is guarded by mu_
+  /// when synchronized; unsynchronized oracles are single-caller like
+  /// the memo.
+  struct CmAtom {
+    Predicate pred;
+    /// Per position: dense variable index, or -1 for a constant.
+    std::vector<int> var_at;
+    std::vector<Term> const_at;  // valid where var_at[i] < 0
+  };
+  std::vector<CmAtom> cm_atoms_;
+  size_t cm_num_vars_ = 0;
+  /// Per head position of q: dense variable index, or -1 (constant).
+  std::vector<int> cm_head_var_;
+  mutable std::vector<Term> cm_binding_;
+  mutable std::vector<int> cm_undo_;
+  bool CmDfs(const std::vector<Atom>& target_atoms, size_t depth) const;
   std::vector<std::unordered_set<uint32_t>> q_pred_sources_;
   mutable std::unordered_map<uint64_t,
                              std::vector<std::pair<ConjunctiveQuery, Tri>>>
@@ -136,15 +156,28 @@ class ContainmentOracle {
   mutable size_t prefiltered_ = 0;
 };
 
-/// Per-candidate machinery switch for the witness strategies. The default
-/// is the incremental pipeline: push/pop acyclicity classification along
-/// the DFS path (with hereditary subtree pruning for β/γ/Berge targets)
-/// and fingerprint-based candidate dedup. `legacy = true` reproduces the
-/// pre-incremental pipeline — a from-scratch hypergraph build and batch
-/// decider run per candidate, string StructuralKey dedup — and exists so
-/// benches can measure one against the other at identical budgets.
+/// Per-candidate machinery switches for the witness strategies. The
+/// default is the full incremental pipeline: push/pop acyclicity
+/// classification along the DFS path (with hereditary subtree pruning for
+/// β/γ/Berge targets), an incrementally maintained chase homomorphism,
+/// and fingerprint-based candidate dedup. Every switch changes cost only,
+/// never answers (parity pinned by witness_pipeline_test and
+/// incremental_hom_test).
 struct WitnessTuning {
+  /// Default false (fast pipeline). true reproduces the pre-incremental
+  /// seed pipeline — a from-scratch hypergraph build and batch decider run
+  /// per candidate, string StructuralKey dedup, a full homomorphism search
+  /// per pushed atom — and exists so benches can measure the pipeline at
+  /// identical budgets. Never enable in production.
   bool legacy = false;
+  /// Default true. The exhaustive enumerator maintains its per-atom chase
+  /// homomorphism check incrementally along the DFS path
+  /// (core/incremental_hom: candidate domains + forward checking + witness
+  /// extension) instead of re-running the full backtracking search on
+  /// every pushed atom. Exact — answers, witnesses and budget consumption
+  /// are identical either way; set to false only to benchmark the full
+  /// re-search. Ignored under `legacy` (legacy always re-searches).
+  bool incremental_hom = true;
 };
 
 /// Outcome of one witness-search strategy.

@@ -1,0 +1,310 @@
+// Tests for the incremental chase-homomorphism checker
+// (core/incremental_hom): exact parity with a from-scratch
+// FindHomomorphisms at every step of random push/pop walks (found flag AND
+// witness validity), plus end-to-end witness-search outcome parity between
+// the incremental and the full per-push check at equal budgets.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "chase/query_chase.h"
+#include "core/homomorphism.h"
+#include "core/incremental_hom.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/witness_search.h"
+
+namespace semacyc {
+namespace {
+
+using acyclic::AcyclicityClass;
+
+/// One (query, schema) pair whose chase is the walk target.
+struct ChaseCase {
+  std::string name;
+  ConjunctiveQuery q;
+  DependencySet sigma;
+};
+
+std::vector<ChaseCase> ChaseCases() {
+  Generator gen(41);
+  std::vector<ChaseCase> cases;
+  cases.push_back({"cycle6-chain", gen.CycleQuery(6),
+                   MustParseDependencySet(
+                       "E(x,y) -> F(x,y). F(x,y) -> G(x,y).")});
+  cases.push_back({"clique4-copy", gen.CliqueQuery(4),
+                   MustParseDependencySet("E(x,y) -> F(x,y).")});
+  cases.push_back({"alpha-not-beta", gen.AlphaNotBetaQuery(2),
+                   MustParseDependencySet("E(x,y) -> E(y,x).")});
+  cases.push_back({"beta-not-gamma", gen.BetaNotGammaQuery(2),
+                   MustParseDependencySet("P(x,y) -> T(x,y,y).")});
+  cases.push_back(
+      {"berge-tree", gen.BergeTreeQuery(8), DependencySet{}});
+  cases.push_back({"full-tgd",
+                   MustParseQuery("E(x,y), E(y,z), E(z,x), A(x)"),
+                   MustParseDependencySet("A(x) -> E(x,x)")});
+  return cases;
+}
+
+/// Validates the session against the batch decider on the current stack:
+/// identical found flag, and when found a witness under which every pushed
+/// atom lands inside the target (with the fixed seeds respected verbatim).
+void CheckAgainstBatch(IncrementalHomomorphism& hom,
+                       const std::vector<Atom>& stack, const Instance& target,
+                       const Substitution& fixed, const std::string& context) {
+  HomOptions options;
+  options.fixed = fixed;
+  bool batch = FindHomomorphisms(stack, target, options).found;
+  ASSERT_EQ(hom.found(), batch) << context;
+  ASSERT_EQ(hom.depth(), stack.size()) << context;
+  if (!hom.found()) return;
+  Substitution witness = hom.Witness();
+  for (const auto& [src, dst] : fixed) {
+    auto it = witness.find(src);
+    ASSERT_TRUE(it != witness.end()) << context << " fixed seed dropped";
+    ASSERT_EQ(it->second, dst) << context << " fixed seed rebound";
+  }
+  for (const Atom& a : stack) {
+    Atom image = Apply(witness, a);
+    for (Term t : image.args()) {
+      ASSERT_FALSE(t.IsVariable())
+          << context << " unmapped variable in witness image of "
+          << a.ToString();
+    }
+    ASSERT_TRUE(target.Contains(image))
+        << context << " witness image " << image.ToString()
+        << " not in target for " << a.ToString();
+  }
+}
+
+TEST(IncrementalHomTest, RandomWalkMatchesBatchOverGeneratorFamilies) {
+  std::mt19937_64 rng(53);
+  ChaseOptions chase_options;
+  for (const ChaseCase& c : ChaseCases()) {
+    QueryChaseResult chase = ChaseQuery(c.q, c.sigma, chase_options);
+    ASSERT_FALSE(chase.failed) << c.name;
+    const Instance& target = chase.instance;
+    std::vector<Predicate> preds = target.Predicates();
+    ASSERT_FALSE(preds.empty()) << c.name;
+    // A predicate absent from the chase: pushes over it must fail exactly.
+    Predicate alien = Predicate::Get("IncHomAlien", 2);
+    std::vector<Term> chase_terms = target.ActiveDomain();
+    std::vector<Term> pool;
+    for (int i = 0; i < 6; ++i) {
+      pool.push_back(Term::Variable("ih$" + std::to_string(i)));
+    }
+    // Fixed seeds mirror the enumerator: head variables bound to the
+    // frozen head, position-wise.
+    Substitution fixed;
+    for (size_t i = 0; i < c.q.head().size(); ++i) {
+      Term h = c.q.head()[i];
+      if (h.IsVariable()) fixed.emplace(h, chase.frozen_head[i]);
+    }
+    std::vector<Term> head_vars;
+    for (const auto& [src, dst] : fixed) head_vars.push_back(src);
+
+    auto random_atom = [&]() {
+      Predicate p = rng() % 16 == 0
+                        ? alien
+                        : preds[rng() % preds.size()];
+      std::vector<Term> args;
+      for (int i = 0; i < p.arity(); ++i) {
+        uint64_t kind = rng() % 8;
+        if (kind == 0 && !chase_terms.empty()) {
+          // Ground argument (a chase term, possibly a frozen null).
+          args.push_back(chase_terms[rng() % chase_terms.size()]);
+        } else if (kind == 1 && !head_vars.empty()) {
+          args.push_back(head_vars[rng() % head_vars.size()]);
+        } else {
+          args.push_back(pool[rng() % pool.size()]);
+        }
+      }
+      return Atom(p, std::move(args));
+    };
+
+    IncrementalHomomorphism hom(target);
+    for (int walk = 0; walk < 25; ++walk) {
+      bool with_fixed = walk % 2 == 0;
+      const Substitution& seeds = with_fixed ? fixed : Substitution{};
+      hom.Reset(seeds);
+      std::vector<Atom> stack;
+      for (int step = 0; step < 24; ++step) {
+        bool push = stack.empty() || rng() % 3 != 0;
+        if (push) {
+          Atom a = random_atom();
+          stack.push_back(a);
+          hom.PushAtom(a);
+        } else {
+          stack.pop_back();
+          hom.PopAtom();
+        }
+        CheckAgainstBatch(hom, stack, target, seeds,
+                          c.name + " walk " + std::to_string(walk) +
+                              " step " + std::to_string(step));
+        if (HasFatalFailure()) return;
+      }
+      while (!stack.empty()) {
+        stack.pop_back();
+        hom.PopAtom();
+        CheckAgainstBatch(hom, stack, target, seeds,
+                          c.name + " unwind to " +
+                              std::to_string(stack.size()));
+        if (HasFatalFailure()) return;
+      }
+      ASSERT_EQ(hom.depth(), 0u);
+    }
+    // The walk must have exercised every absorption path at least once
+    // across the case (pushes, forward-checking rejections, extensions).
+    EXPECT_GT(hom.stats().pushes, 0u) << c.name;
+    EXPECT_GT(hom.stats().fc_rejects, 0u) << c.name;
+    EXPECT_GT(hom.stats().extends, 0u) << c.name;
+  }
+}
+
+TEST(IncrementalHomTest, RepeatedVariableAndGroundEdgeCases) {
+  // Hand-picked shapes around the scan's corner cases: repeated variables
+  // inside one atom, ground positions, and fixed seeds outside the target.
+  Instance target;
+  Predicate e = Predicate::Get("E", 2);
+  Term a = Term::Constant("a");
+  Term b = Term::Constant("b");
+  target.InsertAll({Atom(e, {a, b}), Atom(e, {b, b})});
+
+  Term x = Term::Variable("ehx");
+  Term y = Term::Variable("ehy");
+  IncrementalHomomorphism hom(target);
+  hom.Reset();
+  // E(x,x) only maps onto E(b,b).
+  EXPECT_TRUE(hom.PushAtom(Atom(e, {x, x})));
+  EXPECT_EQ(hom.Witness().at(x), b);
+  // E(x,y) with x=b forces y=b; then ground E(a,a) is impossible.
+  EXPECT_TRUE(hom.PushAtom(Atom(e, {x, y})));
+  EXPECT_FALSE(hom.PushAtom(Atom(e, {a, a})));
+  hom.PopAtom();
+  EXPECT_TRUE(hom.found());
+  hom.PopAtom();
+  hom.PopAtom();
+  EXPECT_EQ(hom.depth(), 0u);
+
+  // A fixed seed mapping outside the target: the empty conjunction still
+  // maps, but any atom mentioning the seed is exactly refuted.
+  Substitution fixed;
+  fixed.emplace(x, Term::Constant("elsewhere"));
+  hom.Reset(fixed);
+  EXPECT_TRUE(hom.found());
+  EXPECT_FALSE(hom.PushAtom(Atom(e, {x, y})));
+  hom.PopAtom();
+  EXPECT_TRUE(hom.PushAtom(Atom(e, {y, y})));  // seed unused: fine
+  EXPECT_EQ(hom.Witness().at(x), Term::Constant("elsewhere"));
+}
+
+// ------------------------------- end-to-end witness-search parity --------
+
+struct ParityCase {
+  const char* name;
+  const char* query;
+  const char* sigma;
+};
+
+/// The exhaustive strategy with the incremental checker must equal the
+/// full per-push re-search in EVERY outcome field — the checker is exact,
+/// so the two search trees coincide node for node, including where a
+/// budget truncates them.
+TEST(IncrementalHomTest, ExhaustiveOutcomeBitwiseParityIncVsFull) {
+  const ParityCase cases[] = {
+      {"example1", "q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)",
+       "Interest(x,z), Class(y,z) -> Owns(x,y)"},
+      {"guarded-linear", "T(x,y), E(y,z), E(z,x)",
+       "T(x,y) -> E(y,z), E(z,x)"},
+      {"triangle-unrelated", "E(a,b), E(b,c), E(c,a)", "A(x) -> B(x)"},
+      {"full-tgd", "E(x,y), E(y,z), E(z,x), A(x)", "A(x) -> E(x,x)"},
+  };
+  const AcyclicityClass targets[] = {AcyclicityClass::kAlpha,
+                                     AcyclicityClass::kBeta,
+                                     AcyclicityClass::kBerge};
+  // Generous and deliberately tiny budgets: with an exact checker the
+  // truncation point is identical too.
+  const size_t budgets[] = {500000, 200, 37};
+  for (const ParityCase& c : cases) {
+    ConjunctiveQuery q = MustParseQuery(c.query);
+    DependencySet sigma = MustParseDependencySet(c.sigma);
+    ChaseOptions chase_options;
+    RewriteOptions rewrite_options;
+    QueryChaseResult chase = ChaseQuery(q, sigma, chase_options);
+    ASSERT_FALSE(chase.failed);
+    ContainmentOracle oracle(q, sigma, chase_options, rewrite_options);
+    for (AcyclicityClass target : targets) {
+      for (size_t budget : budgets) {
+        WitnessTuning inc;
+        inc.incremental_hom = true;
+        WitnessTuning full;
+        full.incremental_hom = false;
+        WitnessSearchOutcome with_inc = ExhaustiveWitnessSearch(
+            q, sigma, chase, oracle, 3, budget, target, inc);
+        WitnessSearchOutcome with_full = ExhaustiveWitnessSearch(
+            q, sigma, chase, oracle, 3, budget, target, full);
+        std::string context = std::string(c.name) + " target " +
+                              acyclic::ToString(target) + " budget " +
+                              std::to_string(budget);
+        EXPECT_EQ(with_inc.answer, with_full.answer) << context;
+        EXPECT_EQ(with_inc.exhausted, with_full.exhausted) << context;
+        EXPECT_EQ(with_inc.candidates_tested, with_full.candidates_tested)
+            << context;
+        ASSERT_EQ(with_inc.witness.has_value(), with_full.witness.has_value())
+            << context;
+        if (with_inc.witness.has_value()) {
+          EXPECT_EQ(*with_inc.witness, *with_full.witness) << context;
+        }
+      }
+    }
+  }
+}
+
+/// Fast (incremental everything) vs legacy (seed pipeline) at equal,
+/// exhausting budgets: identical answers always; and identical
+/// candidates_tested whenever no witness cut a search short (both dedups
+/// are renaming-invariant, so the distinct-candidate sets coincide).
+TEST(IncrementalHomTest, ExhaustiveFastVsLegacyOutcomeParity) {
+  const ParityCase cases[] = {
+      {"example1", "q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)",
+       "Interest(x,z), Class(y,z) -> Owns(x,y)"},
+      {"full-tgd", "E(x,y), E(y,z), E(z,x), A(x)", "A(x) -> E(x,x)"},
+  };
+  const AcyclicityClass targets[] = {AcyclicityClass::kAlpha,
+                                     AcyclicityClass::kGamma};
+  for (const ParityCase& c : cases) {
+    ConjunctiveQuery q = MustParseQuery(c.query);
+    DependencySet sigma = MustParseDependencySet(c.sigma);
+    ChaseOptions chase_options;
+    RewriteOptions rewrite_options;
+    QueryChaseResult chase = ChaseQuery(q, sigma, chase_options);
+    ASSERT_FALSE(chase.failed);
+    ContainmentOracle oracle(q, sigma, chase_options, rewrite_options);
+    for (AcyclicityClass target : targets) {
+      WitnessTuning fast;
+      WitnessTuning legacy;
+      legacy.legacy = true;
+      WitnessSearchOutcome with_fast = ExhaustiveWitnessSearch(
+          q, sigma, chase, oracle, 3, 500000, target, fast);
+      WitnessSearchOutcome with_legacy = ExhaustiveWitnessSearch(
+          q, sigma, chase, oracle, 3, 500000, target, legacy);
+      std::string context =
+          std::string(c.name) + " target " + acyclic::ToString(target);
+      ASSERT_TRUE(with_fast.exhausted || with_fast.answer == Tri::kYes)
+          << context;
+      ASSERT_TRUE(with_legacy.exhausted || with_legacy.answer == Tri::kYes)
+          << context;
+      EXPECT_EQ(with_fast.answer, with_legacy.answer) << context;
+      if (with_fast.answer != Tri::kYes) {
+        EXPECT_EQ(with_fast.exhausted, with_legacy.exhausted) << context;
+        EXPECT_EQ(with_fast.candidates_tested, with_legacy.candidates_tested)
+            << context;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semacyc

@@ -219,6 +219,66 @@ TEST(ContainmentOracleTest, MemoizedAgreesWithUncachedOnRandomCandidates) {
   EXPECT_LE(cached.cache_misses(), 600u);
 }
 
+TEST(ContainmentOracleTest, ChaseFreeAgreesWithChasedOnConstantsAndHeads) {
+  // Σ's tgd head predicate (B) does not occur in q, so the memoized
+  // oracle takes the compiled chase-free Chandra–Merlin path; the
+  // unmemoized one chases. Constants in q and non-Boolean heads exercise
+  // the compiled path's constant positions and head pre-binding.
+  ConjunctiveQuery q =
+      MustParseQuery("q(x,x,'m') :- E(x,y), E(y,'m'), A(x)");
+  DependencySet sigma = MustParseDependencySet("A(x) -> B(x)");
+  ChaseOptions chase_options;
+  RewriteOptions rewrite_options;
+  ContainmentOracle chase_free(q, sigma, chase_options, rewrite_options,
+                               /*try_rewriting=*/true, /*memoize=*/true);
+  ContainmentOracle chased(q, sigma, chase_options, rewrite_options,
+                           /*try_rewriting=*/true, /*memoize=*/false);
+
+  std::mt19937_64 rng(37);
+  Predicate e = Predicate::Get("E", 2);
+  Predicate a = Predicate::Get("A", 1);
+  std::vector<Term> terms;
+  for (int i = 0; i < 3; ++i) {
+    terms.push_back(Term::Variable("cf$" + std::to_string(i)));
+  }
+  terms.push_back(Term::Constant("m"));
+  terms.push_back(Term::Constant("other"));
+  size_t agreements = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::vector<Atom> body;
+    int num_atoms = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < num_atoms; ++i) {
+      if (rng() % 3 == 0) {
+        body.push_back(Atom(a, {terms[rng() % terms.size()]}));
+      } else {
+        body.push_back(Atom(
+            e, {terms[rng() % terms.size()], terms[rng() % terms.size()]}));
+      }
+    }
+    // A 3-ary head over the candidate's terms, matching q's arity; skip
+    // shapes whose head terms miss the body (the query ctor requires
+    // head variables to occur in the body).
+    std::vector<Term> head(3);
+    bool ok = true;
+    for (int i = 0; i < 3; ++i) {
+      head[static_cast<size_t>(i)] = terms[rng() % terms.size()];
+      if (!head[static_cast<size_t>(i)].IsVariable()) continue;
+      bool occurs = false;
+      for (const Atom& at : body) {
+        if (at.Mentions(head[static_cast<size_t>(i)])) occurs = true;
+      }
+      ok = ok && occurs;
+    }
+    if (!ok) continue;
+    ConjunctiveQuery candidate(head, body);
+    EXPECT_EQ(chase_free.ContainedInQ(candidate),
+              chased.ContainedInQ(candidate))
+        << candidate.ToString();
+    ++agreements;
+  }
+  EXPECT_GT(agreements, 100u);
+}
+
 // ------------------------------------- fast vs legacy strategy parity --
 
 struct StrategyCase {
