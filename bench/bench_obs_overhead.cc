@@ -1,0 +1,306 @@
+// Observability overhead: the decision pipeline with metrics + null trace
+// sink vs the bare pre-PR cost center, on the E-P3 exhaustive rows.
+//
+// Claims demonstrated:
+//  1. Tracing OFF (the default: no sink, metrics always on) costs <= 2%
+//     over the bare strategy call on every exhaustive E-P3 row. The
+//     instrumentation is per-strategy RAII timers and relaxed atomic
+//     adds — nothing runs per candidate — so the Engine's whole
+//     added cost (core check, cache probes, phase timers, oracle
+//     re-weigh) fits inside the gate.
+//  2. Tracing ON (a sink that renders every trace to JSON) stays
+//     bounded: <= 10% over the bare call. Traces carry one span per
+//     strategy, not per candidate, so rendering cost is independent of
+//     search size.
+//  3. Outcome parity: answers, candidate counts and witnesses are
+//     identical across bare / off / trace — instrumentation never
+//     changes results.
+//
+// `--gate` exits non-zero when a gated row misses its bound (CI wires
+// this into the tier-1 job). Self-timed; pass --json to emit
+// BENCH_obs_overhead.json via bench_util's JsonReport.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/obs.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/engine.h"
+
+namespace semacyc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    fn();
+    double ms = MillisSince(start);
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// The E-P3 exhaustive workloads from bench_witness_pipeline: cyclic
+/// cores in the NO-input regime, budgets above the space size so every
+/// run sweeps the identical candidate space.
+struct Workload {
+  std::string name;
+  ConjunctiveQuery q;
+  DependencySet sigma;
+  acyclic::AcyclicityClass target;
+  size_t max_atoms;
+  size_t budget;
+};
+
+std::vector<Workload> Workloads() {
+  Generator gen(3);
+  DependencySet copy = MustParseDependencySet("E(x,y) -> F(x,y).");
+  DependencySet chain =
+      MustParseDependencySet("E(x,y) -> F(x,y). F(x,y) -> G(x,y).");
+  auto spread_head = [](const ConjunctiveQuery& q, size_t stride) {
+    std::vector<Term> head;
+    for (size_t i = 0; i < 4; ++i) head.push_back(q.body()[i * stride].arg(0));
+    return ConjunctiveQuery(head, q.body());
+  };
+  ConjunctiveQuery k4bool({}, gen.CliqueQuery(4).body());
+  ConjunctiveQuery k4 = spread_head(gen.CliqueQuery(4), 3);
+  ConjunctiveQuery c6 = gen.CycleQuery(6);
+  std::vector<Workload> out;
+  out.push_back({"exhaustive-alpha-c6", c6, chain,
+                 acyclic::AcyclicityClass::kAlpha, 4, 1u << 30});
+  out.push_back({"exhaustive-beta-k4", k4bool, copy,
+                 acyclic::AcyclicityClass::kBeta, 4, 1u << 30});
+  out.push_back({"exhaustive-berge-k4", k4bool, copy,
+                 acyclic::AcyclicityClass::kBerge, 4, 1u << 30});
+  out.push_back({"exhaustive-alpha-k4", k4, copy,
+                 acyclic::AcyclicityClass::kAlpha, 4, 1u << 30});
+  return out;
+}
+
+/// Swallows traces after rendering them to JSON — the full serialization
+/// cost without I/O. The byte count keeps the render from being elided.
+class DiscardSink final : public obs::TraceSink {
+ public:
+  void Consume(const obs::DecisionTrace& trace) override {
+    bytes_ += trace.ToJson().size();
+    ++traces_;
+  }
+  size_t traces() const { return traces_; }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  size_t traces_ = 0;
+  size_t bytes_ = 0;
+};
+
+SemAcOptions PipelineOptions(const Workload& w) {
+  SemAcOptions options;
+  options.target_class = w.target;
+  // Pin the enumerated bound to the row's max_atoms (the small-query
+  // bound is far larger) and isolate the exhaustive strategy, mirroring
+  // the bare ExhaustiveWitnessSearch call.
+  options.witness_atoms_cap = w.max_atoms;
+  options.exhaustive_budget = w.budget;
+  options.enable_images = false;
+  options.enable_subsets = false;
+  return options;
+}
+
+EngineOptions PipelineEngineOptions(const Workload& w) {
+  EngineOptions options;
+  options.semac = PipelineOptions(w);
+  // Reps must recompute the decision, not serve it from the cache.
+  options.decisions.enabled = false;
+  return options;
+}
+
+struct Run {
+  double ms = 0;
+  SemAcAnswer answer = SemAcAnswer::kUnknown;
+  size_t candidates = 0;
+  std::optional<ConjunctiveQuery> witness;
+};
+
+/// The pre-PR cost center: the bare exhaustive strategy call, chase and
+/// oracle prebuilt outside the timed region (exactly what the E-P3 rows
+/// of bench_witness_pipeline time).
+class BareRunner {
+ public:
+  explicit BareRunner(const Workload& w)
+      : w_(w),
+        chase_(ChaseQuery(w.q, w.sigma, chase_options_)),
+        oracle_(w.q, w.sigma, chase_options_, rewrite_options_,
+                /*try_rewriting=*/true, /*memoize=*/true) {}
+
+  void Once(Run* run) {
+    auto start = Clock::now();
+    WitnessSearchOutcome outcome =
+        ExhaustiveWitnessSearch(w_.q, w_.sigma, chase_, oracle_, w_.max_atoms,
+                                w_.budget, w_.target, tuning_);
+    double ms = MillisSince(start);
+    if (run->ms < 0 || ms < run->ms) run->ms = ms;
+    run->answer = outcome.answer == Tri::kYes ? SemAcAnswer::kYes
+                                              : SemAcAnswer::kUnknown;
+    run->candidates = outcome.candidates_tested;
+    run->witness = outcome.witness;
+  }
+
+ private:
+  const Workload& w_;
+  ChaseOptions chase_options_;
+  RewriteOptions rewrite_options_;
+  QueryChaseResult chase_;
+  ContainmentOracle oracle_;
+  WitnessTuning tuning_;
+};
+
+/// The instrumented pipeline: Engine::Decide with metrics always on and
+/// `sink` attached (null = tracing off). Chase cache and oracle are
+/// primed by one untimed decision, so timed reps pay the same prebuilt
+/// chase/oracle as the bare run plus everything the Engine adds.
+class EngineRunner {
+ public:
+  EngineRunner(const Workload& w, obs::TraceSink* sink)
+      : engine_(w.sigma,
+                [&] {
+                  EngineOptions options = PipelineEngineOptions(w);
+                  options.semac.trace_sink = sink;
+                  return options;
+                }()),
+        pq_(engine_.Prepare(w.q)) {
+    engine_.Decide(pq_);  // prime chase memo + oracle
+  }
+
+  void Once(Run* run) {
+    auto start = Clock::now();
+    SemAcResult result = engine_.Decide(pq_);
+    double ms = MillisSince(start);
+    if (run->ms < 0 || ms < run->ms) run->ms = ms;
+    run->answer = result.answer;
+    run->candidates = result.candidates_tested;
+    run->witness = result.witness;
+  }
+
+ private:
+  Engine engine_;
+  PreparedQuery pq_;
+};
+
+/// One measurement pass: `rounds` interleaved rounds, each timing bare /
+/// off / trace back to back, keeping per-variant bests — systemic drift
+/// (another process, thermal throttling) hits all three variants of a
+/// round equally instead of skewing whichever variant ran last.
+void Measure(const Workload& w, int rounds, Run* bare, Run* off, Run* trace,
+             DiscardSink* sink) {
+  BareRunner bare_runner(w);
+  EngineRunner off_runner(w, nullptr);
+  EngineRunner trace_runner(w, sink);
+  bare->ms = off->ms = trace->ms = -1;
+  for (int r = 0; r < rounds; ++r) {
+    bare_runner.Once(bare);
+    off_runner.Once(off);
+    trace_runner.Once(trace);
+  }
+}
+
+bool Parity(const Run& a, const Run& b) {
+  return (a.answer == SemAcAnswer::kYes) == (b.answer == SemAcAnswer::kYes) &&
+         a.candidates == b.candidates &&
+         a.witness.has_value() == b.witness.has_value() &&
+         (!a.witness.has_value() || *a.witness == *b.witness);
+}
+
+/// A row fails its gate only when both the relative bound and an
+/// absolute 5ms floor are exceeded — the same floor the CI bench-diff
+/// uses, because shared hardware jitters fast rows by several ms even
+/// best-of-N. The hundreds-of-ms exhaustive-alpha-k4 row is where the
+/// relative bound carries real signal.
+bool OverGate(double ms, double base_ms, double factor) {
+  return ms > base_ms * factor && ms - base_ms > 5.0;
+}
+
+int OverheadShowdown(bench::JsonReport* report, bool gate) {
+  bench::Banner(
+      "E-P4 - observability overhead on the exhaustive E-P3 rows",
+      "metrics are per-strategy timers + relaxed atomics and traces carry "
+      "one span per strategy, so tracing OFF costs <= 2% over the bare "
+      "strategy call and full JSON tracing stays <= 10%");
+  bench::Table table({"workload", "bare ms", "off ms", "trace ms", "off +%",
+                      "trace +%", "cand", "parity"});
+  int failures = 0;
+  for (const Workload& w : Workloads()) {
+    Run bare, off, trace;
+    DiscardSink sink;
+    Measure(w, /*rounds=*/5, &bare, &off, &trace, &sink);
+    bool off_ok = !OverGate(off.ms, bare.ms, 1.02);
+    bool trace_ok = !OverGate(trace.ms, bare.ms, 1.10);
+    if (!off_ok || !trace_ok) {
+      // A noisy first pass is far more likely than real 2%+ overhead;
+      // re-measure once with more rounds before declaring failure.
+      Measure(w, /*rounds=*/9, &bare, &off, &trace, &sink);
+      off_ok = !OverGate(off.ms, bare.ms, 1.02);
+      trace_ok = !OverGate(trace.ms, bare.ms, 1.10);
+    }
+    double off_pct = (off.ms / bare.ms - 1.0) * 100.0;
+    double trace_pct = (trace.ms / bare.ms - 1.0) * 100.0;
+    bool parity = Parity(bare, off) && Parity(off, trace);
+    table.AddRow({w.name, std::to_string(bare.ms), std::to_string(off.ms),
+                  std::to_string(trace.ms), std::to_string(off_pct),
+                  std::to_string(trace_pct), std::to_string(off.candidates),
+                  parity ? "identical" : "MISMATCH"});
+    report->AddRow(
+        "overhead",
+        {{"workload", bench::JsonReport::Str(w.name)},
+         {"bare_ms", bench::JsonReport::Num(bare.ms)},
+         {"off_ms", bench::JsonReport::Num(off.ms)},
+         {"trace_ms", bench::JsonReport::Num(trace.ms)},
+         {"off_overhead_pct", bench::JsonReport::Num(off_pct)},
+         {"trace_overhead_pct", bench::JsonReport::Num(trace_pct)},
+         {"candidates",
+          bench::JsonReport::Num(static_cast<double>(off.candidates))},
+         {"trace_bytes",
+          bench::JsonReport::Num(static_cast<double>(sink.bytes()))},
+         {"parity", parity ? "true" : "false"}});
+    if (!off_ok) {
+      std::printf("*** tracing-off overhead gate missed on %s: %+.2f%%\n",
+                  w.name.c_str(), off_pct);
+      ++failures;
+    }
+    if (!trace_ok) {
+      std::printf("*** full-trace overhead gate missed on %s: %+.2f%%\n",
+                  w.name.c_str(), trace_pct);
+      ++failures;
+    }
+    if (!parity) {
+      std::printf("*** outcome parity BROKEN on %s\n", w.name.c_str());
+      ++failures;
+    }
+  }
+  table.Print();
+  return gate ? failures : 0;
+}
+
+}  // namespace
+}  // namespace semacyc
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gate") gate = true;
+  }
+  semacyc::bench::JsonReport report(argc, argv, "obs_overhead");
+  return semacyc::OverheadShowdown(&report, gate) == 0 ? 0 : 1;
+}

@@ -21,6 +21,12 @@
 //                 across the four caches (chase half, oracles a quarter,
 //                 rewritings and decisions an eighth each) with LRU
 //                 eviction. Default: unbounded.
+//   --trace[=F]   emit one {"trace": ...} JSON line per decision (nested
+//                 phase spans + counters, core/obs.h) to stdout, or to
+//                 file F; each trace line precedes its decision line.
+//   --metrics     after the run, print Engine::Metrics() (per-strategy /
+//                 per-phase latency histograms + lifetime counters) as
+//                 one {"metrics": ...} JSON line on stdout.
 //
 // Exit code, one-shot: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
 // Exit code, batch: 0 once the schema parsed (per-line errors are reported
@@ -32,12 +38,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/core_min.h"
 #include "core/hypergraph.h"
+#include "core/obs.h"
 #include "core/parser.h"
 #include "deps/classify.h"
 #include "semacyc/engine.h"
@@ -83,9 +91,9 @@ void PrintCacheStatsJson(const char* name, const CacheStats& s,
   std::printf(
       "\"%s\": {\"entries\": %zu, \"bytes\": %zu, \"hits\": %zu, "
       "\"misses\": %zu, \"inserts\": %zu, \"evictions\": %zu, "
-      "\"max_bytes\": %zu}%s",
+      "\"recharged_bytes\": %zu, \"max_bytes\": %zu}%s",
       name, s.entries, s.bytes, s.hits, s.misses, s.inserts, s.evictions,
-      s.max_bytes, trailing_comma ? ", " : "");
+      s.recharged_bytes, s.max_bytes, trailing_comma ? ", " : "");
 }
 
 void PrintStatsJson(const Engine& engine) {
@@ -104,8 +112,12 @@ void PrintStatsJson(const Engine& engine) {
   std::printf("}}}\n");
 }
 
+/// `trace` enables per-decision trace lines; `trace_path` (optional)
+/// redirects them to a file instead of stdout. `print_metrics` dumps
+/// Engine::Metrics() as one JSON line after the batch.
 int RunBatch(const char* schema_path, const char* queries_path,
-             bool print_stats, size_t cache_mb) {
+             bool print_stats, size_t cache_mb, bool trace,
+             const char* trace_path, bool print_metrics) {
   std::ifstream schema_file(schema_path);
   if (!schema_file) {
     std::fprintf(stderr, "cannot open schema file: %s\n", schema_path);
@@ -136,6 +148,19 @@ int RunBatch(const char* schema_path, const char* queries_path,
   EngineOptions options;
   if (cache_mb > 0) {
     options.SetTotalCacheBudget(cache_mb * size_t{1024} * 1024);
+  }
+  std::FILE* trace_out = nullptr;
+  std::optional<obs::JsonLinesSink> sink;
+  if (trace) {
+    if (trace_path != nullptr) {
+      trace_out = std::fopen(trace_path, "w");
+      if (trace_out == nullptr) {
+        std::fprintf(stderr, "cannot open trace file: %s\n", trace_path);
+        return 3;
+      }
+    }
+    sink.emplace(trace_out != nullptr ? trace_out : stdout);
+    options.semac.trace_sink = &*sink;
   }
   Engine engine(*sigma.value, options);
   std::string line;
@@ -174,6 +199,10 @@ int RunBatch(const char* schema_path, const char* queries_path,
                stats.decisions, stats.decision_cache_hits,
                stats.chase_cache_hits, stats.oracle_hits);
   if (print_stats) PrintStatsJson(engine);
+  if (print_metrics) {
+    std::printf("{\"metrics\": %s}\n", engine.Metrics().ToJson().c_str());
+  }
+  if (trace_out != nullptr) std::fclose(trace_out);
   return 0;
 }
 
@@ -227,8 +256,9 @@ int RunOneShot(const char* query_text, const char* sigma_text) {
 void PrintUsage(FILE* out, const char* prog) {
   std::fprintf(out,
                "usage: %s '<query>' '<dependencies>'\n"
-               "       %s [--stats] [--cache-mb <n>] --batch <schema-file> "
-               "[<queries-file>]\n"
+               "       %s [--stats] [--metrics] [--trace[=FILE]] "
+               "[--cache-mb <n>]\n"
+               "          --batch <schema-file> [<queries-file>]\n"
                "       %s --help\n"
                "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
                "  dependencies: tgds 'body -> head' and egds 'body -> x = "
@@ -248,6 +278,15 @@ void PrintUsage(FILE* out, const char* prog) {
                "                (chase 1/2, oracles 1/4, rewrite & "
                "decisions 1/8 each);\n"
                "                default: unbounded\n"
+               "  --trace:      one {\"trace\": ...} JSON line per "
+               "decision (phase spans\n"
+               "                + counters) on stdout, or to FILE with "
+               "--trace=FILE; each\n"
+               "                trace line precedes its decision line\n"
+               "  --metrics:    print Engine::Metrics() (latency "
+               "histograms by strategy\n"
+               "                and phase, lifetime counters) as one JSON "
+               "line after the batch\n"
                "  --help:       print this reference and exit\n"
                "exit codes, one-shot: 0 yes, 1 no, 2 unknown, 3 "
                "usage/parse error\n"
@@ -266,6 +305,9 @@ int Usage(const char* prog) {
 int main(int argc, char** argv) {
   bool batch = false;
   bool print_stats = false;
+  bool trace = false;
+  bool print_metrics = false;
+  const char* trace_path = nullptr;
   size_t cache_mb = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -277,6 +319,14 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace = true;
+      trace_path = argv[i] + 8;
+      if (*trace_path == '\0') return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--cache-mb") == 0) {
       if (i + 1 >= argc) return Usage(argv[0]);
       const char* text = argv[++i];
@@ -304,9 +354,10 @@ int main(int argc, char** argv) {
     if (positional.empty() || positional.size() > 2) return Usage(argv[0]);
     return RunBatch(positional[0],
                     positional.size() >= 2 ? positional[1] : nullptr,
-                    print_stats, cache_mb);
+                    print_stats, cache_mb, trace, trace_path, print_metrics);
   }
-  if (positional.size() != 2 || print_stats || cache_mb > 0) {
+  if (positional.size() != 2 || print_stats || cache_mb > 0 || trace ||
+      print_metrics) {
     return Usage(argv[0]);
   }
   return RunOneShot(positional[0], positional[1]);

@@ -265,6 +265,7 @@ bool IncrementalClassifier::ScratchBerge(int nv) {
 }
 
 bool IncrementalClassifier::PushEdge(const std::vector<int>& verts) {
+  ++pushes_;
   const bool skip_decider = CannotRecover();
   if (depth_ == frames_.size()) frames_.emplace_back();
   Frame& f = frames_[depth_];
@@ -347,6 +348,7 @@ bool IncrementalClassifier::PushEdge(const std::vector<int>& verts) {
 
 void IncrementalClassifier::PopEdge() {
   assert(depth_ > 0);
+  ++pops_;
   Frame& f = frames_[depth_ - 1];
   if (!f.edge.empty()) {
     if (f.new_bad) --bad_components_;

@@ -60,6 +60,12 @@ class IncrementalClassifier {
   size_t depth() const { return depth_; }
   AcyclicityClass target() const { return target_; }
 
+  /// Lifetime push/pop totals (observability counters; never reset —
+  /// traces report deltas). pops() counts PopEdge calls, so at any moment
+  /// pushes() - pops() == depth().
+  size_t pushes() const { return pushes_; }
+  size_t pops() const { return pops_; }
+
  private:
   int Find(int v) const;
   void EnsureVertex(int v);
@@ -110,6 +116,8 @@ class IncrementalClassifier {
   /// keep their buffers for reuse.
   std::vector<Frame> frames_;
   size_t depth_ = 0;
+  size_t pushes_ = 0;
+  size_t pops_ = 0;
   /// Scratch for ComponentMeets: dense vertex remapping by epoch stamps.
   std::vector<int> dense_id_;
   std::vector<unsigned> dense_epoch_;

@@ -1,6 +1,7 @@
 #include "chase/query_chase.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "core/canonical.h"
 #include "core/homomorphism.h"
@@ -22,9 +23,13 @@ const char* ToString(Tri t) {
 QueryChaseResult ChaseQuery(const ConjunctiveQuery& q,
                             const DependencySet& sigma,
                             const ChaseOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
   FrozenQuery frozen = Freeze(q, TermKind::kNull);
   ChaseResult chase = Chase(frozen.instance, sigma, options);
   QueryChaseResult result;
+  result.build_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
   result.instance = std::move(chase.instance);
   result.saturated = chase.saturated;
   result.failed = chase.failed;
@@ -60,6 +65,7 @@ std::shared_ptr<const QueryChaseResult> ChaseIsoMatch::Resolve(
   adapted->saturated = value->saturated;
   adapted->failed = value->failed;
   adapted->steps = value->steps;
+  adapted->build_ns = value->build_ns;
   adapted->var_to_frozen.reserve(value->var_to_frozen.size());
   for (const auto& [var, frozen] : value->var_to_frozen) {
     adapted->var_to_frozen.emplace(Apply(*iso, var), frozen);

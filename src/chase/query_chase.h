@@ -24,6 +24,9 @@ struct QueryChaseResult {
   bool saturated = false;
   bool failed = false;
   size_t steps = 0;
+  /// Wall time of the chase that built this result (observability; a
+  /// cache-served result still reports the original build cost).
+  int64_t build_ns = 0;
 
   /// Approximate heap footprint (cache byte accounting).
   size_t ApproxBytes() const;

@@ -1,6 +1,7 @@
 #include "rewrite/ucq_rewriter.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <unordered_map>
@@ -162,6 +163,7 @@ std::vector<ConjunctiveQuery> Factorizations(const ConjunctiveQuery& p,
 RewriteResult RewriteToUcq(const ConjunctiveQuery& q,
                            const std::vector<Tgd>& tgds,
                            const RewriteOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
   RewriteResult result;
   QueryStore store;
   std::deque<int> worklist;
@@ -270,6 +272,9 @@ RewriteResult RewriteToUcq(const ConjunctiveQuery& q,
 
   result.ucq = UnionQuery(store.queries());
   result.complete = !capped;
+  result.build_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
   return result;
 }
 

@@ -35,6 +35,9 @@ struct RewriteResult {
   /// containment answers.
   bool complete = false;
   size_t steps = 0;
+  /// Wall time of the rewriting build (observability; a cache-served
+  /// rewriting still reports the original build cost).
+  int64_t build_ns = 0;
 
   /// The paper's f_C(q,Σ): the maximal disjunct size (UCQ height).
   size_t Height() const { return ucq.Height(); }

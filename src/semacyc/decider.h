@@ -6,6 +6,10 @@
 
 #include "semacyc/witness_search.h"
 
+namespace semacyc::obs {
+class TraceSink;
+}  // namespace semacyc::obs
+
 namespace semacyc {
 
 /// Answer of the semantic-acyclicity decision procedure.
@@ -68,6 +72,12 @@ struct SemAcOptions {
   /// configuration; every switch changes cost only, never answers — see
   /// WitnessTuning in witness_search.h.
   WitnessTuning witness;
+  /// Structured decision tracing (core/obs.h): when non-null, every
+  /// decision emits one DecisionTrace (nested phase spans + counters) to
+  /// this sink. Null (the default) costs one inlined pointer check per
+  /// phase — counters and answers are bit-identical either way (pinned by
+  /// obs_test's parity sweep). Not owned; must outlive the decisions.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Result of the decision procedure, with a machine-checkable witness.

@@ -1,7 +1,9 @@
 #include "semacyc/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 
@@ -24,10 +26,10 @@ Engine::OracleEntry::OracleEntry(ConjunctiveQuery q,
              /*synchronized=*/true) {}
 
 size_t Engine::OracleEntry::ApproxBytes() const {
-  // The rewriting (when built) is shared with the RewriteCache and by far
-  // the largest resident piece; the memo starts empty and is not
-  // re-charged as it grows.
-  return sizeof(OracleEntry) + query.ApproxBytes();
+  // The rewriting (when built) is shared with the RewriteCache; the memo
+  // is this entry's own growth, folded in so the post-decision Reweigh
+  // keeps the oracle cache's byte accounting honest.
+  return sizeof(OracleEntry) + query.ApproxBytes() + oracle.memo_bytes();
 }
 
 namespace {
@@ -41,6 +43,27 @@ EngineOptions FromLegacyConfig(SemAcOptions options, EngineConfig config) {
   return out;
 }
 
+/// Name tables handed to the MetricsRegistry (core/obs stays below the
+/// decider's enums; the registry indexes rows by the enum values).
+std::vector<std::string> StrategyNames() {
+  std::vector<std::string> out;
+  for (int i = 0; i <= static_cast<int>(Strategy::kBudgetExhausted); ++i) {
+    out.emplace_back(ToString(static_cast<Strategy>(i)));
+  }
+  return out;
+}
+
+std::vector<std::string> AnswerNames() {
+  return {ToString(SemAcAnswer::kYes), ToString(SemAcAnswer::kNo),
+          ToString(SemAcAnswer::kUnknown)};
+}
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 }  // namespace
 
 Engine::Engine(DependencySet sigma, SemAcOptions options, EngineConfig config)
@@ -51,7 +74,9 @@ Engine::Engine(DependencySet sigma, EngineOptions options)
       chase_cache_(options.chase),
       rewrite_cache_(options.rewrite),
       oracles_(options.oracles),
-      decisions_(options.decisions) {
+      decisions_(options.decisions),
+      metrics_(StrategyNames(), AnswerNames()) {
+  obs::PhaseTimer timer(&metrics_, nullptr, obs::Phase::kSchemaAnalyze);
   schema_.sigma = std::move(sigma);
   if (schema_.sigma.HasTgds()) {
     schema_.tgd_classes = Classify(schema_.sigma.tgds);
@@ -60,6 +85,7 @@ Engine::Engine(DependencySet sigma, EngineOptions options)
 }
 
 PreparedQuery Engine::Prepare(const ConjunctiveQuery& q) const {
+  obs::PhaseTimer timer(&metrics_, nullptr, obs::Phase::kPrepare);
   ++prepares_;
   PreparedQuery out;
   out.q_ = q;
@@ -76,11 +102,12 @@ std::shared_ptr<const QueryChaseResult> Engine::ChaseOf(
 }
 
 std::shared_ptr<const Engine::OracleEntry> Engine::OracleFor(
-    const PreparedQuery& q) const {
+    const PreparedQuery& q, bool* built) const {
   // Construction may build the UCQ rewriting — the cache runs the compute
   // outside its locks; a racing build of the same entry keeps the first
   // insert.
   return oracles_.GetOrCompute(q.fingerprint(), q.query(), [&]() {
+    if (built != nullptr) *built = true;
     return std::make_shared<const OracleEntry>(q.query(), schema_, options_,
                                                &rewrite_cache_);
   });
@@ -92,14 +119,65 @@ SemAcResult Engine::Decide(const ConjunctiveQuery& q) const {
 
 SemAcResult Engine::Decide(const PreparedQuery& q) const {
   ++decisions_count_;
+  obs::TraceSink* sink = options_.trace_sink;
+  std::optional<obs::DecisionTracer> tracer;
+  // Root-span cache-delta baselines, read only when tracing. Exact for
+  // serial callers; under concurrent decisions the deltas include the
+  // other threads' traffic (documented in docs/OBSERVABILITY.md).
+  size_t chase_h0 = 0, chase_m0 = 0, rewrite_h0 = 0, rewrite_m0 = 0,
+         oracle_r0 = 0, dec_h0 = 0;
+  if (sink != nullptr) {
+    tracer.emplace();
+    chase_h0 = chase_cache_.hits();
+    chase_m0 = chase_cache_.misses();
+    rewrite_h0 = rewrite_cache_.hits();
+    rewrite_m0 = rewrite_cache_.misses();
+    oracle_r0 = oracles_.hits();
+    dec_h0 = decisions_.hits();
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  bool computed = false;
   std::shared_ptr<const SemAcResult> result =
       decisions_.GetOrCompute(q.fingerprint(), q.query(), [&]() {
-        return std::make_shared<const SemAcResult>(DecideUncached(q));
+        computed = true;
+        return std::make_shared<const SemAcResult>(
+            DecideUncached(q, tracer.has_value() ? &*tracer : nullptr));
       });
+  int64_t ns = ElapsedNs(t0);
+  metrics_.RecordDecision(static_cast<size_t>(result->strategy),
+                          static_cast<size_t>(result->answer), ns, !computed);
+  metrics_.RecordPhase(obs::Phase::kDecision, ns);
+  // Honest oracle accounting: the pipeline may have grown this query's
+  // oracle memo; re-charge its cache entry against the byte budget.
+  if (computed) oracles_.Reweigh(q.fingerprint(), q.query());
+  if (tracer.has_value()) {
+    auto delta = [](size_t now, size_t before) {
+      return static_cast<int64_t>(now - before);
+    };
+    tracer->AddCounter(0, "candidates_tested",
+                       static_cast<int64_t>(result->candidates_tested));
+    tracer->AddCounter(0, "chase_cache_hits",
+                       delta(chase_cache_.hits(), chase_h0));
+    tracer->AddCounter(0, "chase_cache_misses",
+                       delta(chase_cache_.misses(), chase_m0));
+    tracer->AddCounter(0, "rewrite_cache_hits",
+                       delta(rewrite_cache_.hits(), rewrite_h0));
+    tracer->AddCounter(0, "rewrite_cache_misses",
+                       delta(rewrite_cache_.misses(), rewrite_m0));
+    tracer->AddCounter(0, "oracle_reuses", delta(oracles_.hits(), oracle_r0));
+    tracer->AddCounter(0, "decision_cache_hits",
+                       delta(decisions_.hits(), dec_h0));
+    obs::DecisionTrace trace =
+        tracer->Finish(q.query().ToString(), ToString(result->answer),
+                       ToString(result->strategy), !computed);
+    sink->Consume(trace);
+    metrics_.Add(obs::Counter::kTracesEmitted, 1);
+  }
   return *result;
 }
 
-SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
+SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
+                                   obs::DecisionTracer* tracer) const {
   const ConjunctiveQuery& q = pq.query();
   const DependencySet& sigma = schema_.sigma;
   const acyclic::AcyclicityClass target = options_.target_class;
@@ -129,21 +207,36 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
   // up to isomorphism, and β/γ/Berge-acyclicity are hereditary under atom
   // removal, so any witness q' ≡ q yields the (isomorphic) core of q as a
   // witness too. (For α the same completeness is the §1 classical result.)
-  ConjunctiveQuery core = ComputeCore(q);
-  if (MeetsAcyclicityClass(core.body(), ConnectingTerms::kVariables, target)) {
-    accept(core, Strategy::kCore);
-    return result;
-  }
-  if (sigma.size() == 0) {
-    result.answer = SemAcAnswer::kNo;
-    result.strategy = Strategy::kCore;
-    result.exact = true;
-    return result;
+  {
+    obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kCore);
+    ConjunctiveQuery core = ComputeCore(q);
+    if (MeetsAcyclicityClass(core.body(), ConnectingTerms::kVariables,
+                             target)) {
+      accept(core, Strategy::kCore);
+      return result;
+    }
+    if (sigma.size() == 0) {
+      result.answer = SemAcAnswer::kNo;
+      result.strategy = Strategy::kCore;
+      result.exact = true;
+      return result;
+    }
   }
 
   // Chase once; shared by the remaining strategies (and, through the
-  // chase cache, by every other call for this query).
-  std::shared_ptr<const QueryChaseResult> chase_ptr = ChaseOf(q);
+  // chase cache, by every other call for this query). The span measures
+  // acquisition — a cache hit closes in microseconds, and build_ns still
+  // reports what the original computation cost.
+  std::shared_ptr<const QueryChaseResult> chase_ptr;
+  {
+    obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kChase);
+    chase_ptr = ChaseOf(q);
+    timer.Counter("steps", static_cast<int64_t>(chase_ptr->steps));
+    timer.Counter("build_ns", chase_ptr->build_ns);
+    timer.Counter("saturated", chase_ptr->saturated ? 1 : 0);
+    timer.Counter("atoms",
+                  static_cast<int64_t>(chase_ptr->instance.atoms().size()));
+  }
   const QueryChaseResult& chase = *chase_ptr;
   if (chase.failed) {
     // q is unsatisfiable on every model of Σ; any acyclic query that is
@@ -158,21 +251,71 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
   // Persistent per-query oracle (memo/rewriting survive across calls); a
   // disabled oracle cache hands out a transient one, mirroring the
   // free-function path. The lease keeps it alive past any eviction.
-  std::shared_ptr<const OracleEntry> lease = OracleFor(pq);
+  std::shared_ptr<const OracleEntry> lease;
+  {
+    obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kOracle);
+    bool built = false;
+    lease = OracleFor(pq, &built);
+    const std::shared_ptr<const RewriteResult>& rw = lease->oracle.rewriting();
+    if (rw != nullptr) {
+      // Rewriting cost attributed only when this call built the oracle —
+      // a reused oracle's rewriting was paid for (and recorded) earlier.
+      if (built) metrics_.RecordPhase(obs::Phase::kRewrite, rw->build_ns);
+      if (tracer != nullptr) {
+        tracer->CounterSpan(
+            obs::Phase::kRewrite,
+            {{"build_ns", rw->build_ns},
+             {"disjuncts", static_cast<int64_t>(rw->ucq.disjuncts().size())},
+             {"complete", rw->complete ? 1 : 0}});
+      }
+    }
+    timer.Counter("built", built ? 1 : 0);
+    timer.Counter("exact", lease->oracle.exact() ? 1 : 0);
+  }
   const ContainmentOracle* oracle = &lease->oracle;
+
+  // Per-decision oracle-memo deltas, harvested on every exit path below:
+  // the memo counters live on the (shared, possibly reused) oracle, so
+  // this decision's share is the difference.
+  struct OracleMemoDeltas {
+    const ContainmentOracle* oracle;
+    obs::MetricsRegistry* metrics;
+    obs::DecisionTracer* tracer;
+    size_t h0, m0, p0;
+    ~OracleMemoDeltas() {
+      size_t dh = oracle->cache_hits() - h0;
+      size_t dm = oracle->cache_misses() - m0;
+      size_t dp = oracle->prefiltered() - p0;
+      metrics->Add(obs::Counter::kOracleMemoHits, dh);
+      metrics->Add(obs::Counter::kOracleMemoMisses, dm);
+      metrics->Add(obs::Counter::kOraclePrefiltered, dp);
+      if (tracer != nullptr) {
+        tracer->AddCounter(0, "oracle_memo_hits", static_cast<int64_t>(dh));
+        tracer->AddCounter(0, "oracle_memo_misses", static_cast<int64_t>(dm));
+        tracer->AddCounter(0, "oracle_prefiltered", static_cast<int64_t>(dp));
+      }
+    }
+  } memo_deltas{oracle,
+                &metrics_,
+                tracer,
+                oracle->cache_hits(),
+                oracle->cache_misses(),
+                oracle->prefiltered()};
 
   // Strategy 2: the chase itself is acyclic -> compact it (Lemma 9). The
   // compaction preserves α-acyclicity only, so for stricter targets the
   // compacted witness is re-classified and kept only when it qualifies.
-  if (chase.saturated &&
-      IsAcyclic(chase.instance.atoms(), ConnectingTerms::kAllTerms)) {
-    std::optional<CompactionResult> compact =
-        CompactAcyclicWitness(q, chase.instance, chase.frozen_head);
-    if (compact.has_value() &&
-        MeetsAcyclicityClass(compact->witness.body(),
-                             ConnectingTerms::kVariables, target)) {
-      accept(compact->witness, Strategy::kChaseCompaction);
-      return result;
+  if (chase.saturated) {
+    obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kCompaction);
+    if (IsAcyclic(chase.instance.atoms(), ConnectingTerms::kAllTerms)) {
+      std::optional<CompactionResult> compact =
+          CompactAcyclicWitness(q, chase.instance, chase.frozen_head);
+      if (compact.has_value() &&
+          MeetsAcyclicityClass(compact->witness.body(),
+                               ConnectingTerms::kVariables, target)) {
+        accept(compact->witness, Strategy::kChaseCompaction);
+        return result;
+      }
     }
   }
 
@@ -182,9 +325,14 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
 
   // Strategy 3: homomorphic images of q inside the chase.
   if (options_.enable_images) {
+    obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kImages);
     WitnessSearchOutcome images = FindWitnessInQueryImages(
         q, chase, *oracle, options_.image_homs, target, options_.witness);
     result.candidates_tested += images.candidates_tested;
+    metrics_.Add(obs::Counter::kCandidatesTested, images.candidates_tested);
+    timer.Counter("candidates_tested",
+                  static_cast<int64_t>(images.candidates_tested));
+    timer.Counter("exhausted", images.exhausted ? 1 : 0);
     if (images.answer == Tri::kYes) {
       accept(std::move(*images.witness), Strategy::kImages);
       return result;
@@ -193,10 +341,27 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
 
   // Strategy 4: target-acyclic sub-instances of the chase.
   if (options_.enable_subsets) {
+    obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kSubsets);
     WitnessSearchOutcome subsets = FindWitnessInChaseSubsets(
         q, chase, *oracle, bound, options_.subset_budget, target,
         options_.witness);
     result.candidates_tested += subsets.candidates_tested;
+    metrics_.Add(obs::Counter::kCandidatesTested, subsets.candidates_tested);
+    metrics_.Add(obs::Counter::kEnumVisits, subsets.visits);
+    metrics_.Add(obs::Counter::kClassifierPushes, subsets.classifier_pushes);
+    metrics_.Add(obs::Counter::kClassifierPops, subsets.classifier_pops);
+    timer.Counter("candidates_tested",
+                  static_cast<int64_t>(subsets.candidates_tested));
+    timer.Counter("visits", static_cast<int64_t>(subsets.visits));
+    timer.Counter("classifier_pushes",
+                  static_cast<int64_t>(subsets.classifier_pushes));
+    timer.Counter("classifier_pops",
+                  static_cast<int64_t>(subsets.classifier_pops));
+    timer.Counter("budget", static_cast<int64_t>(options_.subset_budget));
+    timer.Counter("budget_remaining",
+                  static_cast<int64_t>(options_.subset_budget -
+                                       std::min(subsets.visits,
+                                                options_.subset_budget)));
     if (subsets.answer == Tri::kYes) {
       accept(std::move(*subsets.witness), Strategy::kSubsets);
       return result;
@@ -205,10 +370,50 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq) const {
 
   // Strategy 5: exhaustive canonical enumeration up to the bound.
   if (options_.enable_exhaustive) {
+    obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kEnumerate);
     WitnessSearchOutcome exhaustive = ExhaustiveWitnessSearch(
         q, sigma, chase, *oracle, bound, options_.exhaustive_budget, target,
         options_.witness);
     result.candidates_tested += exhaustive.candidates_tested;
+    metrics_.Add(obs::Counter::kCandidatesTested,
+                 exhaustive.candidates_tested);
+    metrics_.Add(obs::Counter::kEnumVisits, exhaustive.visits);
+    metrics_.Add(obs::Counter::kClassifierPushes,
+                 exhaustive.classifier_pushes);
+    metrics_.Add(obs::Counter::kClassifierPops, exhaustive.classifier_pops);
+    metrics_.Add(obs::Counter::kHomPushes, exhaustive.hom.pushes);
+    metrics_.Add(obs::Counter::kHomDomainWipeouts, exhaustive.hom.fc_rejects);
+    metrics_.Add(obs::Counter::kHomExtends, exhaustive.hom.extends);
+    metrics_.Add(obs::Counter::kHomRepairs, exhaustive.hom.repairs);
+    metrics_.Add(obs::Counter::kHomRepairFails, exhaustive.hom.repair_fails);
+    metrics_.Add(obs::Counter::kHomDeadPrefix, exhaustive.hom.dead_prefix);
+    timer.Counter("candidates_tested",
+                  static_cast<int64_t>(exhaustive.candidates_tested));
+    timer.Counter("visits", static_cast<int64_t>(exhaustive.visits));
+    timer.Counter("classifier_pushes",
+                  static_cast<int64_t>(exhaustive.classifier_pushes));
+    timer.Counter("classifier_pops",
+                  static_cast<int64_t>(exhaustive.classifier_pops));
+    timer.Counter("budget", static_cast<int64_t>(options_.exhaustive_budget));
+    timer.Counter(
+        "budget_remaining",
+        static_cast<int64_t>(options_.exhaustive_budget -
+                             std::min(exhaustive.visits,
+                                      options_.exhaustive_budget)));
+    if (tracer != nullptr && exhaustive.hom.pushes > 0) {
+      // Counter-only child span: the per-push hom session is the hot loop,
+      // so its telemetry is harvested once from the strategy's own
+      // bookkeeping instead of timing individual pushes.
+      tracer->CounterSpan(
+          obs::Phase::kHomCheck,
+          {{"pushes", static_cast<int64_t>(exhaustive.hom.pushes)},
+           {"domain_wipeouts", static_cast<int64_t>(exhaustive.hom.fc_rejects)},
+           {"extends", static_cast<int64_t>(exhaustive.hom.extends)},
+           {"repairs", static_cast<int64_t>(exhaustive.hom.repairs)},
+           {"repair_fails", static_cast<int64_t>(exhaustive.hom.repair_fails)},
+           {"dead_prefix",
+            static_cast<int64_t>(exhaustive.hom.dead_prefix)}});
+    }
     if (exhaustive.answer == Tri::kYes) {
       accept(std::move(*exhaustive.witness), Strategy::kExhaustive);
       return result;
@@ -405,6 +610,8 @@ ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
       std::min<size_t>(pq.small_query_bound(), options_.witness_atoms_cap);
   out.result.candidates = CollectApproximationCandidates(
       *chase, *oracle, bound, options_.subset_budget);
+  // The candidate sweep grows the oracle memo; re-charge its cache entry.
+  oracles_.Reweigh(pq.fingerprint(), pq.query());
   out.result.candidates.push_back(
       TrivialAcyclicUnderApproximation(pq.query()));
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/fingerprint_cache.h"
+#include "core/obs.h"
 #include "deps/classify.h"
 #include "eval/yannakakis.h"
 #include "semacyc/approximation.h"
@@ -126,9 +127,10 @@ struct EngineOptions {
   /// rarely needs a budget of its own.
   CacheConfig rewrite;
   /// Persistent per-query containment oracles (iso-resolved). Default:
-  /// enabled, unbounded. NOTE: an oracle's memo grows after insertion
-  /// and is not re-charged against the byte budget — leave headroom, or
-  /// bound by max_entries instead of max_bytes.
+  /// enabled, unbounded. An oracle's memo grows after insertion; the
+  /// Engine re-charges the entry after each decision that used it
+  /// (FingerprintCache::Reweigh), so byte budgets stay honest — the
+  /// growth shows up as CacheStats::recharged_bytes.
   CacheConfig oracles;
   /// Decision results for repeat (or isomorphic) queries. Default:
   /// enabled, unbounded. Entries are small; disable only to measure the
@@ -278,6 +280,14 @@ class Engine {
   /// stats(), which returns the flat EngineStats aggregate.
   EngineCacheStats Stats() const;
 
+  /// Process-lifetime decision metrics (core/obs.h): per-strategy and
+  /// per-answer decision counts, per-strategy and per-phase latency
+  /// histograms, hot-path counters. Always maintained (no sink needed);
+  /// safe concurrently with decisions. JSON round-trips via
+  /// MetricsSnapshot::ToJson/FromJson — the payload for the ROADMAP's
+  /// future `semacycd /stats` endpoint.
+  obs::MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+
   /// Explicit pressure relief: drops every resident cache entry (chase
   /// memo, rewritings, oracles, decisions). Counters survive; the drops
   /// count as evictions. In-flight decisions keep the shared_ptrs they
@@ -293,19 +303,26 @@ class Engine {
     ContainmentOracle oracle;
     OracleEntry(ConjunctiveQuery q, const PreparedSchema& schema,
                 const SemAcOptions& options, RewriteCache* rewrite_cache);
-    /// Charged at insert time; the memo grows afterwards without being
-    /// re-charged (see EngineOptions::oracles).
+    /// Includes the oracle memo's running footprint, so the post-decision
+    /// Reweigh keeps the cache's byte accounting honest as memos grow
+    /// (see EngineOptions::oracles).
     size_t ApproxBytes() const;
   };
 
-  SemAcResult DecideUncached(const PreparedQuery& q) const;
+  /// `tracer` is non-null exactly when options_.trace_sink is set; every
+  /// instrumentation site guards on it (null = counters only).
+  SemAcResult DecideUncached(const PreparedQuery& q,
+                             obs::DecisionTracer* tracer) const;
   std::shared_ptr<const QueryChaseResult> ChaseOf(
       const ConjunctiveQuery& q) const;
   /// The persistent oracle for q, created on first use. The shared_ptr
   /// keeps the entry alive across a concurrent eviction; with the oracle
   /// cache disabled the entry is transient (computed, served, not stored),
-  /// mirroring the free-function path.
-  std::shared_ptr<const OracleEntry> OracleFor(const PreparedQuery& q) const;
+  /// mirroring the free-function path. `built` (optional) reports whether
+  /// this call constructed the oracle (observability: attributes the
+  /// rewriting's build cost to the decision that paid it).
+  std::shared_ptr<const OracleEntry> OracleFor(const PreparedQuery& q,
+                                               bool* built = nullptr) const;
   /// q1 ⊆Σ q2 through the chase cache (Lemma 1).
   Tri ContainedUnderCached(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) const;
@@ -320,6 +337,10 @@ class Engine {
 
   mutable std::atomic<size_t> prepares_{0};
   mutable std::atomic<size_t> decisions_count_{0};
+
+  /// Lifetime metrics (atomic counters + latency histograms); last member
+  /// so the caches it describes are constructed first.
+  mutable obs::MetricsRegistry metrics_;
 };
 
 }  // namespace semacyc

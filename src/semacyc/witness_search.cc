@@ -288,6 +288,12 @@ size_t ContainmentOracle::prefiltered() const {
   return prefiltered_;
 }
 
+size_t ContainmentOracle::memo_bytes() const {
+  if (!synchronized_) return memo_bytes_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_bytes_;
+}
+
 Tri ContainmentOracle::ContainedInQLocked(
     const ConjunctiveQuery& candidate) const {
   if (!memoize_) return Decide(candidate);
@@ -310,6 +316,11 @@ Tri ContainmentOracle::ContainedInQLocked(
   }
   ++misses_;
   Tri answer = Decide(candidate);
+  // Running memo footprint for honest cache accounting: the candidate
+  // copy plus pair/bucket bookkeeping (an empty bucket also costs a map
+  // node, folded into the per-entry constant).
+  memo_bytes_ += candidate.ApproxBytes() +
+                 sizeof(std::pair<ConjunctiveQuery, Tri>) + 4 * sizeof(void*);
   bucket.push_back({candidate, answer});
   return answer;
 }
@@ -542,11 +553,18 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
     return false;
   };
 
+  bool found = false;
   for (size_t limit = 1; limit <= max_atoms && !truncated; ++limit) {
     subset.clear();
-    if (dfs(0, limit)) return outcome;
+    if (dfs(0, limit)) {
+      found = true;
+      break;
+    }
   }
-  outcome.exhausted = !truncated;
+  if (!found) outcome.exhausted = !truncated;
+  outcome.visits = visits;
+  outcome.classifier_pushes = inc.pushes();
+  outcome.classifier_pops = inc.pops();
   return outcome;
 }
 
@@ -644,6 +662,10 @@ class CandidateEnumerator {
     std::vector<int> block(k, -1);
     EnumerateHeadPatterns(0, &block, 0);
     outcome_.exhausted = !truncated_;
+    outcome_.visits = visits_;
+    outcome_.classifier_pushes = inc_.pushes();
+    outcome_.classifier_pops = inc_.pops();
+    if (use_inc_hom_) outcome_.hom = hom_.stats();
     return outcome_;
   }
 

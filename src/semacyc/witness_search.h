@@ -13,6 +13,7 @@
 
 #include "acyclic/classify.h"
 #include "chase/query_chase.h"
+#include "core/incremental_hom.h"
 #include "deps/classify.h"
 #include "rewrite/ucq_rewriter.h"
 
@@ -100,6 +101,15 @@ class ContainmentOracle {
   bool exact() const { return exact_; }
   /// Whether the cached-rewriting fast path is active.
   bool uses_rewriting() const { return rewriting_ != nullptr; }
+  /// The cached rewriting itself (null when inactive) — observability:
+  /// its build_ns attributes REWRITE cost inside oracle construction.
+  const std::shared_ptr<const RewriteResult>& rewriting() const {
+    return rewriting_;
+  }
+  /// Approximate heap bytes of the memo, maintained at each insert. The
+  /// honest-accounting hook: the Engine folds this into OracleEntry::
+  /// ApproxBytes and re-charges its oracle cache after each decision.
+  size_t memo_bytes() const;
   /// Memoization counters (hits are answers served without a chase or
   /// rewriting evaluation; prefiltered counts instant-NO rejections).
   /// Synchronized oracles read them under the same lock as ContainedInQ.
@@ -154,6 +164,7 @@ class ContainmentOracle {
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;
   mutable size_t prefiltered_ = 0;
+  mutable size_t memo_bytes_ = 0;
 };
 
 /// Per-candidate machinery switches for the witness strategies. The
@@ -188,6 +199,15 @@ struct WitnessSearchOutcome {
   /// to stopping on a budget); needed for kNo claims.
   bool exhausted = false;
   size_t candidates_tested = 0;
+  /// Observability counters, filled from the strategy's own bookkeeping
+  /// at return (zero-cost: nothing new runs on the search path). `visits`
+  /// is DFS nodes visited — the unit the budget is charged in.
+  size_t visits = 0;
+  size_t classifier_pushes = 0;
+  size_t classifier_pops = 0;
+  /// Incremental chase-homomorphism session totals (exhaustive strategy
+  /// with tuning.incremental_hom only; all-zero otherwise).
+  IncrementalHomomorphism::Stats hom;
 };
 
 /// Every strategy takes a `target` acyclicity class: candidates are kept
