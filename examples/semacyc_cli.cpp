@@ -27,6 +27,10 @@
 //   --metrics     after the run, print Engine::Metrics() (per-strategy /
 //                 per-phase latency histograms + lifetime counters) as
 //                 one {"metrics": ...} JSON line on stdout.
+//   --deadline-ms N  wall-clock budget per decision (one-shot and batch):
+//                 an elapsed deadline aborts that decision gracefully —
+//                 answer "unknown", strategy "deadline-exceeded" — and the
+//                 batch continues with the next line.
 //
 // Exit code, one-shot: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
 // Exit code, batch: 0 once the schema parsed (per-line errors are reported
@@ -102,9 +106,10 @@ void PrintStatsJson(const Engine& engine) {
   std::printf(
       "{\"stats\": {\"prepares\": %zu, \"decisions\": %zu, "
       "\"oracle_hits\": %zu, \"oracle_misses\": %zu, "
-      "\"oracle_prefiltered\": %zu, \"caches\": {",
+      "\"oracle_prefiltered\": %zu, \"deadline_ms\": %lld, \"caches\": {",
       agg.prepares, agg.decisions, agg.oracle_hits, agg.oracle_misses,
-      agg.oracle_prefiltered);
+      agg.oracle_prefiltered,
+      static_cast<long long>(engine.options().deadline_ms));
   PrintCacheStatsJson("chase", caches.chase, true);
   PrintCacheStatsJson("rewrite", caches.rewrite, true);
   PrintCacheStatsJson("oracles", caches.oracles, true);
@@ -117,7 +122,8 @@ void PrintStatsJson(const Engine& engine) {
 /// Engine::Metrics() as one JSON line after the batch.
 int RunBatch(const char* schema_path, const char* queries_path,
              bool print_stats, size_t cache_mb, bool trace,
-             const char* trace_path, bool print_metrics) {
+             const char* trace_path, bool print_metrics,
+             int64_t deadline_ms) {
   std::ifstream schema_file(schema_path);
   if (!schema_file) {
     std::fprintf(stderr, "cannot open schema file: %s\n", schema_path);
@@ -146,6 +152,7 @@ int RunBatch(const char* schema_path, const char* queries_path,
   // One Engine for the whole stream: Σ is analyzed once and every
   // repeated (or isomorphic) query is served from the shared caches.
   EngineOptions options;
+  options.semac.deadline_ms = deadline_ms;
   if (cache_mb > 0) {
     options.SetTotalCacheBudget(cache_mb * size_t{1024} * 1024);
   }
@@ -171,24 +178,39 @@ int RunBatch(const char* schema_path, const char* queries_path,
     if (!q.ok()) {
       std::printf("{\"query\": \"%s\", \"error\": \"%s\"}\n",
                   JsonEscape(line).c_str(), JsonEscape(q.error).c_str());
+      std::fflush(stdout);
       continue;
     }
-    PreparedQuery pq = engine.Prepare(*q.value);
-    SemAcResult result = engine.Decide(pq);
-    std::printf(
-        "{\"query\": \"%s\", \"answer\": \"%s\", \"strategy\": \"%s\", "
-        "\"exact\": %s, \"class\": \"%s\", \"bound\": %zu, "
-        "\"bound_justified\": %s, \"candidates\": %zu",
-        JsonEscape(q->ToString()).c_str(), ToString(result.answer),
-        ToString(result.strategy), result.exact ? "true" : "false",
-        ToString(pq.acyclicity_class()), result.small_query_bound,
-        result.bound_justified ? "true" : "false", result.candidates_tested);
-    if (result.witness.has_value()) {
-      std::printf(", \"witness\": \"%s\", \"witness_class\": \"%s\"",
-                  JsonEscape(result.witness->ToString()).c_str(),
-                  ToString(result.witness_class));
+    // A malformed-but-parseable line (e.g. arity drift across atoms, a
+    // pathological query that trips an internal invariant) must not take
+    // the batch down: report it as a structured error and keep going,
+    // exactly like a parse failure.
+    try {
+      PreparedQuery pq = engine.Prepare(*q.value);
+      SemAcResult result = engine.Decide(pq);
+      std::printf(
+          "{\"query\": \"%s\", \"answer\": \"%s\", \"strategy\": \"%s\", "
+          "\"exact\": %s, \"class\": \"%s\", \"bound\": %zu, "
+          "\"bound_justified\": %s, \"candidates\": %zu",
+          JsonEscape(q->ToString()).c_str(), ToString(result.answer),
+          ToString(result.strategy), result.exact ? "true" : "false",
+          ToString(pq.acyclicity_class()), result.small_query_bound,
+          result.bound_justified ? "true" : "false",
+          result.candidates_tested);
+      if (deadline_ms > 0) {
+        std::printf(", \"deadline_ms\": %lld",
+                    static_cast<long long>(deadline_ms));
+      }
+      if (result.witness.has_value()) {
+        std::printf(", \"witness\": \"%s\", \"witness_class\": \"%s\"",
+                    JsonEscape(result.witness->ToString()).c_str(),
+                    ToString(result.witness_class));
+      }
+      std::printf("}\n");
+    } catch (const std::exception& e) {
+      std::printf("{\"query\": \"%s\", \"error\": \"internal: %s\"}\n",
+                  JsonEscape(line).c_str(), JsonEscape(e.what()).c_str());
     }
-    std::printf("}\n");
     std::fflush(stdout);
   }
 
@@ -206,7 +228,8 @@ int RunBatch(const char* schema_path, const char* queries_path,
   return 0;
 }
 
-int RunOneShot(const char* query_text, const char* sigma_text) {
+int RunOneShot(const char* query_text, const char* sigma_text,
+               int64_t deadline_ms) {
   ParseResult<ConjunctiveQuery> q = ParseQuery(query_text);
   if (!q.ok()) {
     std::fprintf(stderr, "query parse error: %s\n", q.error.c_str());
@@ -230,7 +253,14 @@ int RunOneShot(const char* query_text, const char* sigma_text) {
                 IsK2Set(sigma->egds) ? " (K2: keys over arity <= 2)" : "");
   }
 
-  SemAcResult result = DecideSemanticAcyclicity(*q.value, *sigma.value);
+  SemAcOptions semac;
+  semac.deadline_ms = deadline_ms;
+  SemAcResult result = DecideSemanticAcyclicity(*q.value, *sigma.value, semac);
+  if (result.strategy == Strategy::kDeadlineExceeded) {
+    std::printf("deadline:   exceeded after %lld ms (answer is unknown; "
+                "retry without --deadline-ms for the exact result)\n",
+                static_cast<long long>(deadline_ms));
+  }
   std::printf(
       "semantically acyclic: %s (strategy: %s, exact: %s, bound %zu%s)\n",
       ToString(result.answer), ToString(result.strategy),
@@ -255,10 +285,11 @@ int RunOneShot(const char* query_text, const char* sigma_text) {
 /// the two in sync.
 void PrintUsage(FILE* out, const char* prog) {
   std::fprintf(out,
-               "usage: %s '<query>' '<dependencies>'\n"
+               "usage: %s [--deadline-ms <n>] '<query>' '<dependencies>'\n"
                "       %s [--stats] [--metrics] [--trace[=FILE]] "
                "[--cache-mb <n>]\n"
-               "          --batch <schema-file> [<queries-file>]\n"
+               "          [--deadline-ms <n>] --batch <schema-file> "
+               "[<queries-file>]\n"
                "       %s --help\n"
                "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
                "  dependencies: tgds 'body -> head' and egds 'body -> x = "
@@ -287,6 +318,13 @@ void PrintUsage(FILE* out, const char* prog) {
                "histograms by strategy\n"
                "                and phase, lifetime counters) as one JSON "
                "line after the batch\n"
+               "  --deadline-ms: wall-clock budget per decision in ms; an "
+               "elapsed\n"
+               "                deadline aborts that decision gracefully "
+               "(answer unknown,\n"
+               "                strategy deadline-exceeded) and the run "
+               "continues;\n"
+               "                default: none\n"
                "  --help:       print this reference and exit\n"
                "exit codes, one-shot: 0 yes, 1 no, 2 unknown, 3 "
                "usage/parse error\n"
@@ -309,6 +347,7 @@ int main(int argc, char** argv) {
   bool print_metrics = false;
   const char* trace_path = nullptr;
   size_t cache_mb = 0;
+  int64_t deadline_ms = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
@@ -346,6 +385,24 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       cache_mb = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const char* text = argv[++i];
+      // Same validation shape as --cache-mb: digits only (strtoull would
+      // silently wrap "-1"), no zero (0 already means "no deadline"), no
+      // values that overflow the int64 the options carry.
+      if (*text == '\0') return Usage(argv[0]);
+      for (const char* c = text; *c != '\0'; ++c) {
+        if (*c < '0' || *c > '9') return Usage(argv[0]);
+      }
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(text, &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0' || n == 0 ||
+          n > static_cast<unsigned long long>(INT64_MAX)) {
+        return Usage(argv[0]);
+      }
+      deadline_ms = static_cast<int64_t>(n);
     } else {
       positional.push_back(argv[i]);
     }
@@ -354,11 +411,12 @@ int main(int argc, char** argv) {
     if (positional.empty() || positional.size() > 2) return Usage(argv[0]);
     return RunBatch(positional[0],
                     positional.size() >= 2 ? positional[1] : nullptr,
-                    print_stats, cache_mb, trace, trace_path, print_metrics);
+                    print_stats, cache_mb, trace, trace_path, print_metrics,
+                    deadline_ms);
   }
   if (positional.size() != 2 || print_stats || cache_mb > 0 || trace ||
       print_metrics) {
     return Usage(argv[0]);
   }
-  return RunOneShot(positional[0], positional[1]);
+  return RunOneShot(positional[0], positional[1], deadline_ms);
 }

@@ -28,6 +28,7 @@ Exit code: 0 = no regressions (or nothing comparable), 1 = regressions,
 
 import argparse
 import json
+import math
 import re
 import sys
 from pathlib import Path
@@ -41,18 +42,36 @@ def is_timing_key(key):
 
 
 def as_float(value):
+    """Numeric value of a row field, or None. Booleans are identity-like
+    flags, and non-finite numbers (a truncated write can leave NaN/Infinity,
+    which Python's json accepts) would poison both identity matching and
+    the ratio math — treat all of them as non-numeric."""
+    if isinstance(value, bool):
+        return None
     try:
-        return float(value)
+        num = float(value)
     except (TypeError, ValueError):
         return None
+    return num if math.isfinite(num) else None
 
 
 def load_rows(path):
-    """Yields (section, identity, {timing_key: float}) for one report."""
+    """Yields (section, identity, {timing_key: float}) for one report.
+
+    A corrupt or truncated report — unreadable bytes, invalid JSON, or
+    JSON of the wrong shape — is warned about and treated as missing, so
+    one bad artifact degrades coverage instead of failing the diff job.
+    """
     try:
+        # ValueError covers json.JSONDecodeError and the UnicodeDecodeError
+        # a binary-garbage file raises from read_text().
         data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as err:
+    except (OSError, ValueError) as err:
         print(f"warning: skipping unreadable {path.name}: {err}")
+        return
+    if not isinstance(data, dict):
+        print(f"warning: skipping {path.name}: expected a JSON object, "
+              f"got {type(data).__name__}")
         return
     seen = {}
     for section, rows in data.items():

@@ -9,9 +9,11 @@ namespace {
 
 /// Finds one violating homomorphism for `egd` (body maps, equality fails).
 std::optional<Substitution> FindViolation(const Instance& instance,
-                                          const Egd& egd) {
+                                          const Egd& egd,
+                                          CancelToken* cancel) {
   HomOptions options;
   options.max_solutions = 0;
+  options.cancel = cancel;
   HomResult result = FindHomomorphisms(egd.body(), instance, options);
   for (Substitution& h : result.solutions) {
     if (Apply(h, egd.lhs()) != Apply(h, egd.rhs())) return std::move(h);
@@ -22,7 +24,7 @@ std::optional<Substitution> FindViolation(const Instance& instance,
 }  // namespace
 
 EgdChaseResult ChaseEgds(const Instance& start, const std::vector<Egd>& egds,
-                         Substitution* term_map) {
+                         Substitution* term_map, CancelToken* cancel) {
   EgdChaseResult result;
   result.instance = start;
   if (egds.empty()) return result;
@@ -32,7 +34,18 @@ EgdChaseResult ChaseEgds(const Instance& start, const std::vector<Egd>& egds,
     progress = false;
     for (const Egd& egd : egds) {
       while (true) {
-        std::optional<Substitution> h = FindViolation(result.instance, egd);
+        if (cancel != nullptr && cancel->Poll()) {
+          // A violation may remain unrepaired; the caller must treat the
+          // instance as an unfinished fixpoint, never as satisfied.
+          result.truncated = true;
+          return result;
+        }
+        std::optional<Substitution> h =
+            FindViolation(result.instance, egd, cancel);
+        if (cancel != nullptr && cancel->triggered()) {
+          result.truncated = true;
+          return result;
+        }
         if (!h.has_value()) break;
         Term a = Apply(*h, egd.lhs());
         Term b = Apply(*h, egd.rhs());

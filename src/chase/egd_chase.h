@@ -3,6 +3,7 @@
 
 #include "chase/dependency.h"
 #include "core/instance.h"
+#include "core/interrupt.h"
 
 namespace semacyc {
 
@@ -13,6 +14,10 @@ struct EgdChaseResult {
   bool failed = false;
   /// True iff at least one merge happened.
   bool changed = false;
+  /// True iff cancellation stopped the run before the fixpoint: the
+  /// instance may still hold unrepaired violations and must not be
+  /// treated as egd-satisfying.
+  bool truncated = false;
   size_t merges = 0;
 };
 
@@ -25,8 +30,12 @@ struct EgdChaseResult {
 ///
 /// `term_map`, when non-null, accumulates the merges: after the call,
 /// resolving any prior term through the map yields its representative.
+/// `cancel` (nullptr = not cancellable) is polled per repaired violation
+/// and inside the violation search; a fired token returns early with
+/// `truncated` set.
 EgdChaseResult ChaseEgds(const Instance& start, const std::vector<Egd>& egds,
-                         Substitution* term_map = nullptr);
+                         Substitution* term_map = nullptr,
+                         CancelToken* cancel = nullptr);
 
 }  // namespace semacyc
 

@@ -75,11 +75,20 @@ std::shared_ptr<const QueryChaseResult> ChaseIsoMatch::Resolve(
 
 std::shared_ptr<const QueryChaseResult> QueryChaseCache::GetOrCompute(
     const ConjunctiveQuery& q, const DependencySet& sigma,
-    const ChaseOptions& options) {
-  return cache_.GetOrCompute(q, [&]() {
-    return std::make_shared<const QueryChaseResult>(
-        ChaseQuery(q, sigma, options));
-  });
+    const ChaseOptions& options, bool* inserted) {
+  return cache_.GetOrCompute(
+      q, [&]() -> std::shared_ptr<const QueryChaseResult> {
+        auto computed = std::make_shared<const QueryChaseResult>(
+            ChaseQuery(q, sigma, options));
+        // A chase truncated by cancellation (as opposed to its own step
+        // budgets) must not be memoized: the caller is aborting, and a
+        // later uncancelled run must recompute the full artifact.
+        if (options.cancel != nullptr && options.cancel->triggered()) {
+          return nullptr;
+        }
+        if (inserted != nullptr) *inserted = true;
+        return computed;
+      });
 }
 
 Tri ContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
@@ -87,7 +96,12 @@ Tri ContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
   assert(q1.arity() == q2.arity());
   QueryChaseResult chased = ChaseQuery(q1, sigma, options);
   if (chased.failed) return Tri::kYes;  // q1 is empty on every model of Σ
-  if (EvaluatesTo(q2, chased.instance, chased.frozen_head)) return Tri::kYes;
+  if (EvaluatesTo(q2, chased.instance, chased.frozen_head, options.cancel)) {
+    return Tri::kYes;  // a found homomorphism is sound even when cancelled
+  }
+  if (options.cancel != nullptr && options.cancel->triggered()) {
+    return Tri::kUnknown;  // the hom search may have been truncated
+  }
   return chased.saturated ? Tri::kNo : Tri::kUnknown;
 }
 
@@ -107,7 +121,12 @@ Tri ContainedUnder(const ConjunctiveQuery& q, const UnionQuery& Q,
   if (chased.failed) return Tri::kYes;
   for (const ConjunctiveQuery& d : Q.disjuncts()) {
     if (d.arity() != q.arity()) continue;
-    if (EvaluatesTo(d, chased.instance, chased.frozen_head)) return Tri::kYes;
+    if (EvaluatesTo(d, chased.instance, chased.frozen_head, options.cancel)) {
+      return Tri::kYes;
+    }
+  }
+  if (options.cancel != nullptr && options.cancel->triggered()) {
+    return Tri::kUnknown;
   }
   return chased.saturated ? Tri::kNo : Tri::kUnknown;
 }

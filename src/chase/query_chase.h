@@ -67,10 +67,19 @@ class QueryChaseCache {
 
   /// Returns the cached chase of q, or computes and inserts it. The chase
   /// runs outside the lock; a racing insert of the same query keeps the
-  /// first entry, so every caller sees one result object.
+  /// first entry, so every caller sees one result object. A chase
+  /// truncated by options.cancel is never memoized and comes back as
+  /// nullptr. `inserted` (optional) reports whether this call computed
+  /// and stored a fresh entry — the abort-rollback hook.
   std::shared_ptr<const QueryChaseResult> GetOrCompute(
       const ConjunctiveQuery& q, const DependencySet& sigma,
-      const ChaseOptions& options);
+      const ChaseOptions& options, bool* inserted = nullptr);
+
+  /// Drops the entry stored under exactly q, if resident (abort rollback;
+  /// see FingerprintCache::Erase).
+  bool Erase(const ConjunctiveQuery& q) {
+    return cache_.Erase(CanonicalFingerprint(q), q);
+  }
 
   size_t hits() const { return cache_.hits(); }
   size_t misses() const { return cache_.misses(); }

@@ -48,10 +48,14 @@ std::string TriggerKey(size_t tgd_index, const Tgd& tgd,
 /// Restricted-chase applicability: the head, with the frontier bound as in
 /// the trigger, already maps into the instance.
 bool HeadSatisfied(const Instance& instance, const Tgd& tgd,
-                   const Substitution& h) {
-  Substitution fixed;
-  for (Term v : tgd.frontier()) fixed.emplace(v, Apply(h, v));
-  return HasHomomorphism(tgd.head(), instance, fixed);
+                   const Substitution& h, CancelToken* cancel) {
+  HomOptions options;
+  for (Term v : tgd.frontier()) options.fixed.emplace(v, Apply(h, v));
+  options.cancel = cancel;
+  // A cancelled check conservatively reports "not satisfied": the trigger
+  // fires redundantly, and the fired token then truncates the chase at
+  // the next budget check (saturated = false), so no answer depends on it.
+  return FindHomomorphisms(tgd.head(), instance, options).found;
 }
 
 /// Fires the trigger: adds head atoms with fresh nulls for existential
@@ -70,7 +74,8 @@ size_t FireTrigger(Instance* instance, const Tgd& tgd, const Substitution& h) {
 /// body atom at `anchor_index` maps to the instance atom `anchor_atom`.
 std::vector<Substitution> AnchoredBodyHoms(const Instance& instance,
                                            const Tgd& tgd, size_t anchor_index,
-                                           uint32_t anchor_atom) {
+                                           uint32_t anchor_atom,
+                                           CancelToken* cancel) {
   const Atom& pattern = tgd.body()[anchor_index];
   const Atom& target = instance.atom(anchor_atom);
   if (pattern.predicate() != target.predicate()) return {};
@@ -92,6 +97,7 @@ std::vector<Substitution> AnchoredBodyHoms(const Instance& instance,
   HomOptions options;
   options.fixed = std::move(fixed);
   options.max_solutions = 0;  // all
+  options.cancel = cancel;
   HomResult result = FindHomomorphisms(tgd.body(), instance, options);
   return std::move(result.solutions);
 }
@@ -100,6 +106,9 @@ struct Budget {
   const ChaseOptions& options;
   size_t steps = 0;
   bool Exhausted(const Instance& instance, size_t rounds) const {
+    // A fired cancellation token truncates exactly like a budget: every
+    // call site already maps "exhausted" to saturated = false.
+    if (options.cancel != nullptr && options.cancel->Poll()) return true;
     if (options.max_steps > 0 && steps >= options.max_steps) return true;
     if (options.max_atoms > 0 && instance.size() >= options.max_atoms) {
       return true;
@@ -124,6 +133,7 @@ ChaseResult ChaseTgds(const Instance& start, const std::vector<Tgd>& tgds,
 
   bool hit_budget = false;
   while (!delta.empty() && !hit_budget) {
+    SEMACYC_FAILPOINT("chase.round", options.cancel);
     if (budget.Exhausted(result.instance, result.rounds)) {
       hit_budget = true;
       break;
@@ -138,12 +148,12 @@ ChaseResult ChaseTgds(const Instance& start, const std::vector<Tgd>& tgds,
             hit_budget = true;
             break;
           }
-          for (Substitution& h :
-               AnchoredBodyHoms(result.instance, tgd, bi, atom_idx)) {
+          for (Substitution& h : AnchoredBodyHoms(result.instance, tgd, bi,
+                                                  atom_idx, options.cancel)) {
             std::string key = TriggerKey(ti, tgd, h);
             if (!fired.insert(key).second) continue;
             if (options.variant == ChaseOptions::Variant::kRestricted &&
-                HeadSatisfied(result.instance, tgd, h)) {
+                HeadSatisfied(result.instance, tgd, h, options.cancel)) {
               continue;
             }
             FireTrigger(&result.instance, tgd, h);
@@ -183,14 +193,18 @@ ChaseResult Chase(const Instance& start, const DependencySet& sigma,
   while (changed && !hit_budget) {
     changed = false;
     // Egd fixpoint.
-    EgdChaseResult egd_result =
-        ChaseEgds(result.instance, sigma.egds, &result.term_map);
+    EgdChaseResult egd_result = ChaseEgds(result.instance, sigma.egds,
+                                          &result.term_map, options.cancel);
     if (egd_result.changed) changed = true;
     result.instance = std::move(egd_result.instance);
     if (egd_result.failed) {
       result.failed = true;
       result.saturated = true;
       return result;
+    }
+    if (egd_result.truncated) {
+      hit_budget = true;
+      break;
     }
     if (!sigma.HasTgds()) break;
     // One bounded tgd phase: run rounds until fixpoint or budget.

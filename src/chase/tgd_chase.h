@@ -6,6 +6,7 @@
 
 #include "chase/dependency.h"
 #include "core/instance.h"
+#include "core/interrupt.h"
 
 namespace semacyc {
 
@@ -28,6 +29,12 @@ struct ChaseOptions {
   /// Stop after this many chase rounds / null-generation depth
   /// (0 = unlimited). A "round" adds all triggers visible at round start.
   size_t max_rounds = 0;
+  /// Cooperative cancellation token polled alongside every budget check
+  /// (nullptr = not cancellable, the default). A fired token stops the
+  /// chase exactly like an exhausted budget: the result reports
+  /// saturated = false, so every downstream consumer already treats it as
+  /// a truncated prefix.
+  CancelToken* cancel = nullptr;
 };
 
 /// Outcome of a chase run.

@@ -150,7 +150,10 @@ class FingerprintCache {
 
   /// Returns the cached value for q, or computes and inserts it.
   /// `compute` must return std::shared_ptr<const Value>; it runs outside
-  /// every lock.
+  /// every lock. A compute that returns nullptr (a computation aborted by
+  /// cancellation — caching its truncated artifact would poison later
+  /// lookups) is counted as a miss, inserts nothing, and nullptr is
+  /// returned to the caller.
   template <typename Compute>
   std::shared_ptr<const Value> GetOrCompute(uint64_t fp,
                                             const ConjunctiveQuery& q,
@@ -165,6 +168,10 @@ class FingerprintCache {
       return served;
     }
     std::shared_ptr<const Value> computed = compute();
+    if (computed == nullptr) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
     std::lock_guard<std::mutex> lock(shard.mu);
     // Exact-only recheck: a racing computation of the same key keeps the
     // first insert. (A racing isomorphic-but-distinct key may insert its
@@ -282,6 +289,27 @@ class FingerprintCache {
       }
       return;
     }
+  }
+
+  /// Drops the entry stored under this exact key, if resident. The abort
+  /// rollback hook: a decision cancelled mid-flight erases the entries it
+  /// inserted so the engine's cache state matches one that never started
+  /// the decision (values still leased via shared_ptr stay alive, exactly
+  /// as with eviction — and the drop is counted as one). Returns whether
+  /// an entry was dropped.
+  bool Erase(uint64_t fp, const ConjunctiveQuery& q) {
+    if (!config_.enabled) return false;
+    Shard& shard = ShardFor(fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto bucket_it = shard.buckets.find(fp);
+    if (bucket_it == shard.buckets.end()) return false;
+    for (auto it : bucket_it->second) {
+      if (!(it->key == q)) continue;
+      shard.lru.splice(shard.lru.end(), shard.lru, it);
+      EvictTailLocked(shard);
+      return true;
+    }
+    return false;
   }
 
  private:

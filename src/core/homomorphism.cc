@@ -104,6 +104,10 @@ class Searcher {
       budget_exhausted_ = true;
       return true;  // stop the whole search
     }
+    if (options_.cancel != nullptr && options_.cancel->Poll()) {
+      budget_exhausted_ = true;  // a fired token truncates like a budget
+      return true;
+    }
     ++steps_;
     if (depth == order_.size()) {
       result->solutions.push_back(binding_);
@@ -212,7 +216,7 @@ std::vector<std::vector<Term>> EvaluateQuery(const ConjunctiveQuery& q,
 }
 
 bool EvaluatesTo(const ConjunctiveQuery& q, const Instance& instance,
-                 const std::vector<Term>& tuple) {
+                 const std::vector<Term>& tuple, CancelToken* cancel) {
   assert(tuple.size() == q.head().size());
   Substitution fixed;
   for (size_t i = 0; i < tuple.size(); ++i) {
@@ -228,7 +232,10 @@ bool EvaluatesTo(const ConjunctiveQuery& q, const Instance& instance,
       fixed.emplace(h, tuple[i]);
     }
   }
-  return HasHomomorphism(q.body(), instance, fixed);
+  HomOptions options;
+  options.fixed = std::move(fixed);
+  options.cancel = cancel;
+  return FindHomomorphisms(q.body(), instance, options).found;
 }
 
 bool EvaluatesTrue(const ConjunctiveQuery& q, const Instance& instance) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/interrupt.h"
 #include "core/query.h"
 
 namespace semacyc {
@@ -35,6 +36,11 @@ struct HomOptions {
   /// reports "not found" with budget_exhausted set; callers that need
   /// exactness must leave this at 0.
   size_t step_budget = 0;
+  /// Cooperative cancellation token polled once per backtracking step
+  /// (nullptr = not cancellable, the default). A fired token stops the
+  /// search exactly like an exhausted step_budget — "not found" with
+  /// budget_exhausted set — so no caller may treat the result as exact.
+  CancelToken* cancel = nullptr;
 };
 
 /// Result of a homomorphism search.
@@ -68,9 +74,13 @@ std::vector<std::vector<Term>> EvaluateQuery(const ConjunctiveQuery& q,
                                              const Instance& instance,
                                              size_t max_answers = 0);
 
-/// Decision version: t̄ ∈ q(I)?
+/// Decision version: t̄ ∈ q(I)? `cancel` (nullptr = not cancellable) is
+/// polled during the search; a cancelled check returns false without
+/// having decided — the caller must treat the answer as unknown when the
+/// token has triggered.
 bool EvaluatesTo(const ConjunctiveQuery& q, const Instance& instance,
-                 const std::vector<Term>& tuple);
+                 const std::vector<Term>& tuple,
+                 CancelToken* cancel = nullptr);
 
 /// True iff the Boolean evaluation of q over `instance` is nonempty.
 bool EvaluatesTrue(const ConjunctiveQuery& q, const Instance& instance);

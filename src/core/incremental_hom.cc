@@ -132,6 +132,12 @@ bool IncrementalHomomorphism::Repair() {
 
 bool IncrementalHomomorphism::RepairDfs(size_t level_idx) {
   if (level_idx == depth_) return true;
+  if (cancel_ != nullptr && cancel_->Poll()) {
+    // Bail as if this subtree were empty; the caller discards the whole
+    // outcome once the token has triggered, so the spurious NO is never
+    // observed as an answer. The undo trail stays exact for later pops.
+    return false;
+  }
   const Level& level = levels_[repair_order_[level_idx]];
   for (uint32_t idx : level.tuples) {
     const std::vector<uint32_t>& tgt = dense_tuples_[idx];

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/interrupt.h"
 #include "core/query.h"
 
 namespace semacyc {
@@ -110,6 +111,14 @@ class IncrementalHomomorphism {
 
   const Stats& stats() const { return stats_; }
 
+  /// Attaches a cooperative cancellation token polled inside the repair
+  /// DFS (the only super-linear path; nullptr = not cancellable, the
+  /// default). A fired token makes the in-flight repair fail as if the
+  /// search space were empty — found() may then be false spuriously, so
+  /// the caller must discard the outcome once the token has triggered.
+  /// Pops stay exact: the undo trail is independent of the search.
+  void SetCancel(CancelToken* cancel) { cancel_ = cancel; }
+
  private:
   /// Dense ids: every distinct term of the target is interned once at
   /// construction into [0, num_dense), and the target's tuples are stored
@@ -200,6 +209,7 @@ class IncrementalHomomorphism {
 
   bool found_ = true;
   Stats stats_;
+  CancelToken* cancel_ = nullptr;
 
   /// Repair scratch: per-variable dense binding (kNoDense = unbound), the
   /// bound-order undo stack, and the most-constrained-first level order,

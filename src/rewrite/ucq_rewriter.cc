@@ -172,8 +172,13 @@ RewriteResult RewriteToUcq(const ConjunctiveQuery& q,
   bool capped = false;
 
   while (!worklist.empty()) {
+    SEMACYC_FAILPOINT("rewrite.step", options.cancel);
     if (options.max_steps > 0 && result.steps >= options.max_steps) {
       capped = true;
+      break;
+    }
+    if (options.cancel != nullptr && options.cancel->Poll()) {
+      capped = true;  // a fired token truncates like an exhausted cap
       break;
     }
     int index = worklist.front();
@@ -305,9 +310,15 @@ size_t PaperRewriteHeightBound(const ConjunctiveQuery& q,
 std::shared_ptr<const RewriteResult> RewriteCache::GetOrCompute(
     const ConjunctiveQuery& q, const std::vector<Tgd>& tgds,
     const RewriteOptions& options) {
-  return cache_.GetOrCompute(q, [&]() {
-    return std::make_shared<const RewriteResult>(
-        RewriteToUcq(q, tgds, options));
+  return cache_.GetOrCompute(q, [&]() -> std::shared_ptr<const RewriteResult> {
+    auto computed =
+        std::make_shared<const RewriteResult>(RewriteToUcq(q, tgds, options));
+    // A rewriting truncated by cancellation must not be memoized: it would
+    // permanently downgrade later oracle builds to the inexact path.
+    if (options.cancel != nullptr && options.cancel->triggered()) {
+      return nullptr;
+    }
+    return computed;
   });
 }
 

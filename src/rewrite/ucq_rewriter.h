@@ -9,6 +9,7 @@
 
 #include "chase/dependency.h"
 #include "core/fingerprint_cache.h"
+#include "core/interrupt.h"
 #include "core/query.h"
 
 namespace semacyc {
@@ -24,6 +25,11 @@ struct RewriteOptions {
   /// Enable the factorization step (required for completeness/termination
   /// on sticky sets; harmless elsewhere).
   bool factorize = true;
+  /// Cooperative cancellation token polled once per worklist step
+  /// (nullptr = not cancellable, the default). A fired token stops the
+  /// exploration exactly like an exhausted cap: `complete` comes back
+  /// false, so the rewriting is never treated as perfect.
+  CancelToken* cancel = nullptr;
 };
 
 /// Result of rewriting a CQ into a UCQ (Definition 2).
@@ -81,6 +87,12 @@ class RewriteCache {
   std::shared_ptr<const RewriteResult> GetOrCompute(
       const ConjunctiveQuery& q, const std::vector<Tgd>& tgds,
       const RewriteOptions& options);
+
+  /// Drops the rewriting stored under exactly q, if resident (abort
+  /// rollback; see FingerprintCache::Erase).
+  bool Erase(const ConjunctiveQuery& q) {
+    return cache_.Erase(CanonicalFingerprint(q), q);
+  }
 
   size_t hits() const { return cache_.hits(); }
   size_t misses() const { return cache_.misses(); }

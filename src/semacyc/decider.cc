@@ -39,6 +39,8 @@ const char* ToString(Strategy s) {
       return "exhaustive";
     case Strategy::kBudgetExhausted:
       return "budget-exhausted";
+    case Strategy::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }

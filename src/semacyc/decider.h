@@ -29,6 +29,11 @@ enum class Strategy {
   kSubsets,          // acyclic sub-instance of the chase
   kExhaustive,       // bounded canonical enumeration (YES or definitive NO)
   kBudgetExhausted,  // every strategy ran out: kUnknown
+  /// The decision was aborted cooperatively — deadline_ms elapsed, an
+  /// external CancelToken fired, or an injected fault hit — before the
+  /// pipeline finished. kUnknown with partial evidence (candidates_tested
+  /// so far); never cached, and the engine stays fully reusable.
+  kDeadlineExceeded,
 };
 const char* ToString(Strategy s);
 
@@ -72,6 +77,14 @@ struct SemAcOptions {
   /// configuration; every switch changes cost only, never answers — see
   /// WitnessTuning in witness_search.h.
   WitnessTuning witness;
+  /// Wall-clock deadline per decision in milliseconds (0 = none, the
+  /// default). When it elapses, the pipeline aborts at the next poll
+  /// point and the result reports Strategy::kDeadlineExceeded with
+  /// answer kUnknown — graceful degradation, never an exception or a
+  /// torn result. Distinct from the step budgets above: those bound
+  /// *work* (deterministic, reproducible), this bounds *time*. Engine::
+  /// Approximate and Eval honor it too (Status::Code::kDeadlineExceeded).
+  int64_t deadline_ms = 0;
   /// Structured decision tracing (core/obs.h): when non-null, every
   /// decision emits one DecisionTrace (nested phase spans + counters) to
   /// this sink. Null (the default) costs one inlined pointer check per

@@ -16,13 +16,28 @@
 
 namespace semacyc {
 
+namespace {
+
+/// Construction-time cancellation for the oracle's rewriting build; the
+/// stored ChaseOptions keep cancel = null (per-check tokens are passed to
+/// ContainedInQ instead — a cached oracle must never hold a pointer to a
+/// decision-local token).
+RewriteOptions WithCancel(RewriteOptions options, CancelToken* cancel) {
+  options.cancel = cancel;
+  return options;
+}
+
+}  // namespace
+
 Engine::OracleEntry::OracleEntry(ConjunctiveQuery q,
                                  const PreparedSchema& schema,
                                  const SemAcOptions& options,
-                                 RewriteCache* rewrite_cache)
+                                 RewriteCache* rewrite_cache,
+                                 CancelToken* cancel)
     : query(std::move(q)),
-      oracle(query, schema.sigma, options.chase, options.rewrite, schema.facts,
-             rewrite_cache, /*try_rewriting=*/true, /*memoize=*/true,
+      oracle(query, schema.sigma, options.chase,
+             WithCancel(options.rewrite, cancel), schema.facts, rewrite_cache,
+             /*try_rewriting=*/true, /*memoize=*/true,
              /*synchronized=*/true) {}
 
 size_t Engine::OracleEntry::ApproxBytes() const {
@@ -47,7 +62,7 @@ EngineOptions FromLegacyConfig(SemAcOptions options, EngineConfig config) {
 /// decider's enums; the registry indexes rows by the enum values).
 std::vector<std::string> StrategyNames() {
   std::vector<std::string> out;
-  for (int i = 0; i <= static_cast<int>(Strategy::kBudgetExhausted); ++i) {
+  for (int i = 0; i <= static_cast<int>(Strategy::kDeadlineExceeded); ++i) {
     out.emplace_back(ToString(static_cast<Strategy>(i)));
   }
   return out;
@@ -97,27 +112,63 @@ PreparedQuery Engine::Prepare(const ConjunctiveQuery& q) const {
 }
 
 std::shared_ptr<const QueryChaseResult> Engine::ChaseOf(
-    const ConjunctiveQuery& q) const {
-  return chase_cache_.GetOrCompute(q, schema_.sigma, options_.chase);
+    const ConjunctiveQuery& q, CancelToken* cancel, bool* inserted) const {
+  if (cancel == nullptr) {
+    return chase_cache_.GetOrCompute(q, schema_.sigma, options_.chase,
+                                     inserted);
+  }
+  ChaseOptions options = options_.chase;
+  options.cancel = cancel;
+  return chase_cache_.GetOrCompute(q, schema_.sigma, options, inserted);
 }
 
 std::shared_ptr<const Engine::OracleEntry> Engine::OracleFor(
-    const PreparedQuery& q, bool* built) const {
+    const PreparedQuery& q, bool* built, CancelToken* cancel,
+    bool* inserted) const {
   // Construction may build the UCQ rewriting — the cache runs the compute
   // outside its locks; a racing build of the same entry keeps the first
   // insert.
-  return oracles_.GetOrCompute(q.fingerprint(), q.query(), [&]() {
-    if (built != nullptr) *built = true;
-    return std::make_shared<const OracleEntry>(q.query(), schema_, options_,
-                                               &rewrite_cache_);
-  });
+  return oracles_.GetOrCompute(
+      q.fingerprint(), q.query(),
+      [&]() -> std::shared_ptr<const OracleEntry> {
+        if (built != nullptr) *built = true;
+        auto entry = std::make_shared<const OracleEntry>(
+            q.query(), schema_, options_, &rewrite_cache_, cancel);
+        // An oracle built under a fired token may have had its rewriting
+        // cut short (permanently inexact): never cache it — the aborting
+        // caller discards it, and a later call rebuilds it whole.
+        if (cancel != nullptr && cancel->triggered()) return nullptr;
+        if (inserted != nullptr) *inserted = true;
+        return entry;
+      });
 }
 
 SemAcResult Engine::Decide(const ConjunctiveQuery& q) const {
   return Decide(Prepare(q));
 }
 
+SemAcResult Engine::Decide(const ConjunctiveQuery& q,
+                           CancelToken* cancel) const {
+  return Decide(Prepare(q), cancel);
+}
+
 SemAcResult Engine::Decide(const PreparedQuery& q) const {
+  if (options_.deadline_ms > 0) {
+    CancelToken token;
+    return Decide(q, &token);  // the overload applies the deadline
+  }
+  return DecideWithToken(q, nullptr);
+}
+
+SemAcResult Engine::Decide(const PreparedQuery& q, CancelToken* cancel) const {
+  // SetDeadlineInMs only ever tightens, so an external token's own
+  // (earlier) deadline survives and deadline_ms <= 0 is a no-op.
+  if (cancel != nullptr) cancel->SetDeadlineInMs(options_.deadline_ms);
+  return DecideWithToken(q, cancel);
+}
+
+SemAcResult Engine::DecideWithToken(const PreparedQuery& q,
+                                    CancelToken* cancel) const {
   ++decisions_count_;
   obs::TraceSink* sink = options_.trace_sink;
   std::optional<obs::DecisionTracer> tracer;
@@ -137,19 +188,58 @@ SemAcResult Engine::Decide(const PreparedQuery& q) const {
   }
   auto t0 = std::chrono::steady_clock::now();
   bool computed = false;
-  std::shared_ptr<const SemAcResult> result =
-      decisions_.GetOrCompute(q.fingerprint(), q.query(), [&]() {
+  bool chase_inserted = false;
+  bool oracle_inserted = false;
+  size_t rewrite_misses0 = rewrite_cache_.misses();
+  std::shared_ptr<const SemAcResult> aborted;
+  std::shared_ptr<const SemAcResult> result = decisions_.GetOrCompute(
+      q.fingerprint(), q.query(),
+      [&]() -> std::shared_ptr<const SemAcResult> {
         computed = true;
-        return std::make_shared<const SemAcResult>(
-            DecideUncached(q, tracer.has_value() ? &*tracer : nullptr));
+        SemAcResult r;
+        try {
+          r = DecideUncached(q, tracer.has_value() ? &*tracer : nullptr,
+                             cancel, &chase_inserted, &oracle_inserted);
+        } catch (const std::bad_alloc&) {
+          // Allocation failure (injected or genuine) mid-pipeline: RAII
+          // already unwound the phase spans; surface the same graceful
+          // abort as an elapsed deadline instead of tearing the caller.
+          r = SemAcResult();
+          r.answer = SemAcAnswer::kUnknown;
+          r.strategy = Strategy::kDeadlineExceeded;
+          r.exact = false;
+        }
+        if (r.strategy == Strategy::kDeadlineExceeded) {
+          // Aborted results are never cached (a later call must get the
+          // real answer); carried out via the side channel instead.
+          aborted = std::make_shared<const SemAcResult>(std::move(r));
+          return nullptr;
+        }
+        return std::make_shared<const SemAcResult>(std::move(r));
       });
+  if (result == nullptr) {
+    // Aborted: erase the shared-cache entries this decision inserted, so
+    // a later re-decide replays the same misses/inserts as an engine that
+    // never started (the drops count as evictions, like any other drop).
+    // The rewriting check is a misses delta — only this query's oracle
+    // build can have missed here on a serial engine; under concurrency a
+    // false positive merely drops a valid (recomputable) entry.
+    if (oracle_inserted) oracles_.Erase(q.fingerprint(), q.query());
+    if (rewrite_cache_.misses() != rewrite_misses0) {
+      rewrite_cache_.Erase(q.query());
+    }
+    if (chase_inserted) chase_cache_.Erase(q.query());
+    result = aborted;
+  }
   int64_t ns = ElapsedNs(t0);
   metrics_.RecordDecision(static_cast<size_t>(result->strategy),
                           static_cast<size_t>(result->answer), ns, !computed);
   metrics_.RecordPhase(obs::Phase::kDecision, ns);
   // Honest oracle accounting: the pipeline may have grown this query's
   // oracle memo; re-charge its cache entry against the byte budget.
-  if (computed) oracles_.Reweigh(q.fingerprint(), q.query());
+  if (computed && result->strategy != Strategy::kDeadlineExceeded) {
+    oracles_.Reweigh(q.fingerprint(), q.query());
+  }
   if (tracer.has_value()) {
     auto delta = [](size_t now, size_t before) {
       return static_cast<int64_t>(now - before);
@@ -177,7 +267,9 @@ SemAcResult Engine::Decide(const PreparedQuery& q) const {
 }
 
 SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
-                                   obs::DecisionTracer* tracer) const {
+                                   obs::DecisionTracer* tracer,
+                                   CancelToken* cancel, bool* chase_inserted,
+                                   bool* oracle_inserted) const {
   const ConjunctiveQuery& q = pq.query();
   const DependencySet& sigma = schema_.sigma;
   const acyclic::AcyclicityClass target = options_.target_class;
@@ -185,6 +277,22 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
   SemAcResult result;
   result.small_query_bound = pq.small_query_bound();
   result.bound_justified = pq.bound_justified();
+
+  // Graceful abort: kUnknown with the evidence gathered so far. The
+  // caller (DecideWithToken) never caches it and rolls back the cache
+  // inserts this call reported.
+  auto abort_result = [&result]() -> SemAcResult {
+    result.answer = SemAcAnswer::kUnknown;
+    result.strategy = Strategy::kDeadlineExceeded;
+    result.exact = false;
+    result.witness.reset();
+    return result;
+  };
+  // Phase boundaries poll unamortized (PollNow): one clock read between
+  // phases is noise, and a deadline is then honored even when the next
+  // phase would stall before its first in-loop poll.
+  SEMACYC_FAILPOINT("decide.start", cancel);
+  if (cancel != nullptr && cancel->PollNow()) return abort_result();
 
   // Records a witness together with its (tightest) classification.
   auto accept = [&result](ConjunctiveQuery witness, Strategy strategy) {
@@ -222,20 +330,29 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
       return result;
     }
   }
+  SEMACYC_FAILPOINT("decide.after_core", cancel);
+  if (cancel != nullptr && cancel->PollNow()) return abort_result();
 
   // Chase once; shared by the remaining strategies (and, through the
   // chase cache, by every other call for this query). The span measures
   // acquisition — a cache hit closes in microseconds, and build_ns still
-  // reports what the original computation cost.
+  // reports what the original computation cost. A chase truncated by the
+  // token comes back nullptr (never memoized): abort.
   std::shared_ptr<const QueryChaseResult> chase_ptr;
   {
     obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kChase);
-    chase_ptr = ChaseOf(q);
-    timer.Counter("steps", static_cast<int64_t>(chase_ptr->steps));
-    timer.Counter("build_ns", chase_ptr->build_ns);
-    timer.Counter("saturated", chase_ptr->saturated ? 1 : 0);
-    timer.Counter("atoms",
-                  static_cast<int64_t>(chase_ptr->instance.atoms().size()));
+    chase_ptr = ChaseOf(q, cancel, chase_inserted);
+    if (chase_ptr != nullptr) {
+      timer.Counter("steps", static_cast<int64_t>(chase_ptr->steps));
+      timer.Counter("build_ns", chase_ptr->build_ns);
+      timer.Counter("saturated", chase_ptr->saturated ? 1 : 0);
+      timer.Counter("atoms",
+                    static_cast<int64_t>(chase_ptr->instance.atoms().size()));
+    }
+  }
+  SEMACYC_FAILPOINT("decide.after_chase", cancel);
+  if (chase_ptr == nullptr || (cancel != nullptr && cancel->PollNow())) {
+    return abort_result();
   }
   const QueryChaseResult& chase = *chase_ptr;
   if (chase.failed) {
@@ -255,22 +372,29 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
   {
     obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kOracle);
     bool built = false;
-    lease = OracleFor(pq, &built);
-    const std::shared_ptr<const RewriteResult>& rw = lease->oracle.rewriting();
-    if (rw != nullptr) {
-      // Rewriting cost attributed only when this call built the oracle —
-      // a reused oracle's rewriting was paid for (and recorded) earlier.
-      if (built) metrics_.RecordPhase(obs::Phase::kRewrite, rw->build_ns);
-      if (tracer != nullptr) {
-        tracer->CounterSpan(
-            obs::Phase::kRewrite,
-            {{"build_ns", rw->build_ns},
-             {"disjuncts", static_cast<int64_t>(rw->ucq.disjuncts().size())},
-             {"complete", rw->complete ? 1 : 0}});
+    lease = OracleFor(pq, &built, cancel, oracle_inserted);
+    if (lease != nullptr) {
+      const std::shared_ptr<const RewriteResult>& rw =
+          lease->oracle.rewriting();
+      if (rw != nullptr) {
+        // Rewriting cost attributed only when this call built the oracle —
+        // a reused oracle's rewriting was paid for (and recorded) earlier.
+        if (built) metrics_.RecordPhase(obs::Phase::kRewrite, rw->build_ns);
+        if (tracer != nullptr) {
+          tracer->CounterSpan(
+              obs::Phase::kRewrite,
+              {{"build_ns", rw->build_ns},
+               {"disjuncts", static_cast<int64_t>(rw->ucq.disjuncts().size())},
+               {"complete", rw->complete ? 1 : 0}});
+        }
       }
+      timer.Counter("built", built ? 1 : 0);
+      timer.Counter("exact", lease->oracle.exact() ? 1 : 0);
     }
-    timer.Counter("built", built ? 1 : 0);
-    timer.Counter("exact", lease->oracle.exact() ? 1 : 0);
+  }
+  SEMACYC_FAILPOINT("decide.after_oracle", cancel);
+  if (lease == nullptr || (cancel != nullptr && cancel->PollNow())) {
+    return abort_result();
   }
   const ContainmentOracle* oracle = &lease->oracle;
 
@@ -318,6 +442,8 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
       }
     }
   }
+  SEMACYC_FAILPOINT("decide.after_compaction", cancel);
+  if (cancel != nullptr && cancel->PollNow()) return abort_result();
 
   size_t bound = std::min<size_t>(result.small_query_bound,
                                   options_.witness_atoms_cap);
@@ -326,8 +452,9 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
   // Strategy 3: homomorphic images of q inside the chase.
   if (options_.enable_images) {
     obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kImages);
-    WitnessSearchOutcome images = FindWitnessInQueryImages(
-        q, chase, *oracle, options_.image_homs, target, options_.witness);
+    WitnessSearchOutcome images =
+        FindWitnessInQueryImages(q, chase, *oracle, options_.image_homs,
+                                 target, options_.witness, cancel);
     result.candidates_tested += images.candidates_tested;
     metrics_.Add(obs::Counter::kCandidatesTested, images.candidates_tested);
     timer.Counter("candidates_tested",
@@ -338,13 +465,15 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
       return result;
     }
   }
+  SEMACYC_FAILPOINT("decide.after_images", cancel);
+  if (cancel != nullptr && cancel->PollNow()) return abort_result();
 
   // Strategy 4: target-acyclic sub-instances of the chase.
   if (options_.enable_subsets) {
     obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kSubsets);
     WitnessSearchOutcome subsets = FindWitnessInChaseSubsets(
         q, chase, *oracle, bound, options_.subset_budget, target,
-        options_.witness);
+        options_.witness, cancel);
     result.candidates_tested += subsets.candidates_tested;
     metrics_.Add(obs::Counter::kCandidatesTested, subsets.candidates_tested);
     metrics_.Add(obs::Counter::kEnumVisits, subsets.visits);
@@ -367,13 +496,18 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
       return result;
     }
   }
+  SEMACYC_FAILPOINT("decide.after_subsets", cancel);
+  if (cancel != nullptr && cancel->PollNow()) return abort_result();
 
   // Strategy 5: exhaustive canonical enumeration up to the bound.
   if (options_.enable_exhaustive) {
     obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kEnumerate);
+    WitnessTuning tuning = options_.witness;
+    SEMACYC_FAILPOINT_FLIP("exhaustive.flip_inc_hom",
+                           &tuning.incremental_hom);
     WitnessSearchOutcome exhaustive = ExhaustiveWitnessSearch(
         q, sigma, chase, *oracle, bound, options_.exhaustive_budget, target,
-        options_.witness);
+        tuning, cancel);
     result.candidates_tested += exhaustive.candidates_tested;
     metrics_.Add(obs::Counter::kCandidatesTested,
                  exhaustive.candidates_tested);
@@ -430,6 +564,8 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
       return result;
     }
   }
+  SEMACYC_FAILPOINT("decide.after_exhaustive", cancel);
+  if (cancel != nullptr && cancel->PollNow()) return abort_result();
 
   result.answer = SemAcAnswer::kUnknown;
   result.strategy = Strategy::kBudgetExhausted;
@@ -439,16 +575,40 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
 
 std::vector<SemAcResult> Engine::DecideBatch(
     const std::vector<PreparedQuery>& batch, size_t threads) const {
+  return DecideBatch(batch, threads, BatchDeadlines{});
+}
+
+std::vector<SemAcResult> Engine::DecideBatch(
+    const std::vector<PreparedQuery>& batch, size_t threads,
+    const BatchDeadlines& deadlines) const {
   std::vector<SemAcResult> out(batch.size());
+  // The batch deadline is one shared token; each query chains a child off
+  // it so a blown batch budget aborts every remaining decision while a
+  // blown per-query budget hurts only its own.
+  const bool timed = deadlines.batch_ms > 0 || deadlines.per_query_ms > 0;
+  CancelToken batch_token;
+  if (deadlines.batch_ms > 0) batch_token.SetDeadlineInMs(deadlines.batch_ms);
+  auto decide_one = [&](size_t i) {
+    if (!timed) {
+      out[i] = Decide(batch[i]);
+      return;
+    }
+    CancelToken token;
+    token.SetParent(&batch_token);
+    if (deadlines.per_query_ms > 0) {
+      token.SetDeadlineInMs(deadlines.per_query_ms);
+    }
+    out[i] = Decide(batch[i], &token);
+  };
   threads = std::min(threads, batch.size());
   if (threads <= 1) {
-    for (size_t i = 0; i < batch.size(); ++i) out[i] = Decide(batch[i]);
+    for (size_t i = 0; i < batch.size(); ++i) decide_one(i);
     return out;
   }
   std::atomic<size_t> next{0};
   auto worker = [&]() {
     for (size_t i; (i = next.fetch_add(1)) < batch.size();) {
-      out[i] = Decide(batch[i]);
+      decide_one(i);
     }
   };
   std::vector<std::thread> pool;
@@ -539,12 +699,12 @@ namespace {
 /// equivalent (§8.2's A(q), up to the explored budget).
 std::vector<ConjunctiveQuery> CollectApproximationCandidates(
     const QueryChaseResult& chase, const ContainmentOracle& oracle,
-    size_t bound, size_t budget) {
+    size_t bound, size_t budget, CancelToken* cancel) {
   std::vector<ConjunctiveQuery> out;
   std::unordered_set<uint64_t> seen;
   auto consider = [&](const ConjunctiveQuery& candidate) {
     if (!seen.insert(CanonicalFingerprint(candidate)).second) return;
-    if (oracle.ContainedInQ(candidate) == Tri::kYes) {
+    if (oracle.ContainedInQ(candidate, cancel) == Tri::kYes) {
       out.push_back(candidate);
     }
   };
@@ -555,6 +715,8 @@ std::vector<ConjunctiveQuery> CollectApproximationCandidates(
   std::vector<uint32_t> subset;
   std::function<void(size_t)> dfs = [&](size_t next) {
     if (++visits > budget) return;
+    SEMACYC_FAILPOINT("approximate.visit", cancel);
+    if (cancel != nullptr && cancel->Poll()) return;
     if (!subset.empty() && subset.size() <= bound) {
       Instance sub = chase.instance.Restrict(subset);
       bool covers = true;
@@ -593,8 +755,24 @@ ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
     }
   }
 
+  // One deadline spans the whole call — the decision, the candidate
+  // sweep, and the maximality pass all share the token, so Approximate as
+  // a whole returns within deadline_ms (plus one poll stride of slack).
+  CancelToken token;
+  CancelToken* cancel = nullptr;
+  if (options_.deadline_ms > 0) {
+    token.SetDeadlineInMs(options_.deadline_ms);
+    cancel = &token;
+  }
+
   // If q is semantically acyclic, its witness is the (exact) approximation.
-  SemAcResult decision = Decide(pq);
+  SemAcResult decision =
+      cancel != nullptr ? Decide(pq, cancel) : Decide(pq);
+  if (decision.strategy == Strategy::kDeadlineExceeded) {
+    out.status = Status::DeadlineExceeded(
+        "decision aborted by deadline before an approximation was built");
+    return out;
+  }
   if (decision.answer == SemAcAnswer::kYes && decision.witness.has_value()) {
     out.result.approximation = *decision.witness;
     out.result.is_exact = true;
@@ -603,15 +781,30 @@ ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
     return out;
   }
 
-  std::shared_ptr<const QueryChaseResult> chase = ChaseOf(pq.query());
-  std::shared_ptr<const OracleEntry> lease = OracleFor(pq);
+  std::shared_ptr<const QueryChaseResult> chase = ChaseOf(pq.query(), cancel);
+  std::shared_ptr<const OracleEntry> lease =
+      chase != nullptr ? OracleFor(pq, nullptr, cancel) : nullptr;
+  if (chase == nullptr || lease == nullptr) {
+    // Only a fired token yields null artifacts (they are never cached in
+    // that state), so this is the deadline elapsing mid-build.
+    out.status = Status::DeadlineExceeded(
+        "deadline elapsed while building the chase/oracle artifacts");
+    return out;
+  }
   const ContainmentOracle* oracle = &lease->oracle;
   size_t bound =
       std::min<size_t>(pq.small_query_bound(), options_.witness_atoms_cap);
   out.result.candidates = CollectApproximationCandidates(
-      *chase, *oracle, bound, options_.subset_budget);
+      *chase, *oracle, bound, options_.subset_budget, cancel);
   // The candidate sweep grows the oracle memo; re-charge its cache entry.
+  // Do this even on abort below — the partial sweep's memo growth is real.
   oracles_.Reweigh(pq.fingerprint(), pq.query());
+  if (cancel != nullptr && cancel->triggered()) {
+    out.status = Status::DeadlineExceeded(
+        "deadline elapsed during the candidate sweep; partial candidate "
+        "set discarded");
+    return out;
+  }
   out.result.candidates.push_back(
       TrivialAcyclicUnderApproximation(pq.query()));
 
@@ -620,23 +813,37 @@ ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
   // queries, and pinning their chases in the engine-lifetime cache would
   // grow it by up to subset_budget entries per Approximate call.
   QueryChaseCache local_chases;
+  ChaseOptions maximality_chase = options_.chase;
+  maximality_chase.cancel = cancel;
   auto contained = [&](const ConjunctiveQuery& a,
                        const ConjunctiveQuery& b) -> Tri {
     std::shared_ptr<const QueryChaseResult> chased =
-        local_chases.GetOrCompute(a, schema_.sigma, options_.chase);
+        local_chases.GetOrCompute(a, schema_.sigma, maximality_chase);
+    if (chased == nullptr) return Tri::kUnknown;  // cancelled mid-chase
     if (chased->failed) return Tri::kYes;
-    if (EvaluatesTo(b, chased->instance, chased->frozen_head)) {
+    if (EvaluatesTo(b, chased->instance, chased->frozen_head, cancel)) {
       return Tri::kYes;
     }
+    if (cancel != nullptr && cancel->triggered()) return Tri::kUnknown;
     return chased->saturated ? Tri::kNo : Tri::kUnknown;
   };
   auto& candidates = out.result.candidates;
   size_t best = 0;
   for (size_t i = 1; i < candidates.size(); ++i) {
+    if (cancel != nullptr && cancel->PollNow()) {
+      out.status = Status::DeadlineExceeded(
+          "deadline elapsed during the maximality pass");
+      return out;
+    }
     // candidates[i] strictly above current best?
     Tri up = contained(candidates[best], candidates[i]);
     Tri down = contained(candidates[i], candidates[best]);
     if (up == Tri::kYes && down != Tri::kYes) best = i;
+  }
+  if (cancel != nullptr && cancel->triggered()) {
+    out.status = Status::DeadlineExceeded(
+        "deadline elapsed during the maximality pass");
+    return out;
   }
   out.result.approximation = candidates[best];
   out.result.is_exact = false;
@@ -647,6 +854,11 @@ ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
 EvalOutcome Engine::Eval(const PreparedQuery& q, const Instance& database) const {
   EvalOutcome out;
   SemAcResult decision = Decide(q);
+  if (decision.strategy == Strategy::kDeadlineExceeded) {
+    out.status = Status::DeadlineExceeded(
+        "decision aborted by deadline before a reformulation was found");
+    return out;
+  }
   if (decision.answer != SemAcAnswer::kYes || !decision.witness.has_value()) {
     out.status = Status::NotFound(
         decision.answer == SemAcAnswer::kYes

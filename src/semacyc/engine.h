@@ -32,6 +32,11 @@ struct Status {
     /// budgets / with a definitive answer (e.g. no acyclic reformulation
     /// found for Eval).
     kNotFound,
+    /// The operation was aborted cooperatively (SemAcOptions::deadline_ms
+    /// elapsed or a CancelToken fired) before it finished. The engine
+    /// stays fully reusable; retry without a deadline for the exact
+    /// answer.
+    kDeadlineExceeded,
   };
 
   Code code = Code::kOk;
@@ -44,6 +49,9 @@ struct Status {
   }
   static Status NotFound(std::string message) {
     return {Code::kNotFound, std::move(message)};
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return {Code::kDeadlineExceeded, std::move(message)};
   }
 };
 
@@ -246,16 +254,47 @@ class Engine {
 
   /// Decides whether q is semantically acyclic under the schema (same
   /// pipeline and guarantees as DecideSemanticAcyclicity, off prepared and
-  /// cached state).
+  /// cached state). With SemAcOptions::deadline_ms set, the pipeline
+  /// aborts cooperatively when the deadline elapses: the result reports
+  /// Strategy::kDeadlineExceeded / answer kUnknown with the evidence
+  /// gathered so far, is never cached, and the engine (sessions unwound,
+  /// all four caches coherent) is immediately reusable.
   SemAcResult Decide(const PreparedQuery& q) const;
   /// Convenience: Prepare + Decide.
   SemAcResult Decide(const ConjunctiveQuery& q) const;
+
+  /// External-cancellation variants: `cancel` (not owned; may be null) is
+  /// polled throughout the pipeline — RequestCancel() from any thread
+  /// aborts the decision at its next poll point, with the same graceful
+  /// kDeadlineExceeded outcome as an elapsed deadline. deadline_ms (when
+  /// set) is folded into the token, so the effective deadline is the
+  /// tighter of the two.
+  SemAcResult Decide(const PreparedQuery& q, CancelToken* cancel) const;
+  SemAcResult Decide(const ConjunctiveQuery& q, CancelToken* cancel) const;
+
+  /// Deadlines for one DecideBatch call, on top of (and tightened by)
+  /// SemAcOptions::deadline_ms. Zero = none.
+  struct BatchDeadlines {
+    /// Wall-clock budget for the whole batch: when it elapses, in-flight
+    /// decisions abort at their next poll point and not-yet-started ones
+    /// abort immediately — completed results are returned as-is, the rest
+    /// report Strategy::kDeadlineExceeded (the per-query status).
+    int64_t batch_ms = 0;
+    /// Per-query wall-clock budget, applied to each decision separately.
+    int64_t per_query_ms = 0;
+  };
 
   /// Decides a batch. With threads > 1 the batch is worked by that many
   /// concurrent callers of Decide (answers are positionally aligned with
   /// the input either way).
   std::vector<SemAcResult> DecideBatch(const std::vector<PreparedQuery>& batch,
                                        size_t threads = 1) const;
+  /// Batch decision under deadlines: every query gets its own token
+  /// chained under one batch-level token, so a batch deadline cancels
+  /// stragglers while per-query deadlines bound each decision.
+  std::vector<SemAcResult> DecideBatch(const std::vector<PreparedQuery>& batch,
+                                       size_t threads,
+                                       const BatchDeadlines& deadlines) const;
 
   /// §8.2 acyclic approximation off prepared state.
   ApproximateOutcome Approximate(const PreparedQuery& q) const;
@@ -301,28 +340,50 @@ class Engine {
   struct OracleEntry {
     ConjunctiveQuery query;
     ContainmentOracle oracle;
+    /// `cancel` (may be null) bounds only the construction-time rewriting
+    /// build; the oracle never stores it (per-check tokens are passed to
+    /// ContainedInQ).
     OracleEntry(ConjunctiveQuery q, const PreparedSchema& schema,
-                const SemAcOptions& options, RewriteCache* rewrite_cache);
+                const SemAcOptions& options, RewriteCache* rewrite_cache,
+                CancelToken* cancel = nullptr);
     /// Includes the oracle memo's running footprint, so the post-decision
     /// Reweigh keeps the cache's byte accounting honest as memos grow
     /// (see EngineOptions::oracles).
     size_t ApproxBytes() const;
   };
 
+  /// The cached-decision layer plus the abort protocol: runs
+  /// DecideUncached under the decision cache, never caches an aborted
+  /// result (including one surfaced from an injected std::bad_alloc), and
+  /// on abort erases the cache entries this decision inserted so a later
+  /// re-decide sees the same cache state as an engine that never started.
+  SemAcResult DecideWithToken(const PreparedQuery& q,
+                              CancelToken* cancel) const;
   /// `tracer` is non-null exactly when options_.trace_sink is set; every
-  /// instrumentation site guards on it (null = counters only).
+  /// instrumentation site guards on it (null = counters only). `cancel`
+  /// (may be null) is polled at every phase boundary and threaded into
+  /// every unbounded loop beneath; `chase_inserted` / `oracle_inserted`
+  /// report which shared-cache entries this call created (abort
+  /// rollback).
   SemAcResult DecideUncached(const PreparedQuery& q,
-                             obs::DecisionTracer* tracer) const;
+                             obs::DecisionTracer* tracer, CancelToken* cancel,
+                             bool* chase_inserted, bool* oracle_inserted) const;
   std::shared_ptr<const QueryChaseResult> ChaseOf(
-      const ConjunctiveQuery& q) const;
+      const ConjunctiveQuery& q, CancelToken* cancel = nullptr,
+      bool* inserted = nullptr) const;
   /// The persistent oracle for q, created on first use. The shared_ptr
   /// keeps the entry alive across a concurrent eviction; with the oracle
   /// cache disabled the entry is transient (computed, served, not stored),
   /// mirroring the free-function path. `built` (optional) reports whether
   /// this call constructed the oracle (observability: attributes the
-  /// rewriting's build cost to the decision that paid it).
+  /// rewriting's build cost to the decision that paid it). `cancel` (may
+  /// be null) bounds the construction; an oracle built under a fired
+  /// token is never cached and nullptr is returned. `inserted` reports
+  /// whether this call stored a fresh entry (abort rollback).
   std::shared_ptr<const OracleEntry> OracleFor(const PreparedQuery& q,
-                                               bool* built = nullptr) const;
+                                               bool* built = nullptr,
+                                               CancelToken* cancel = nullptr,
+                                               bool* inserted = nullptr) const;
   /// q1 ⊆Σ q2 through the chase cache (Lemma 1).
   Tri ContainedUnderCached(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) const;

@@ -199,11 +199,16 @@ bool ContainmentOracle::PassesPredicateFilter(
   return true;
 }
 
-Tri ContainmentOracle::Decide(const ConjunctiveQuery& candidate) const {
+Tri ContainmentOracle::Decide(const ConjunctiveQuery& candidate,
+                              CancelToken* cancel) const {
   if (rewriting_ != nullptr) {
+    // Rewriting evaluation is one frozen-query UCQ check — cheap relative
+    // to the per-candidate poll granularity, so it runs to completion.
     return RewriteContained(candidate, *rewriting_);
   }
-  return ContainedUnder(candidate, q_, sigma_, chase_options_);
+  ChaseOptions options = chase_options_;
+  options.cancel = cancel;
+  return ContainedUnder(candidate, q_, sigma_, options);
 }
 
 Tri ContainmentOracle::DecideChaseFree(
@@ -264,10 +269,11 @@ bool ContainmentOracle::CmDfs(const std::vector<Atom>& target_atoms,
   return false;
 }
 
-Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate) const {
-  if (!synchronized_) return ContainedInQLocked(candidate);
+Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate,
+                                    CancelToken* cancel) const {
+  if (!synchronized_) return ContainedInQLocked(candidate, cancel);
   std::lock_guard<std::mutex> lock(mu_);
-  return ContainedInQLocked(candidate);
+  return ContainedInQLocked(candidate, cancel);
 }
 
 size_t ContainmentOracle::cache_hits() const {
@@ -294,9 +300,11 @@ size_t ContainmentOracle::memo_bytes() const {
   return memo_bytes_;
 }
 
-Tri ContainmentOracle::ContainedInQLocked(
-    const ConjunctiveQuery& candidate) const {
-  if (!memoize_) return Decide(candidate);
+Tri ContainmentOracle::ContainedInQLocked(const ConjunctiveQuery& candidate,
+                                          CancelToken* cancel) const {
+  SEMACYC_FAILPOINT("oracle.candidate", cancel);
+  if (cancel != nullptr && cancel->Poll()) return Tri::kUnknown;
+  if (!memoize_) return Decide(candidate, cancel);
   if (prefilter_ && !PassesPredicateFilter(candidate)) {
     ++prefiltered_;
     return Tri::kNo;
@@ -315,7 +323,11 @@ Tri ContainmentOracle::ContainedInQLocked(
     }
   }
   ++misses_;
-  Tri answer = Decide(candidate);
+  Tri answer = Decide(candidate, cancel);
+  // An answer computed under a fired token may rest on a truncated chase
+  // or hom search: never memoize it, so a later uncancelled call (or the
+  // post-abort parity re-decide) recomputes it exactly.
+  if (cancel != nullptr && cancel->triggered()) return Tri::kUnknown;
   // Running memo footprint for honest cache accounting: the candidate
   // copy plus pair/bucket bookkeeping (an empty bucket also costs a map
   // node, folded into the per-entry constant).
@@ -373,7 +385,8 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
                                               const ContainmentOracle& oracle,
                                               size_t max_homs,
                                               acyclic::AcyclicityClass target,
-                                              const WitnessTuning& tuning) {
+                                              const WitnessTuning& tuning,
+                                              CancelToken* cancel) {
   WitnessSearchOutcome outcome;
   Substitution fixed;
   for (size_t i = 0; i < q.head().size(); ++i) {
@@ -384,11 +397,16 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
   HomOptions options;
   options.fixed = fixed;
   options.max_solutions = max_homs;
+  options.cancel = cancel;
   HomResult homs = FindHomomorphisms(q.body(), chase.instance, options);
   outcome.exhausted = !homs.budget_exhausted &&
                       (max_homs == 0 || homs.solutions.size() < max_homs);
   CandidateDedup tested(tuning.legacy);
   for (const Substitution& h : homs.solutions) {
+    if (cancel != nullptr && cancel->Poll()) {
+      outcome.exhausted = false;
+      return outcome;
+    }
     Instance image;
     for (const Atom& a : q.body()) image.Insert(Apply(h, a));
     if (!MeetsAcyclicityClass(image.atoms(), ConnectingTerms::kAllTerms,
@@ -398,12 +416,13 @@ WitnessSearchOutcome FindWitnessInQueryImages(const ConjunctiveQuery& q,
     ConjunctiveQuery candidate = QueryFromInstance(image, chase.frozen_head);
     if (!tested.Insert(candidate)) continue;
     ++outcome.candidates_tested;
-    if (oracle.ContainedInQ(candidate) == Tri::kYes) {
+    if (oracle.ContainedInQ(candidate, cancel) == Tri::kYes) {
       outcome.answer = Tri::kYes;
       outcome.witness = std::move(candidate);
       return outcome;
     }
   }
+  if (cancel != nullptr && cancel->triggered()) outcome.exhausted = false;
   return outcome;
 }
 
@@ -412,7 +431,8 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
                                                const ContainmentOracle& oracle,
                                                size_t max_atoms, size_t budget,
                                                acyclic::AcyclicityClass target,
-                                               const WitnessTuning& tuning) {
+                                               const WitnessTuning& tuning,
+                                               CancelToken* cancel) {
   (void)q;  // the chase already encodes q; kept for interface symmetry
   WitnessSearchOutcome outcome;
   const auto& atoms = chase.instance.atoms();
@@ -488,7 +508,7 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
   auto test_candidate = [&](ConjunctiveQuery candidate) -> bool {
     if (!tested.Insert(candidate)) return false;
     ++outcome.candidates_tested;
-    if (oracle.ContainedInQ(candidate) == Tri::kYes) {
+    if (oracle.ContainedInQ(candidate, cancel) == Tri::kYes) {
       outcome.answer = Tri::kYes;
       outcome.witness = std::move(candidate);
       return true;
@@ -501,8 +521,13 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
   // iterative deepening on the subset size.
   std::function<bool(size_t, size_t)> dfs = [&](size_t next,
                                                 size_t limit) -> bool {
+    SEMACYC_FAILPOINT("subsets.visit", cancel);
     if (++visits > budget) {
       truncated = true;
+      return false;
+    }
+    if (cancel != nullptr && cancel->Poll()) {
+      truncated = true;  // a fired token truncates like an exhausted budget
       return false;
     }
     if (!subset.empty()) {
@@ -561,6 +586,9 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
       break;
     }
   }
+  // A token fired during the last oracle check truncates the search even
+  // when no later DFS poll ran to observe it.
+  if (cancel != nullptr && cancel->triggered()) truncated = true;
   if (!found) outcome.exhausted = !truncated;
   outcome.visits = visits;
   outcome.classifier_pushes = inc.pushes();
@@ -593,7 +621,7 @@ class CandidateEnumerator {
                       const QueryChaseResult& chase,
                       const ContainmentOracle& oracle, size_t max_atoms,
                       size_t budget, acyclic::AcyclicityClass target,
-                      const WitnessTuning& tuning)
+                      const WitnessTuning& tuning, CancelToken* cancel)
       : q_(q),
         chase_(chase),
         oracle_(oracle),
@@ -601,10 +629,15 @@ class CandidateEnumerator {
         budget_(budget),
         target_(target),
         tuning_(tuning),
+        cancel_(cancel),
         inc_(target),
         hom_(chase.instance),
         use_inc_hom_(!tuning.legacy && tuning.incremental_hom),
         tested_(tuning.legacy) {
+    // The incremental session bails from repair search once the token
+    // fires; its outcomes are then discarded with the whole enumeration.
+    hom_.SetCancel(cancel);
+    hom_options_.cancel = cancel;
     // Signature: predicates of q plus head predicates of Σ's tgds (only
     // those can occur in chase(q,Σ), hence in any witness).
     std::unordered_set<uint32_t> seen;
@@ -661,6 +694,10 @@ class CandidateEnumerator {
     const size_t k = q_.head().size();
     std::vector<int> block(k, -1);
     EnumerateHeadPatterns(0, &block, 0);
+    // A fired token may have pruned subtrees silently (a cancelled chase
+    // hom check reports "no hom" and the enumeration skips the subtree),
+    // so the whole run counts as truncated even if no visit poll tripped.
+    if (cancel_ != nullptr && cancel_->triggered()) truncated_ = true;
     outcome_.exhausted = !truncated_;
     outcome_.visits = visits_;
     outcome_.classifier_pushes = inc_.pushes();
@@ -799,7 +836,7 @@ class CandidateEnumerator {
     ConjunctiveQuery candidate(head_, atoms_);
     if (!tested_.Insert(candidate)) return;
     ++outcome_.candidates_tested;
-    if (oracle_.ContainedInQ(candidate) == Tri::kYes) {
+    if (oracle_.ContainedInQ(candidate, cancel_) == Tri::kYes) {
       outcome_.answer = Tri::kYes;
       outcome_.witness = std::move(candidate);
     }
@@ -807,8 +844,13 @@ class CandidateEnumerator {
 
   void Search() {
     if (truncated_ || outcome_.answer == Tri::kYes) return;
+    SEMACYC_FAILPOINT("exhaustive.visit", cancel_);
     if (++visits_ > budget_) {
       truncated_ = true;
+      return;
+    }
+    if (cancel_ != nullptr && cancel_->Poll()) {
+      truncated_ = true;  // a fired token truncates like an exhausted budget
       return;
     }
     TestCandidate();
@@ -924,6 +966,7 @@ class CandidateEnumerator {
   size_t budget_;
   acyclic::AcyclicityClass target_;
   WitnessTuning tuning_;
+  CancelToken* cancel_;
 
   std::vector<Predicate> predicates_;
   std::vector<Term> constants_;
@@ -959,9 +1002,10 @@ WitnessSearchOutcome ExhaustiveWitnessSearch(const ConjunctiveQuery& q,
                                              const ContainmentOracle& oracle,
                                              size_t max_atoms, size_t budget,
                                              acyclic::AcyclicityClass target,
-                                             const WitnessTuning& tuning) {
+                                             const WitnessTuning& tuning,
+                                             CancelToken* cancel) {
   CandidateEnumerator enumerator(q, sigma, chase, oracle, max_atoms, budget,
-                                 target, tuning);
+                                 target, tuning, cancel);
   return enumerator.Run();
 }
 

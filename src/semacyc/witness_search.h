@@ -95,8 +95,12 @@ class ContainmentOracle {
                     bool try_rewriting = true, bool memoize = true,
                     bool synchronized = false);
 
-  /// candidate ⊆Σ q.
-  Tri ContainedInQ(const ConjunctiveQuery& candidate) const;
+  /// candidate ⊆Σ q. `cancel` (nullptr = not cancellable) is polled per
+  /// check and threaded into the candidate's chase; once the token has
+  /// triggered the answer is kUnknown and is NOT memoized — a later
+  /// uncancelled call recomputes it exactly.
+  Tri ContainedInQ(const ConjunctiveQuery& candidate,
+                   CancelToken* cancel = nullptr) const;
   /// True when kNo answers are exact.
   bool exact() const { return exact_; }
   /// Whether the cached-rewriting fast path is active.
@@ -118,8 +122,9 @@ class ContainmentOracle {
   size_t prefiltered() const;
 
  private:
-  Tri ContainedInQLocked(const ConjunctiveQuery& candidate) const;
-  Tri Decide(const ConjunctiveQuery& candidate) const;
+  Tri ContainedInQLocked(const ConjunctiveQuery& candidate,
+                         CancelToken* cancel) const;
+  Tri Decide(const ConjunctiveQuery& candidate, CancelToken* cancel) const;
   Tri DecideChaseFree(const ConjunctiveQuery& candidate) const;
   bool PassesPredicateFilter(const ConjunctiveQuery& candidate) const;
 
@@ -214,6 +219,14 @@ struct WitnessSearchOutcome {
 /// only when their hypergraph lies in `target` or a stricter class. kAlpha
 /// reproduces the paper's notion; kBeta/kGamma search for witnesses from
 /// the stricter strata of the hierarchy (see acyclic/classify.h).
+///
+/// Every strategy also takes a `cancel` token (nullptr = not cancellable):
+/// it is polled per DFS visit and threaded into every per-candidate oracle
+/// check. A fired token truncates the search exactly like an exhausted
+/// budget — the outcome reports exhausted = false (so no kNo claim can be
+/// built on it) with the candidates tested so far as partial evidence. A
+/// kYes found before the token fired stays valid: witnesses are verified
+/// constructively.
 
 /// Strategy "images": every homomorphic image of q inside the chase whose
 /// atom set meets `target` is a candidate (q ⊆Σ image by construction).
@@ -221,7 +234,7 @@ WitnessSearchOutcome FindWitnessInQueryImages(
     const ConjunctiveQuery& q, const QueryChaseResult& chase,
     const ContainmentOracle& oracle, size_t max_homs,
     acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
-    const WitnessTuning& tuning = {});
+    const WitnessTuning& tuning = {}, CancelToken* cancel = nullptr);
 
 /// Strategy "subsets": `target`-acyclic sub-instances of the chase
 /// mentioning all answer terms, up to `max_atoms` atoms (q ⊆Σ subset by
@@ -230,7 +243,7 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(
     const ConjunctiveQuery& q, const QueryChaseResult& chase,
     const ContainmentOracle& oracle, size_t max_atoms, size_t budget,
     acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
-    const WitnessTuning& tuning = {});
+    const WitnessTuning& tuning = {}, CancelToken* cancel = nullptr);
 
 /// Strategy "exhaustive": canonical enumeration of `target`-acyclic CQs up
 /// to `max_atoms` atoms over the predicates that can occur in chase(q,Σ),
@@ -245,7 +258,7 @@ WitnessSearchOutcome ExhaustiveWitnessSearch(
     const QueryChaseResult& chase, const ContainmentOracle& oracle,
     size_t max_atoms, size_t budget,
     acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
-    const WitnessTuning& tuning = {});
+    const WitnessTuning& tuning = {}, CancelToken* cancel = nullptr);
 
 }  // namespace semacyc
 

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/interrupt.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/engine.h"
+
+namespace semacyc {
+namespace {
+
+#if !(defined(SEMACYC_FAILPOINTS_ENABLED) && SEMACYC_FAILPOINTS_ENABLED)
+
+TEST(FaultInjectionTest, FailpointsCompiledOut) {
+  GTEST_SKIP() << "built with SEMACYC_FAILPOINTS=OFF; failpoint sites are "
+                  "compiled away, nothing to inject";
+}
+
+#else  // failpoints compiled in
+
+/// Every cancel/bad_alloc injection site reachable from Engine::Decide.
+/// Keep in sync with the catalogue in docs/ROBUSTNESS.md.
+const char* const kDecideFailpoints[] = {
+    "decide.start",          "decide.after_core",
+    "decide.after_chase",    "decide.after_oracle",
+    "decide.after_compaction", "decide.after_images",
+    "decide.after_subsets",  "decide.after_exhaustive",
+    "chase.round",           "rewrite.step",
+    "oracle.candidate",      "subsets.visit",
+    "exhaustive.visit",
+};
+
+void ExpectAborted(const SemAcResult& r) {
+  EXPECT_EQ(r.answer, SemAcAnswer::kUnknown);
+  EXPECT_EQ(r.strategy, Strategy::kDeadlineExceeded);
+  EXPECT_FALSE(r.exact);
+  EXPECT_FALSE(r.witness.has_value());
+}
+
+void ExpectSameDecision(const SemAcResult& a, const SemAcResult& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.answer, b.answer) << context;
+  EXPECT_EQ(a.strategy, b.strategy) << context;
+  EXPECT_EQ(a.exact, b.exact) << context;
+  EXPECT_EQ(a.witness.has_value(), b.witness.has_value()) << context;
+  if (a.witness.has_value() && b.witness.has_value()) {
+    EXPECT_TRUE(AreIsomorphic(*a.witness, *b.witness)) << context;
+  }
+}
+
+struct Workload {
+  std::string name;
+  DependencySet sigma;
+  std::vector<ConjunctiveQuery> queries;
+};
+
+/// One workload per generator family / schema class: guarded (chase-based
+/// oracles), non-recursive (UCQ-rewriting oracles, so rewrite.step is
+/// reachable), and egds (the K2 equality machinery).
+std::vector<Workload> Workloads() {
+  std::vector<Workload> out;
+  Generator gen(23);
+  {
+    Workload w;
+    w.name = "guarded";
+    w.sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+    w.queries.push_back(MustParseQuery("T(x,y), E(y,z), E(z,x)"));
+    w.queries.push_back(gen.CycleQuery(4));
+    w.queries.push_back(gen.RandomAcyclicQuery(4, 2, 2, "E"));
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "nr";
+    w.sigma = MustParseDependencySet("B1(x,y), B2(y,z) -> B3(z,x)");
+    w.queries.push_back(MustParseQuery("B1(x,y), B2(y,z), B3(z,x)"));
+    w.queries.push_back(gen.CycleQuery(3, "B3"));
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "egd";
+    w.sigma = MustParseDependencySet("R(a,b), R(a,c) -> b = c");
+    w.queries.push_back(MustParseQuery("R(x,y), R(x,z), E(y,z)"));
+    w.queries.push_back(MustParseQuery("E(a,b), E(b,c), E(c,a)"));
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+SemAcOptions SweepOptions() {
+  SemAcOptions options;
+  options.subset_budget = 8000;
+  options.exhaustive_budget = 8000;
+  return options;
+}
+
+/// Per-cache insert/miss deltas of one decision; the post-abort parity
+/// checks compare these against a fresh engine's first decision.
+struct CacheDeltas {
+  size_t inserts[4];
+  size_t misses[4];
+};
+
+CacheDeltas Delta(const EngineCacheStats& before,
+                  const EngineCacheStats& after) {
+  CacheDeltas d;
+  const CacheStats* b[4] = {&before.chase, &before.rewrite, &before.oracles,
+                            &before.decisions};
+  const CacheStats* a[4] = {&after.chase, &after.rewrite, &after.oracles,
+                            &after.decisions};
+  for (int i = 0; i < 4; ++i) {
+    d.inserts[i] = a[i]->inserts - b[i]->inserts;
+    d.misses[i] = a[i]->misses - b[i]->misses;
+  }
+  return d;
+}
+
+void ExpectSameDeltas(const CacheDeltas& x, const CacheDeltas& y,
+                      const std::string& context) {
+  const char* names[4] = {"chase", "rewrite", "oracles", "decisions"};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(x.inserts[i], y.inserts[i]) << context << " " << names[i]
+                                          << " inserts";
+    EXPECT_EQ(x.misses[i], y.misses[i]) << context << " " << names[i]
+                                        << " misses";
+  }
+}
+
+/// RAII: no test leaves the process-global registry armed.
+struct DisarmOnExit {
+  ~DisarmOnExit() { FailpointRegistry::Global().DisarmAll(); }
+};
+
+/// The tentpole invariant: abort at ANY failpoint leaves the engine
+/// exactly as reusable as one that never saw the query. For every
+/// failpoint × workload × query × fire-on-hit K: inject a cancel, then
+/// disarm and re-decide on the SAME engine — result and per-cache work
+/// must match a fresh engine's first decision of that query.
+TEST(FaultInjectionTest, CancelAtEveryFailpointLeavesEngineCoherent) {
+  DisarmOnExit cleanup;
+  auto& reg = FailpointRegistry::Global();
+  for (const Workload& w : Workloads()) {
+    for (const ConjunctiveQuery& q : w.queries) {
+      for (const char* point : kDecideFailpoints) {
+        for (uint64_t fire_on : {uint64_t{1}, uint64_t{25}}) {
+          std::string context = w.name + " / " + q.ToString() + " / " +
+                                point + "@" + std::to_string(fire_on);
+          Engine engine(w.sigma, SweepOptions());
+          PreparedQuery pq = engine.Prepare(q);
+
+          reg.Arm(point, FailpointAction::kCancel, fire_on);
+          CancelToken token;
+          SemAcResult injected = engine.Decide(pq, &token);
+          bool fired = reg.Fired(point);
+          reg.DisarmAll();
+
+          // A failpoint this decision never reached (or reached fewer
+          // than K times) leaves the decision untouched; one that fired
+          // must abort it gracefully.
+          if (fired) {
+            ExpectAborted(injected);
+          } else {
+            EXPECT_NE(injected.strategy, Strategy::kDeadlineExceeded)
+                << context;
+          }
+
+          // Post-abort parity on the same engine vs a fresh engine.
+          EngineCacheStats before = engine.Stats();
+          SemAcResult warm = engine.Decide(pq);
+          CacheDeltas warm_delta = Delta(before, engine.Stats());
+
+          Engine fresh(w.sigma, SweepOptions());
+          PreparedQuery fresh_pq = fresh.Prepare(q);
+          EngineCacheStats fresh_before = fresh.Stats();
+          SemAcResult cold = fresh.Decide(fresh_pq);
+          CacheDeltas cold_delta = Delta(fresh_before, fresh.Stats());
+
+          ExpectSameDecision(cold, warm, context);
+          if (fired) {
+            // The aborted attempt was fully rolled back, so the re-decide
+            // repeats the fresh engine's cache work exactly. (Without a
+            // firing the first decide populated the caches and the warm
+            // deltas are legitimately all-hit.)
+            ExpectSameDeltas(warm_delta, cold_delta, context);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Simulated allocation failure: a std::bad_alloc thrown mid-pipeline
+/// must never escape Decide, must surface as the same graceful abort, and
+/// must leave the engine reusable. No CancelToken needed — the throw
+/// itself is the interruption.
+TEST(FaultInjectionTest, BadAllocAnywhereIsContainedAndRecoverable) {
+  DisarmOnExit cleanup;
+  auto& reg = FailpointRegistry::Global();
+  for (const Workload& w : Workloads()) {
+    const ConjunctiveQuery& q = w.queries.front();
+    for (const char* point : kDecideFailpoints) {
+      std::string context = w.name + " / bad_alloc @ " + point;
+      Engine engine(w.sigma, SweepOptions());
+      PreparedQuery pq = engine.Prepare(q);
+
+      reg.Arm(point, FailpointAction::kBadAlloc);
+      SemAcResult injected;
+      EXPECT_NO_THROW(injected = engine.Decide(pq)) << context;
+      bool fired = reg.Fired(point);
+      reg.DisarmAll();
+      if (fired) ExpectAborted(injected);
+
+      SemAcResult warm = engine.Decide(pq);
+      Engine fresh(w.sigma, SweepOptions());
+      SemAcResult cold = fresh.Decide(fresh.Prepare(q));
+      ExpectSameDecision(cold, warm, context);
+    }
+  }
+}
+
+/// The flip failpoint drives the exhaustive strategy through its
+/// non-default hom-machinery configuration; WitnessTuning switches are
+/// answer-preserving, so the decision must not change.
+TEST(FaultInjectionTest, FlipIncrementalHomPreservesAnswers) {
+  DisarmOnExit cleanup;
+  auto& reg = FailpointRegistry::Global();
+  Generator gen(23);
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  // A cyclic query that walks the full pipeline into the exhaustive
+  // strategy (budgets high enough for the flip site to be reached).
+  ConjunctiveQuery q = gen.CycleQuery(4);
+
+  Engine plain(sigma, SweepOptions());
+  SemAcResult reference = plain.Decide(plain.Prepare(q));
+
+  reg.Arm("exhaustive.flip_inc_hom", FailpointAction::kFlipBranch);
+  Engine flipped(sigma, SweepOptions());
+  SemAcResult flipped_result = flipped.Decide(flipped.Prepare(q));
+  EXPECT_TRUE(reg.Fired("exhaustive.flip_inc_hom"));
+  reg.DisarmAll();
+
+  ExpectSameDecision(reference, flipped_result, "flip_inc_hom");
+}
+
+/// Environment-spec arming is how CI and operators reach the registry;
+/// make sure a spec armed through the same parser the env path uses
+/// actually aborts a decision.
+TEST(FaultInjectionTest, SpecArmedFailpointFires) {
+  DisarmOnExit cleanup;
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.ArmFromSpec("decide.after_chase=cancel@1"));
+  Generator gen(23);
+  Engine engine(MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)"),
+                SweepOptions());
+  CancelToken token;
+  SemAcResult r = engine.Decide(engine.Prepare(gen.CycleQuery(4)), &token);
+  ExpectAborted(r);
+}
+
+#endif  // SEMACYC_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace semacyc
