@@ -1,0 +1,364 @@
+// bench_serve_load: closed-loop load generator for the semacycd decision
+// service (src/serve/). Spins up an in-process Server on an ephemeral
+// loopback port and drives it with N persistent connections x M queries
+// each, measuring what the paper's engine looks like behind a socket:
+//
+//  1. Connection sweep (1 / 8 / 32 connections): per-request p50/p99
+//     latency, aggregate throughput, shed rate. The query mix is warmed
+//     first, so the sweep prices the serving path itself — protocol
+//     parse, queue, decision-cache hit, response flush — not the one-off
+//     decision cost the engine benches already cover.
+//  2. Shed pressure: one worker, queue high-water 1, deadline-bounded
+//     heavy decisions from 4 connections — most requests must come back
+//     as immediate {"status": "overloaded"} lines, and every request
+//     still gets exactly one response.
+//
+// `--gate` (CI tier-1) additionally enforces decision-outcome parity —
+// every sweep response is byte-identical to `semacyc_cli --batch` output
+// from a direct Engine call on the same schema — plus shed-rate sanity
+// (sweep sheds nothing, pressure sheds something, no lost responses).
+// Self-timed; `--json` emits BENCH_serve_load.json via JsonReport.
+//
+// `--client PORT` turns the binary into a scripted-session client: lines
+// from stdin go to 127.0.0.1:PORT one at a time, each response line is
+// printed to stdout. The CI server smoke drives a real semacycd process
+// through this mode.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "chase/dependency.h"
+#include "gen/generators.h"
+#include "semacyc/engine.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace semacyc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using serve::Server;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+DependencySet SweepSigma() {
+  return MustParseDependencySet(
+      "Interest(x,z), Class(y,z) -> Owns(x,y)\n"
+      "Owns(x,y) -> Listed(y)\n");
+}
+
+/// The request mix for the connection sweep: distinct shapes so the
+/// decision cache holds several entries, repeated round-robin by every
+/// connection.
+std::vector<std::string> SweepQueries() {
+  return {
+      "q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)",
+      "q(a,b) :- Owns(a,b), Listed(b)",
+      "q(x) :- Interest(x,z), Class(y,z), Owns(x,y), Listed(y)",
+      "q(x,y) :- Owns(x,y), Owns(y,x)",
+      "q(u) :- Listed(u)",
+      "q(x,y,z) :- Interest(x,z), Class(y,z)",
+  };
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct LoadResult {
+  std::vector<double> latencies_ms;  // decided requests only
+  size_t sent = 0;
+  size_t decided = 0;
+  size_t shed = 0;
+  size_t errors = 0;  // transport failures / missing responses
+  double wall_ms = 0;
+};
+
+/// Runs `connections` closed-loop client threads against the server, each
+/// sending `per_connection` lines from `lines` round-robin (offset by the
+/// connection index so concurrent connections don't march in lockstep).
+LoadResult RunClosedLoop(uint16_t port, size_t connections,
+                         size_t per_connection,
+                         const std::vector<std::string>& lines) {
+  std::vector<LoadResult> per_conn(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  auto wall_start = Clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      LoadResult& out = per_conn[c];
+      serve::LineClient client;
+      std::string error;
+      if (!client.Connect(port, &error)) {
+        out.errors = per_connection;
+        return;
+      }
+      for (size_t i = 0; i < per_connection; ++i) {
+        const std::string& line = lines[(c + i) % lines.size()];
+        auto start = Clock::now();
+        if (!client.SendLine(line)) {
+          ++out.errors;
+          break;
+        }
+        std::optional<std::string> response = client.RecvLine(30000);
+        double ms = MillisSince(start);
+        ++out.sent;
+        if (!response.has_value()) {
+          ++out.errors;
+          break;
+        }
+        if (*response == serve::OverloadedResponse()) {
+          ++out.shed;
+        } else {
+          ++out.decided;
+          out.latencies_ms.push_back(ms);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LoadResult total;
+  total.wall_ms = MillisSince(wall_start);
+  for (LoadResult& r : per_conn) {
+    total.sent += r.sent;
+    total.decided += r.decided;
+    total.shed += r.shed;
+    total.errors += r.errors;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  return total;
+}
+
+int SweepSection(bench::JsonReport* report, bool gate) {
+  bench::Banner(
+      "S-P1 - connection sweep against the in-process decision service",
+      "a single poll loop + fixed worker pool serves warmed decisions "
+      "from persistent loopback connections with sub-millisecond medians "
+      "and zero shedding below the queue high-water mark");
+  serve::ServerOptions options;
+  options.workers = 4;
+  options.queue_high_water = 64;
+  Server server(SweepSigma(), options);
+  if (!server.ok()) {
+    std::printf("*** server failed to start: %s\n", server.error().c_str());
+    return 1;
+  }
+  std::thread runner([&server] { server.Run(); });
+  const std::vector<std::string> queries = SweepQueries();
+  int failures = 0;
+
+  // Warm every query once over one connection, capturing the responses
+  // for the parity gate: each must be byte-identical to the CLI batch
+  // path over a direct Engine on the same schema (serve/protocol.h is
+  // the shared renderer, so any drift here is a real protocol bug).
+  {
+    serve::LineClient warm;
+    std::string error;
+    if (!warm.Connect(server.port(), &error)) {
+      std::printf("*** warmup connect failed: %s\n", error.c_str());
+      server.RequestShutdown();
+      runner.join();
+      return 1;
+    }
+    Engine reference(SweepSigma(), SemAcOptions{});
+    for (const std::string& q : queries) {
+      warm.SendLine(q);
+      std::optional<std::string> served = warm.RecvLine(30000);
+      std::optional<std::string> direct =
+          serve::BatchLineResponse(reference, q, 0, nullptr);
+      bool parity = served.has_value() && direct.has_value() &&
+                    *served == *direct;
+      if (!parity) {
+        std::printf("*** parity gate: served response differs for %s\n",
+                    q.c_str());
+        ++failures;
+      }
+      report->AddRow(
+          "parity",
+          {{"query", bench::JsonReport::Str(q)},
+           {"parity", parity ? "true" : "false"}});
+    }
+  }
+
+  bench::Table table({"connections", "requests", "p50 ms", "p99 ms",
+                      "throughput qps", "shed"});
+  const size_t per_connection = 200;
+  for (size_t connections : {size_t{1}, size_t{8}, size_t{32}}) {
+    LoadResult r =
+        RunClosedLoop(server.port(), connections, per_connection, queries);
+    double p50 = Percentile(&r.latencies_ms, 0.50);
+    double p99 = Percentile(&r.latencies_ms, 0.99);
+    double qps = r.wall_ms > 0
+                     ? static_cast<double>(r.decided) / (r.wall_ms / 1000.0)
+                     : 0.0;
+    char p50s[32], p99s[32], qpss[32];
+    std::snprintf(p50s, sizeof(p50s), "%.3f", p50);
+    std::snprintf(p99s, sizeof(p99s), "%.3f", p99);
+    std::snprintf(qpss, sizeof(qpss), "%.0f", qps);
+    table.AddRow({std::to_string(connections), std::to_string(r.sent), p50s,
+                  p99s, qpss, std::to_string(r.shed)});
+    report->AddRow(
+        "sweep",
+        {{"connections",
+          bench::JsonReport::Num(static_cast<double>(connections))},
+         {"requests", bench::JsonReport::Num(static_cast<double>(r.sent))},
+         {"p50_ms", bench::JsonReport::Num(p50)},
+         {"p99_ms", bench::JsonReport::Num(p99)},
+         {"throughput_qps", bench::JsonReport::Num(qps)},
+         {"shed", bench::JsonReport::Num(static_cast<double>(r.shed))}});
+    // Sanity gates: every request answered, none shed (the mix is warmed
+    // decision-cache hits far below the high-water mark).
+    if (r.errors != 0 || r.sent != connections * per_connection) {
+      std::printf("*** %zu-connection row lost responses: sent=%zu "
+                  "errors=%zu\n",
+                  connections, r.sent, r.errors);
+      ++failures;
+    }
+    if (r.shed != 0) {
+      std::printf("*** %zu-connection row shed %zu requests below the "
+                  "high-water mark\n",
+                  connections, r.shed);
+      ++failures;
+    }
+  }
+  table.Print();
+  server.RequestShutdown();
+  runner.join();
+  return gate ? failures : 0;
+}
+
+int ShedSection(bench::JsonReport* report, bool gate) {
+  bench::Banner(
+      "S-P2 - load shedding under a starved worker pool",
+      "with one worker and queue high-water 1, a burst of deadline-bounded "
+      "heavy decisions is shed with immediate overloaded lines instead of "
+      "queueing without bound; every request still gets one response");
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.queue_high_water = 1;
+  options.default_deadline_ms = 50;
+  options.semac.subset_budget = 500000000;
+  options.semac.exhaustive_budget = 500000000;
+  Server server(MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)"), options);
+  if (!server.ok()) {
+    std::printf("*** server failed to start: %s\n", server.error().c_str());
+    return 1;
+  }
+  std::thread runner([&server] { server.Run(); });
+  // Heavy cyclic enumerations: each admitted decision burns its full
+  // 50ms deadline, so a 4x8 closed-loop burst keeps the pool saturated.
+  Generator gen(7);
+  std::vector<std::string> lines = {gen.CycleQuery(5).ToString(),
+                                    gen.CycleQuery(6).ToString()};
+  LoadResult r = RunClosedLoop(server.port(), 4, 8, lines);
+  double shed_rate =
+      r.sent > 0 ? static_cast<double>(r.shed) / static_cast<double>(r.sent)
+                 : 0.0;
+  bench::Table table({"connections", "requests", "decided", "shed",
+                      "shed rate", "wall ms"});
+  char rates[32], walls[32];
+  std::snprintf(rates, sizeof(rates), "%.2f", shed_rate);
+  std::snprintf(walls, sizeof(walls), "%.1f", r.wall_ms);
+  table.AddRow({"4", std::to_string(r.sent), std::to_string(r.decided),
+                std::to_string(r.shed), rates, walls});
+  table.Print();
+  report->AddRow(
+      "shed_pressure",
+      {{"connections", bench::JsonReport::Num(4)},
+       {"requests", bench::JsonReport::Num(static_cast<double>(r.sent))},
+       {"decided", bench::JsonReport::Num(static_cast<double>(r.decided))},
+       {"shed", bench::JsonReport::Num(static_cast<double>(r.shed))},
+       {"shed_rate", bench::JsonReport::Num(shed_rate)},
+       {"wall_ms", bench::JsonReport::Num(r.wall_ms)}});
+  server.RequestShutdown();
+  runner.join();
+  int failures = 0;
+  if (r.errors != 0 || r.sent != 4 * 8) {
+    std::printf("*** pressure row lost responses: sent=%zu errors=%zu\n",
+                r.sent, r.errors);
+    ++failures;
+  }
+  if (r.shed == 0) {
+    std::printf("*** pressure row shed nothing under a starved pool\n");
+    ++failures;
+  }
+  if (r.decided == 0) {
+    std::printf("*** pressure row decided nothing - shedding everything "
+                "means the pool never ran\n");
+    ++failures;
+  }
+  return gate ? failures : 0;
+}
+
+/// `--client PORT`: scripted session against an already-running server.
+/// stdin lines go out one at a time; each response line prints to stdout.
+int ClientMode(uint16_t port) {
+  serve::LineClient client;
+  std::string error;
+  if (!client.Connect(port, &error)) {
+    std::fprintf(stderr, "connect 127.0.0.1:%u failed: %s\n", port,
+                 error.c_str());
+    return 1;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!client.SendLine(line)) {
+      std::fprintf(stderr, "send failed\n");
+      return 1;
+    }
+    // Comment lines get no response slot (docs/SERVING.md).
+    if (line[0] == '%') continue;
+    std::optional<std::string> response = client.RecvLine(30000);
+    if (!response.has_value()) {
+      std::fprintf(stderr, "no response for: %s\n", line.c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace semacyc
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--client") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s --client PORT\n", argv[0]);
+        return 1;
+      }
+      long port = std::strtol(argv[i + 1], nullptr, 10);
+      if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "bad port: %s\n", argv[i + 1]);
+        return 1;
+      }
+      return semacyc::ClientMode(static_cast<uint16_t>(port));
+    }
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+  }
+  semacyc::bench::JsonReport report(argc, argv, "serve_load");
+  int failures = semacyc::SweepSection(&report, gate) +
+                 semacyc::ShedSection(&report, gate);
+  return failures == 0 ? 0 : 1;
+}

@@ -32,6 +32,10 @@
 //                 answer "unknown", strategy "deadline-exceeded" — and the
 //                 batch continues with the next line.
 //
+// Serve mode (the semacycd network server as a CLI flag; one setup path,
+// docs/SERVING.md):
+//   semacyc_cli [--cache-mb <n>] [--deadline-ms <n>] --serve <port> <schema>
+//
 // Exit code, one-shot: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
 // Exit code, batch: 0 once the schema parsed (per-line errors are reported
 // as JSON on the line that failed), 3 on usage/schema errors.
@@ -53,68 +57,15 @@
 #include "core/parser.h"
 #include "deps/classify.h"
 #include "semacyc/engine.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 
 using namespace semacyc;
 
 namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void PrintCacheStatsJson(const char* name, const CacheStats& s,
-                         bool trailing_comma) {
-  std::printf(
-      "\"%s\": {\"entries\": %zu, \"bytes\": %zu, \"hits\": %zu, "
-      "\"misses\": %zu, \"inserts\": %zu, \"evictions\": %zu, "
-      "\"recharged_bytes\": %zu, \"max_bytes\": %zu}%s",
-      name, s.entries, s.bytes, s.hits, s.misses, s.inserts, s.evictions,
-      s.recharged_bytes, s.max_bytes, trailing_comma ? ", " : "");
-}
-
 void PrintStatsJson(const Engine& engine) {
-  EngineStats agg = engine.stats();
-  EngineCacheStats caches = engine.Stats();
-  std::printf(
-      "{\"stats\": {\"prepares\": %zu, \"decisions\": %zu, "
-      "\"oracle_hits\": %zu, \"oracle_misses\": %zu, "
-      "\"oracle_prefiltered\": %zu, \"deadline_ms\": %lld, \"caches\": {",
-      agg.prepares, agg.decisions, agg.oracle_hits, agg.oracle_misses,
-      agg.oracle_prefiltered,
-      static_cast<long long>(engine.options().deadline_ms));
-  PrintCacheStatsJson("chase", caches.chase, true);
-  PrintCacheStatsJson("rewrite", caches.rewrite, true);
-  PrintCacheStatsJson("oracles", caches.oracles, true);
-  PrintCacheStatsJson("decisions", caches.decisions, false);
-  std::printf("}}}\n");
+  std::printf("{\"stats\": %s}\n", serve::EngineStatsJson(engine).c_str());
 }
 
 /// `trace` enables per-decision trace lines; `trace_path` (optional)
@@ -172,45 +123,14 @@ int RunBatch(const char* schema_path, const char* queries_path,
   Engine engine(*sigma.value, options);
   std::string line;
   while (std::getline(in, line)) {
-    size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '%') continue;
-    ParseResult<ConjunctiveQuery> q = ParseQuery(line);
-    if (!q.ok()) {
-      std::printf("{\"query\": \"%s\", \"error\": \"%s\"}\n",
-                  JsonEscape(line).c_str(), JsonEscape(q.error).c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    // A malformed-but-parseable line (e.g. arity drift across atoms, a
-    // pathological query that trips an internal invariant) must not take
-    // the batch down: report it as a structured error and keep going,
-    // exactly like a parse failure.
-    try {
-      PreparedQuery pq = engine.Prepare(*q.value);
-      SemAcResult result = engine.Decide(pq);
-      std::printf(
-          "{\"query\": \"%s\", \"answer\": \"%s\", \"strategy\": \"%s\", "
-          "\"exact\": %s, \"class\": \"%s\", \"bound\": %zu, "
-          "\"bound_justified\": %s, \"candidates\": %zu",
-          JsonEscape(q->ToString()).c_str(), ToString(result.answer),
-          ToString(result.strategy), result.exact ? "true" : "false",
-          ToString(pq.acyclicity_class()), result.small_query_bound,
-          result.bound_justified ? "true" : "false",
-          result.candidates_tested);
-      if (deadline_ms > 0) {
-        std::printf(", \"deadline_ms\": %lld",
-                    static_cast<long long>(deadline_ms));
-      }
-      if (result.witness.has_value()) {
-        std::printf(", \"witness\": \"%s\", \"witness_class\": \"%s\"",
-                    JsonEscape(result.witness->ToString()).c_str(),
-                    ToString(result.witness_class));
-      }
-      std::printf("}\n");
-    } catch (const std::exception& e) {
-      std::printf("{\"query\": \"%s\", \"error\": \"internal: %s\"}\n",
-                  JsonEscape(line).c_str(), JsonEscape(e.what()).c_str());
-    }
+    // Exactly the line handler the semacycd server runs (parse errors and
+    // internal errors come back as the two-field JSON shape; blank and
+    // comment lines produce nothing) — one rendering path for both
+    // surfaces, so the batch and server schemas cannot drift.
+    std::optional<std::string> response =
+        serve::BatchLineResponse(engine, line, deadline_ms, nullptr);
+    if (!response.has_value()) continue;
+    std::printf("%s\n", response->c_str());
     std::fflush(stdout);
   }
 
@@ -290,6 +210,8 @@ void PrintUsage(FILE* out, const char* prog) {
                "[--cache-mb <n>]\n"
                "          [--deadline-ms <n>] --batch <schema-file> "
                "[<queries-file>]\n"
+               "       %s [--cache-mb <n>] [--deadline-ms <n>] "
+               "--serve <port> <schema-file>\n"
                "       %s --help\n"
                "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
                "  dependencies: tgds 'body -> head' and egds 'body -> x = "
@@ -325,12 +247,21 @@ void PrintUsage(FILE* out, const char* prog) {
                "                strategy deadline-exceeded) and the run "
                "continues;\n"
                "                default: none\n"
+               "  --serve:      run the semacycd network server on "
+               "127.0.0.1:<port>\n"
+               "                (0 = ephemeral) over <schema-file> — the "
+               "same JSON-lines\n"
+               "                protocol and server setup as the semacycd "
+               "binary\n"
+               "                (docs/SERVING.md); --cache-mb and "
+               "--deadline-ms apply,\n"
+               "                SIGTERM drains gracefully\n"
                "  --help:       print this reference and exit\n"
                "exit codes, one-shot: 0 yes, 1 no, 2 unknown, 3 "
                "usage/parse error\n"
                "exit codes, batch:    0 once the schema parsed, 3 on "
                "usage/schema errors\n",
-               prog, prog, prog);
+               prog, prog, prog, prog);
 }
 
 int Usage(const char* prog) {
@@ -342,6 +273,8 @@ int Usage(const char* prog) {
 
 int main(int argc, char** argv) {
   bool batch = false;
+  bool serve = false;
+  uint16_t serve_port = 0;
   bool print_stats = false;
   bool trace = false;
   bool print_metrics = false;
@@ -356,6 +289,22 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const char* text = argv[++i];
+      // Digits only, 0 allowed (0 = ephemeral port, printed on stderr).
+      if (*text == '\0') return Usage(argv[0]);
+      for (const char* c = text; *c != '\0'; ++c) {
+        if (*c < '0' || *c > '9') return Usage(argv[0]);
+      }
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(text, &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0' || n > 65535) {
+        return Usage(argv[0]);
+      }
+      serve = true;
+      serve_port = static_cast<uint16_t>(n);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -406,6 +355,32 @@ int main(int argc, char** argv) {
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  if (serve) {
+    // Thin wrapper over the semacycd server setup: same protocol, same
+    // ServeForever loop (docs/SERVING.md). The batch-only output flags
+    // have no meaning here.
+    if (batch || positional.size() != 1 || print_stats || trace ||
+        print_metrics) {
+      return Usage(argv[0]);
+    }
+    std::ifstream schema_file(positional[0]);
+    if (!schema_file) {
+      std::fprintf(stderr, "cannot open schema file: %s\n", positional[0]);
+      return 3;
+    }
+    std::stringstream schema_text;
+    schema_text << schema_file.rdbuf();
+    ParseResult<DependencySet> sigma = ParseDependencySet(schema_text.str());
+    if (!sigma.ok()) {
+      std::fprintf(stderr, "schema parse error: %s\n", sigma.error.c_str());
+      return 3;
+    }
+    serve::ServerOptions options;
+    options.port = serve_port;
+    options.cache_mb = cache_mb;
+    options.default_deadline_ms = deadline_ms;
+    return serve::ServeForever(*sigma.value, options);
   }
   if (batch) {
     if (positional.empty() || positional.size() > 2) return Usage(argv[0]);

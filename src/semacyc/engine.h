@@ -165,6 +165,13 @@ struct EngineCacheStats {
   CacheStats rewrite;
   CacheStats oracles;
   CacheStats decisions;
+
+  /// Resident bytes summed across the four caches — the per-tenant
+  /// accounting unit behind semacycd's split cache budgets (the server
+  /// reports one figure per tenant engine; see docs/SERVING.md).
+  size_t TotalBytes() const {
+    return chase.bytes + rewrite.bytes + oracles.bytes + decisions.bytes;
+  }
 };
 
 /// Aggregate cache counters (see Engine::stats).

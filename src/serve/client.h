@@ -1,0 +1,83 @@
+#ifndef SEMACYC_SERVE_CLIENT_H_
+#define SEMACYC_SERVE_CLIENT_H_
+
+#include <poll.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/socket.h"
+
+namespace semacyc::serve {
+
+/// Blocking JSON-lines client for the semacycd protocol — the loopback
+/// peer used by serve_test, the bench_serve_load generator, and its
+/// --client scripted-session mode. Deliberately simple: one socket, an
+/// input buffer, line-at-a-time send/recv with a timeout.
+class LineClient {
+ public:
+  LineClient() = default;
+
+  bool Connect(uint16_t port, std::string* error) {
+    sock_ = ConnectLoopback(port, error);
+    return sock_.valid();
+  }
+
+  bool connected() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  /// Sends `line` plus the terminating newline. False on a send error.
+  bool SendLine(const std::string& line) {
+    std::string framed = line;
+    framed += '\n';
+    size_t off = 0;
+    while (off < framed.size()) {
+      ssize_t n = ::send(sock_.fd(), framed.data() + off, framed.size() - off,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Receives the next response line (without the newline), waiting up to
+  /// `timeout_ms` (< 0 = forever). std::nullopt on timeout, peer close
+  /// with no buffered line, or error.
+  std::optional<std::string> RecvLine(int timeout_ms = -1) {
+    while (true) {
+      size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return line;
+      }
+      pollfd pfd{sock_.fd(), POLLIN, 0};
+      int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc == 0) return std::nullopt;  // timeout
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(sock_.fd(), chunk, sizeof(chunk), 0);
+      if (n == 0) return std::nullopt;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  Socket sock_;
+  std::string buffer_;
+};
+
+}  // namespace semacyc::serve
+
+#endif  // SEMACYC_SERVE_CLIENT_H_

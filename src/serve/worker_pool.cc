@@ -1,0 +1,64 @@
+#include "serve/worker_pool.h"
+
+#include <utility>
+
+namespace semacyc::serve {
+
+WorkerPool::WorkerPool(size_t workers, size_t queue_high_water)
+    : high_water_(queue_high_water) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+bool WorkerPool::TrySubmit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= high_water_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(std::move(job));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+size_t WorkerPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void WorkerPool::WorkerMain() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    job();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace semacyc::serve

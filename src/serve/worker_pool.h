@@ -1,0 +1,67 @@
+#ifndef SEMACYC_SERVE_WORKER_POOL_H_
+#define SEMACYC_SERVE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace semacyc::serve {
+
+/// Fixed pool of decision workers behind a bounded FIFO queue. The event
+/// loop hands a hard Decide to the pool and keeps accepting; when the
+/// queue is at its high-water mark TrySubmit refuses instead of queueing
+/// unboundedly — the caller sheds the request with an immediate
+/// overloaded response (docs/SERVING.md "Load shedding").
+///
+/// Thread contract: TrySubmit from any thread; jobs run on pool threads
+/// and must do their own result hand-off. Shutdown drains the queue
+/// (jobs submitted before it are still run — under a tripped drain token
+/// they finish fast) and joins the workers.
+class WorkerPool {
+ public:
+  using Job = std::function<void()>;
+
+  WorkerPool(size_t workers, size_t queue_high_water);
+  ~WorkerPool() { Shutdown(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `job` unless the queue holds queue_high_water jobs already
+  /// (returns false: shed) or the pool is shutting down (also false).
+  bool TrySubmit(Job job);
+
+  /// Stops accepting, runs every job already queued, joins the workers.
+  /// Idempotent.
+  void Shutdown();
+
+  /// Jobs currently queued (not yet picked up by a worker).
+  size_t queued() const;
+  /// Jobs currently executing on a worker.
+  size_t active() const { return active_.load(std::memory_order_relaxed); }
+  /// Lifetime counters: accepted submissions / refused (shed) ones.
+  size_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  size_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerMain();
+
+  const size_t high_water_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> active_{0};
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> shed_{0};
+};
+
+}  // namespace semacyc::serve
+
+#endif  // SEMACYC_SERVE_WORKER_POOL_H_
