@@ -36,6 +36,13 @@
 // docs/SERVING.md):
 //   semacyc_cli [--cache-mb <n>] [--deadline-ms <n>] --serve <port> <schema>
 //
+// Eval mode (Prop 24 FPT evaluation over a fact file, docs/DATAPLANE.md;
+// the database is loaded and dictionary-encoded once, then every query
+// runs the compiled semi-join program over it):
+//   semacyc_cli --eval --db <fact-file> '<query>' '<dependencies>'
+//   semacyc_cli --eval --db <fact-file> [--max-answers <n>] \
+//               --batch <schema-file> [<queries-file>]
+//
 // Exit code, one-shot: 0 = yes, 1 = no, 2 = unknown, 3 = usage/parse error.
 // Exit code, batch: 0 once the schema parsed (per-line errors are reported
 // as JSON on the line that failed), 3 on usage/schema errors.
@@ -55,6 +62,7 @@
 #include "core/hypergraph.h"
 #include "core/obs.h"
 #include "core/parser.h"
+#include "data/columnar.h"
 #include "deps/classify.h"
 #include "semacyc/engine.h"
 #include "serve/protocol.h"
@@ -70,11 +78,14 @@ void PrintStatsJson(const Engine& engine) {
 
 /// `trace` enables per-decision trace lines; `trace_path` (optional)
 /// redirects them to a file instead of stdout. `print_metrics` dumps
-/// Engine::Metrics() as one JSON line after the batch.
+/// Engine::Metrics() as one JSON line after the batch. A non-null
+/// `eval_db` switches every line from decide to eval (--eval --db):
+/// the same loop, with serve::EvalLineResponse rendering each line.
 int RunBatch(const char* schema_path, const char* queries_path,
              bool print_stats, size_t cache_mb, bool trace,
              const char* trace_path, bool print_metrics,
-             int64_t deadline_ms) {
+             int64_t deadline_ms, const data::ColumnarInstance* eval_db,
+             size_t max_answers) {
   std::ifstream schema_file(schema_path);
   if (!schema_file) {
     std::fprintf(stderr, "cannot open schema file: %s\n", schema_path);
@@ -128,7 +139,10 @@ int RunBatch(const char* schema_path, const char* queries_path,
     // comment lines produce nothing) — one rendering path for both
     // surfaces, so the batch and server schemas cannot drift.
     std::optional<std::string> response =
-        serve::BatchLineResponse(engine, line, deadline_ms, nullptr);
+        eval_db != nullptr
+            ? serve::EvalLineResponse(engine, *eval_db, line, deadline_ms,
+                                      nullptr, max_answers)
+            : serve::BatchLineResponse(engine, line, deadline_ms, nullptr);
     if (!response.has_value()) continue;
     std::printf("%s\n", response->c_str());
     std::fflush(stdout);
@@ -200,6 +214,38 @@ int RunOneShot(const char* query_text, const char* sigma_text,
   return 2;
 }
 
+/// One-shot eval: decide + reformulate + run the compiled semi-join
+/// program over `db`, printing the same JSON eval line the batch mode
+/// emits (one rendering path, serve::EvalResponse). The exit code maps
+/// the "status" field onto the one-shot convention: 0 ok, 1 not_found,
+/// 2 deadline_exceeded/unsupported, 3 parse/internal error.
+int RunEvalOneShot(const char* query_text, const char* sigma_text,
+                   const data::ColumnarInstance& db, int64_t deadline_ms,
+                   size_t max_answers) {
+  ParseResult<DependencySet> sigma = ParseDependencySet(sigma_text);
+  if (!sigma.ok()) {
+    std::fprintf(stderr, "dependency parse error: %s\n", sigma.error.c_str());
+    return 3;
+  }
+  EngineOptions options;
+  options.semac.deadline_ms = deadline_ms;
+  Engine engine(*sigma.value, options);
+  std::string line =
+      serve::EvalResponse(engine, db, query_text, deadline_ms,
+                          /*cancel=*/nullptr, max_answers);
+  std::printf("%s\n", line.c_str());
+  // The renderer is the single source of the "status" literals below
+  // (serve_test pins them); match on the rendered field rather than
+  // re-running the evaluation just to learn the exit code.
+  if (line.find("\"status\": \"ok\"") != std::string::npos) return 0;
+  if (line.find("\"status\": \"not_found\"") != std::string::npos) return 1;
+  if (line.find("\"status\": \"deadline_exceeded\"") != std::string::npos ||
+      line.find("\"status\": \"unsupported\"") != std::string::npos) {
+    return 2;
+  }
+  return 3;
+}
+
 /// The flag reference, shared by `--help` (stdout, exit 0) and usage
 /// errors (stderr, exit 3). docs/CLI.md documents the same flags — keep
 /// the two in sync.
@@ -212,6 +258,10 @@ void PrintUsage(FILE* out, const char* prog) {
                "[<queries-file>]\n"
                "       %s [--cache-mb <n>] [--deadline-ms <n>] "
                "--serve <port> <schema-file>\n"
+               "       %s --eval --db <fact-file> [--max-answers <n>] "
+               "[--deadline-ms <n>]\n"
+               "          '<query>' '<dependencies>'   |   --batch "
+               "<schema-file> [<queries-file>]\n"
                "       %s --help\n"
                "  query:        q(x,y) :- R(x,z), S(z,y)   (head optional)\n"
                "  dependencies: tgds 'body -> head' and egds 'body -> x = "
@@ -256,12 +306,31 @@ void PrintUsage(FILE* out, const char* prog) {
                "                (docs/SERVING.md); --cache-mb and "
                "--deadline-ms apply,\n"
                "                SIGTERM drains gracefully\n"
+               "  --eval:       evaluate instead of just deciding: "
+               "reformulate each\n"
+               "                query to an acyclic witness, then run the "
+               "vectorized\n"
+               "                semi-join program over the --db facts "
+               "(docs/DATAPLANE.md);\n"
+               "                one JSON line per query with status, "
+               "witness, answer_count,\n"
+               "                answers (capped) and cost counters\n"
+               "  --db:         fact file for --eval, one ground atom "
+               "R('a',42) per line\n"
+               "                ('%%' comments allowed); loaded and "
+               "dictionary-encoded once\n"
+               "  --max-answers: cap on tuples in each line's \"answers\" "
+               "array (0 = count\n"
+               "                only; answer_count is always the full "
+               "size); default 20\n"
                "  --help:       print this reference and exit\n"
                "exit codes, one-shot: 0 yes, 1 no, 2 unknown, 3 "
                "usage/parse error\n"
+               "            (--eval:  0 ok, 1 not_found, 2 "
+               "deadline/unsupported, 3 error)\n"
                "exit codes, batch:    0 once the schema parsed, 3 on "
                "usage/schema errors\n",
-               prog, prog, prog, prog);
+               prog, prog, prog, prog, prog);
 }
 
 int Usage(const char* prog) {
@@ -281,6 +350,10 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   size_t cache_mb = 0;
   int64_t deadline_ms = 0;
+  bool eval_mode = false;
+  const char* db_path = nullptr;
+  size_t max_answers = 20;
+  bool max_answers_set = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
@@ -334,6 +407,29 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       cache_mb = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--eval") == 0) {
+      eval_mode = true;
+    } else if (std::strcmp(argv[i], "--db") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      db_path = argv[++i];
+      if (*db_path == '\0') return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--max-answers") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const char* text = argv[++i];
+      // Digits only (strtoull would silently wrap "-1"); 0 is meaningful
+      // here — it asks for answer_count without the answers array.
+      if (*text == '\0') return Usage(argv[0]);
+      for (const char* c = text; *c != '\0'; ++c) {
+        if (*c < '0' || *c > '9') return Usage(argv[0]);
+      }
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(text, &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0') {
+        return Usage(argv[0]);
+      }
+      max_answers = static_cast<size_t>(n);
+      max_answers_set = true;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       if (i + 1 >= argc) return Usage(argv[0]);
       const char* text = argv[++i];
@@ -354,6 +450,22 @@ int main(int argc, char** argv) {
       deadline_ms = static_cast<int64_t>(n);
     } else {
       positional.push_back(argv[i]);
+    }
+  }
+  // --eval needs --db (and vice versa: a fact file without --eval is a
+  // typo); --max-answers only means anything under --eval; the server
+  // speaks the decide protocol only.
+  if (eval_mode != (db_path != nullptr)) return Usage(argv[0]);
+  if (max_answers_set && !eval_mode) return Usage(argv[0]);
+  if (eval_mode && serve) return Usage(argv[0]);
+  std::optional<data::ColumnarInstance> eval_db;
+  if (eval_mode) {
+    std::string error;
+    eval_db = data::ColumnarInstance::FromFile(db_path, &error);
+    if (!eval_db.has_value()) {
+      std::fprintf(stderr, "cannot load fact file %s: %s\n", db_path,
+                   error.c_str());
+      return 3;
     }
   }
   if (serve) {
@@ -387,11 +499,16 @@ int main(int argc, char** argv) {
     return RunBatch(positional[0],
                     positional.size() >= 2 ? positional[1] : nullptr,
                     print_stats, cache_mb, trace, trace_path, print_metrics,
-                    deadline_ms);
+                    deadline_ms,
+                    eval_db.has_value() ? &*eval_db : nullptr, max_answers);
   }
   if (positional.size() != 2 || print_stats || cache_mb > 0 || trace ||
       print_metrics) {
     return Usage(argv[0]);
+  }
+  if (eval_mode) {
+    return RunEvalOneShot(positional[0], positional[1], *eval_db,
+                          deadline_ms, max_answers);
   }
   return RunOneShot(positional[0], positional[1], deadline_ms);
 }

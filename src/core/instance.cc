@@ -14,7 +14,13 @@ bool Instance::Insert(const Atom& atom) {
 }
 
 void Instance::InsertAll(const std::vector<Atom>& atoms) {
+  Reserve(atoms.size());
   for (const Atom& a : atoms) Insert(a);
+}
+
+void Instance::Reserve(size_t n) {
+  atoms_.reserve(atoms_.size() + n);
+  atom_set_.reserve(atom_set_.size() + n);
 }
 
 void Instance::IndexAtom(uint32_t idx) {

@@ -29,8 +29,14 @@ class Instance {
 
   /// Inserts an atom; returns true iff it was not already present.
   bool Insert(const Atom& atom);
-  /// Inserts every atom of `atoms`.
+  /// Inserts every atom of `atoms` (reserves for the batch up front).
   void InsertAll(const std::vector<Atom>& atoms);
+
+  /// Pre-sizes the atom vector and the dedup set for `n` additional atoms
+  /// so bulk loads (million-tuple instances; see src/data/) don't rehash
+  /// and reallocate repeatedly. The per-position inverted index cannot be
+  /// pre-sized (its key space is data-dependent) and grows as usual.
+  void Reserve(size_t n);
 
   bool Contains(const Atom& atom) const;
   size_t size() const { return atoms_.size(); }

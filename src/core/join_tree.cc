@@ -139,4 +139,56 @@ std::string JoinTree::ToString() const {
   return out;
 }
 
+JoinTreeView RerootForHead(const JoinTreeView& tree,
+                           const std::vector<Term>& head) {
+  if (tree.size() == 0 || tree.root() < 0) return tree;
+  std::unordered_set<Term> head_vars;
+  for (Term h : head) {
+    if (h.IsVariable()) head_vars.insert(h);
+  }
+  if (head_vars.empty()) return tree;
+
+  // Depth of every node (for the closest-to-root tie break).
+  const size_t n = tree.size();
+  std::vector<int> depth(n, 0);
+  for (int node : tree.TopDownOrder()) {
+    int p = tree.parent()[static_cast<size_t>(node)];
+    depth[static_cast<size_t>(node)] =
+        p < 0 ? 0 : depth[static_cast<size_t>(p)] + 1;
+  }
+
+  auto cover_of = [&](int i) {
+    size_t cover = 0;
+    for (Term v : head_vars) {
+      if (tree.atom(i).Mentions(v)) ++cover;
+    }
+    return cover;
+  };
+  int best = tree.root();
+  size_t best_cover = cover_of(best);
+  for (size_t i = 0; i < n; ++i) {
+    size_t cover = cover_of(static_cast<int>(i));
+    size_t best_i = static_cast<size_t>(best);
+    if (cover > best_cover ||
+        (cover == best_cover && depth[i] < depth[best_i])) {
+      best = static_cast<int>(i);
+      best_cover = cover;
+    }
+  }
+  if (best == tree.root()) return tree;
+
+  // Reverse the parent pointers along the path best -> old root; every
+  // other edge keeps its orientation.
+  std::vector<int> parent = tree.parent();
+  int node = best;
+  int prev = -1;
+  while (node != -1) {
+    int next = parent[static_cast<size_t>(node)];
+    parent[static_cast<size_t>(node)] = prev;
+    prev = node;
+    node = next;
+  }
+  return JoinTreeView(tree.atoms(), std::move(parent));
+}
+
 }  // namespace semacyc

@@ -83,6 +83,20 @@ class JoinTreeView {
   int root_ = -1;
 };
 
+/// Re-roots `tree` at the node whose atom mentions the most distinct head
+/// variables (ties keep the node closest to the current root — the current
+/// root itself when it ties for best). A join tree is undirected, so any
+/// rooting preserves the running-intersection property; the choice matters
+/// for evaluation cost: Yannakakis' answer-assembly DP carries head
+/// variables from wherever they occur up to the root, so a root far from
+/// them materializes intermediates of size Θ(|D| · |answers-so-far|) —
+/// quadratic on e.g. a path query whose one head variable sits at the far
+/// end of the chain. Rooting at a head-covering atom keeps every carried
+/// column local and the DP linear. Boolean queries (no head variables)
+/// come back unchanged.
+JoinTreeView RerootForHead(const JoinTreeView& tree,
+                           const std::vector<Term>& head);
+
 }  // namespace semacyc
 
 #endif  // SEMACYC_CORE_JOIN_TREE_H_

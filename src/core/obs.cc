@@ -32,6 +32,8 @@ const char* ToString(Phase p) {
       return "ENUMERATE";
     case Phase::kHomCheck:
       return "HOM_CHECK";
+    case Phase::kEval:
+      return "EVAL";
   }
   return "?";
 }
@@ -66,6 +68,12 @@ const char* ToString(Counter c) {
       return "oracle_prefiltered";
     case Counter::kTracesEmitted:
       return "traces_emitted";
+    case Counter::kEvalRowsScanned:
+      return "eval_rows_scanned";
+    case Counter::kEvalSemijoinProbes:
+      return "eval_semijoin_probes";
+    case Counter::kEvalDpRows:
+      return "eval_dp_rows";
   }
   return "?";
 }

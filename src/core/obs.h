@@ -50,8 +50,10 @@ enum class Phase : uint8_t {
   kEnumerate,      // strategy attempt: exhaustive canonical enumeration
   kHomCheck,       // per-candidate chase-homomorphism session (counters
                    // only: times would put a clock in the hot loop)
+  kEval,           // Prop 24 evaluation: Yannakakis over the witness
+                   // (Engine::Eval, both columnar and row paths)
 };
-inline constexpr size_t kNumPhases = 12;
+inline constexpr size_t kNumPhases = 13;
 const char* ToString(Phase p);
 
 /// Process-lifetime counters aggregated by MetricsRegistry (trace spans
@@ -71,8 +73,11 @@ enum class Counter : uint8_t {
   kOracleMemoMisses,
   kOraclePrefiltered,     // instant NOs from the reachability prefilter
   kTracesEmitted,         // DecisionTraces handed to a sink
+  kEvalRowsScanned,       // rows examined by columnar match-atom filters
+  kEvalSemijoinProbes,    // semi-join probes during evaluation (both paths)
+  kEvalDpRows,            // tuples materialized by the answer-assembly DP
 };
-inline constexpr size_t kNumCounters = 14;
+inline constexpr size_t kNumCounters = 17;
 const char* ToString(Counter c);
 
 /// One named counter on a trace span. `name` must be a string literal (or

@@ -1,0 +1,174 @@
+#include "data/columnar.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/parser.h"
+
+namespace semacyc::data {
+
+uint32_t ColumnarInstance::Intern(Term t) {
+  auto [it, inserted] =
+      term_to_id_.emplace(t, static_cast<uint32_t>(dictionary_.size()));
+  if (inserted) dictionary_.push_back(t);
+  return it->second;
+}
+
+ColumnarInstance::Relation& ColumnarInstance::RelationFor(Predicate p) {
+  auto [it, inserted] = by_pred_.emplace(p.id(), relations_.size());
+  if (inserted) {
+    Relation rel;
+    rel.pred = p;
+    rel.arity = static_cast<uint32_t>(p.arity());
+    rel.columns.resize(rel.arity);
+    relations_.push_back(std::move(rel));
+  }
+  return relations_[it->second];
+}
+
+ColumnarInstance ColumnarInstance::FromInstance(const Instance& db) {
+  ColumnarInstance out;
+  out.dictionary_.reserve(db.size());
+  for (const Atom& a : db.atoms()) {
+    Relation& rel = out.RelationFor(a.predicate());
+    for (size_t c = 0; c < a.arity(); ++c) {
+      rel.columns[c].push_back(out.Intern(a.arg(c)));
+    }
+    ++rel.rows;
+    ++out.total_rows_;
+  }
+  out.Seal();
+  return out;
+}
+
+std::optional<ColumnarInstance> ColumnarInstance::FromFile(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open fact file: " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromText(buffer.str(), error);
+}
+
+std::optional<ColumnarInstance> ColumnarInstance::FromText(
+    std::string_view text, std::string* error) {
+  ColumnarInstance out;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    // Skip blanks and '%' comment lines without invoking the parser.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos || line[first] == '%') {
+      if (end == text.size()) break;
+      continue;
+    }
+    ParseResult<std::vector<Atom>> atoms = ParseAtoms(line);
+    if (!atoms.ok()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + atoms.error;
+      }
+      return std::nullopt;
+    }
+    for (const Atom& a : *atoms.value) {
+      if (a.MentionsKind(TermKind::kVariable)) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) +
+                   ": facts must be ground (got " + a.ToString() +
+                   "; quote constants: 'a', or use numbers)";
+        }
+        return std::nullopt;
+      }
+      Relation& rel = out.RelationFor(a.predicate());
+      for (size_t c = 0; c < a.arity(); ++c) {
+        rel.columns[c].push_back(out.Intern(a.arg(c)));
+      }
+      ++rel.rows;
+      ++out.total_rows_;
+    }
+    if (end == text.size()) break;
+  }
+  out.Seal();
+  return out;
+}
+
+void ColumnarInstance::Seal() {
+  for (Relation& rel : relations_) {
+    rel.sorted_runs.resize(rel.arity);
+    for (uint32_t c = 0; c < rel.arity; ++c) {
+      std::vector<uint32_t>& run = rel.sorted_runs[c];
+      run.resize(rel.rows);
+      for (size_t r = 0; r < rel.rows; ++r) {
+        run[r] = static_cast<uint32_t>(r);
+      }
+      const std::vector<uint32_t>& col = rel.columns[c];
+      std::sort(run.begin(), run.end(), [&col](uint32_t a, uint32_t b) {
+        return col[a] != col[b] ? col[a] < col[b] : a < b;
+      });
+    }
+  }
+}
+
+std::pair<const uint32_t*, const uint32_t*> ColumnarInstance::EqualRange(
+    const Relation& rel, size_t pos, uint32_t vid) const {
+  const std::vector<uint32_t>& run = rel.sorted_runs[pos];
+  const std::vector<uint32_t>& col = rel.columns[pos];
+  auto lo = std::lower_bound(run.begin(), run.end(), vid,
+                             [&col](uint32_t row, uint32_t v) {
+                               return col[row] < v;
+                             });
+  auto hi = std::upper_bound(lo, run.end(), vid,
+                             [&col](uint32_t v, uint32_t row) {
+                               return v < col[row];
+                             });
+  return {run.data() + (lo - run.begin()), run.data() + (hi - run.begin())};
+}
+
+Instance ColumnarInstance::ToInstance() const {
+  Instance out;
+  out.Reserve(total_rows_);
+  for (const Relation& rel : relations_) {
+    for (size_t r = 0; r < rel.rows; ++r) {
+      std::vector<Term> args;
+      args.reserve(rel.arity);
+      for (uint32_t c = 0; c < rel.arity; ++c) {
+        args.push_back(dictionary_[rel.columns[c][r]]);
+      }
+      out.Insert(Atom(rel.pred, std::move(args)));
+    }
+  }
+  return out;
+}
+
+size_t ColumnarInstance::ApproxBytes() const {
+  size_t bytes = sizeof(ColumnarInstance);
+  // Dictionary vector + hash map (charge node overhead per entry).
+  bytes += dictionary_.size() * (sizeof(Term) * 2 + 4 * sizeof(void*));
+  for (const Relation& rel : relations_) {
+    bytes += sizeof(Relation);
+    // Data columns and sorted runs: 4 bytes per cell each.
+    bytes += rel.rows * rel.arity * 2 * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+std::string ColumnarInstance::ToString() const {
+  std::string out = "ColumnarInstance{values=" +
+                    std::to_string(dictionary_.size()) + ", rows=" +
+                    std::to_string(total_rows_);
+  for (const Relation& rel : relations_) {
+    out += ", " + rel.pred.name() + "/" + std::to_string(rel.arity) + ":" +
+           std::to_string(rel.rows);
+  }
+  return out + "}";
+}
+
+}  // namespace semacyc::data

@@ -1,0 +1,113 @@
+#ifndef SEMACYC_DATA_COLUMNAR_H_
+#define SEMACYC_DATA_COLUMNAR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+
+/// semacyc::data — the columnar data plane (docs/DATAPLANE.md).
+///
+/// The paper's practical payoff (Prop. 24) is FPT evaluation: reformulate a
+/// semantically acyclic query once, then run Yannakakis over the database in
+/// time linear in |D|. That bound is only real when the per-tuple constant
+/// is small, so this layer stores relations column-major with
+/// dictionary-encoded 32-bit value ids (terms are interned process-wide but
+/// sparse; value ids are dense per instance), and the evaluator
+/// (semijoin_program.h) runs over selection vectors with integer join keys —
+/// no per-tuple allocation, no string keys.
+namespace semacyc::data {
+
+/// Sentinel for "this term does not occur in the instance".
+inline constexpr uint32_t kNoValue = 0xffffffffu;
+
+/// Per-predicate column-major storage over a per-instance dictionary.
+///
+/// Immutable once built (loaders seal the instance before returning it):
+/// every accessor is const and safe to share across threads, which is what
+/// lets one preloaded database serve a whole batch (`semacyc_cli --eval
+/// --db FILE`) or a multi-tenant engine.
+class ColumnarInstance {
+ public:
+  struct Relation {
+    Predicate pred;
+    uint32_t arity = 0;
+    size_t rows = 0;
+    /// columns[c][r] is the value id of argument c of row r.
+    std::vector<std::vector<uint32_t>> columns;
+    /// Sorted-run index per position: sorted_runs[c] lists the row ids
+    /// ordered by (columns[c][row], row), so all rows holding one value id
+    /// in position c form one contiguous run (EqualRange binary-searches
+    /// it). This is the constant-filter access path of match ops.
+    std::vector<std::vector<uint32_t>> sorted_runs;
+  };
+
+  ColumnarInstance() = default;
+
+  /// Bulk-converts a row-oriented Instance (used by Engine::Eval's
+  /// columnar-by-default path and by the differential tests).
+  static ColumnarInstance FromInstance(const Instance& db);
+
+  /// Loads from a fact file: one ground atom per line in the core parser's
+  /// syntax — `R('a',42,'b')` — with '%' comments and blank lines skipped
+  /// (format spec in docs/DATAPLANE.md). Returns nullopt with `*error`
+  /// set (line number included) on the first malformed or non-ground line.
+  static std::optional<ColumnarInstance> FromFile(const std::string& path,
+                                                  std::string* error);
+  /// Same, over an in-memory buffer (FromFile delegates here).
+  static std::optional<ColumnarInstance> FromText(std::string_view text,
+                                                  std::string* error);
+
+  /// The dense value id of `t`, or kNoValue when t never occurs.
+  uint32_t ValueIdOf(Term t) const {
+    auto it = term_to_id_.find(t);
+    return it == term_to_id_.end() ? kNoValue : it->second;
+  }
+  /// The term behind a value id (vid < NumValues()).
+  Term TermOf(uint32_t vid) const { return dictionary_[vid]; }
+  size_t NumValues() const { return dictionary_.size(); }
+
+  /// The relation stored for `p`, or nullptr when no fact uses it.
+  const Relation* RelationOf(Predicate p) const {
+    auto it = by_pred_.find(p.id());
+    return it == by_pred_.end() ? nullptr : &relations_[it->second];
+  }
+  const std::vector<Relation>& relations() const { return relations_; }
+  size_t TotalRows() const { return total_rows_; }
+
+  /// The contiguous run of `rel.sorted_runs[pos]` whose rows hold value id
+  /// `vid` in column `pos`: [first, last) over row ids.
+  std::pair<const uint32_t*, const uint32_t*> EqualRange(const Relation& rel,
+                                                         size_t pos,
+                                                         uint32_t vid) const;
+
+  /// Rebuilds the row-oriented Instance (differential tests; O(rows)).
+  Instance ToInstance() const;
+
+  /// Approximate heap footprint: dictionary + columns + sorted runs +
+  /// hash-map overhead. Deterministic, O(relations).
+  size_t ApproxBytes() const;
+
+  std::string ToString() const;  // shape summary, not the data
+
+ private:
+  uint32_t Intern(Term t);
+  Relation& RelationFor(Predicate p);
+  /// Builds every sorted-run index; loaders call it exactly once.
+  void Seal();
+
+  std::vector<Term> dictionary_;
+  std::unordered_map<Term, uint32_t, TermHash> term_to_id_;
+  std::vector<Relation> relations_;  // first-occurrence order
+  std::unordered_map<uint32_t, size_t> by_pred_;
+  size_t total_rows_ = 0;
+};
+
+}  // namespace semacyc::data
+
+#endif  // SEMACYC_DATA_COLUMNAR_H_

@@ -1,0 +1,587 @@
+#include "data/semijoin_program.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace semacyc::data {
+namespace {
+
+using Relation = ColumnarInstance::Relation;
+
+/// 64-bit key over `n` value ids. One or two columns pack losslessly
+/// (value ids are 32-bit), so those keys are exact; wider keys hash, and
+/// every probe re-verifies the columns — collisions never change answers.
+inline uint64_t PackKey(const uint32_t* vals, size_t n) {
+  if (n == 1) return vals[0];
+  if (n == 2) return (uint64_t{vals[0]} << 32) | vals[1];
+  size_t seed = 0x9e3779b97f4a7c15ull ^ n;
+  for (size_t i = 0; i < n; ++i) {
+    HashCombine(&seed, std::hash<uint32_t>{}(vals[i]));
+  }
+  return seed;
+}
+
+/// Flat row-major table of value ids (DP answer assembly). `nrows` is
+/// explicit because Boolean carries have width 0.
+struct FlatTable {
+  size_t width = 0;
+  size_t nrows = 0;
+  std::vector<uint32_t> data;
+
+  const uint32_t* row(size_t r) const { return data.data() + r * width; }
+};
+
+/// Collision-safe dedup over width-w slices of a growing flat arena:
+/// 64-bit key buckets hold row indices, equality compares the slices.
+class VidTupleSet {
+ public:
+  VidTupleSet(const std::vector<uint32_t>* arena, size_t width)
+      : arena_(arena), width_(width) {}
+
+  /// True iff the tuple is new; the caller must append it to the arena
+  /// right after (the recorded index is the arena's current row count).
+  bool InsertIfNew(const uint32_t* t) {
+    std::vector<uint32_t>& bucket = buckets_[PackKey(t, width_)];
+    for (uint32_t idx : bucket) {
+      const uint32_t* have = arena_->data() + size_t{idx} * width_;
+      bool same = true;
+      for (size_t i = 0; i < width_ && same; ++i) same = have[i] == t[i];
+      if (same) return false;
+    }
+    bucket.push_back(static_cast<uint32_t>(arena_->size() / std::max<size_t>(
+                                                                width_, 1)));
+    return true;
+  }
+
+ private:
+  const std::vector<uint32_t>* arena_;
+  size_t width_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+};
+
+inline bool PollEvery(size_t i, CancelToken* cancel) {
+  return (i & 4095) == 0 && cancel != nullptr && cancel->Poll();
+}
+
+}  // namespace
+
+SemiJoinProgram SemiJoinProgram::Compile(const ConjunctiveQuery& q,
+                                         const JoinTreeView& tree) {
+  SemiJoinProgram p;
+  p.head_ = q.head();
+  const std::vector<Atom>& body = q.body();
+  if (body.empty()) {
+    // The empty conjunction is true with the (constant-only) head.
+    p.trivial_true_ = true;
+    for (Term h : q.head()) {
+      AnswerSlot slot;
+      slot.is_const = true;
+      slot.constant = h;
+      p.answer_.push_back(slot);
+    }
+    return p;
+  }
+
+  const size_t n = body.size();
+  assert(tree.size() == n);
+  // Per-node variable layout: distinct variables in first-occurrence order
+  // (the same order the row path's MatchAtom uses), each mapped to its
+  // first column; later occurrences become column-equality filters and
+  // non-variables become column-constant filters.
+  std::vector<std::vector<Term>> vars(n);
+  p.nodes_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Atom& atom = body[i];
+    NodeSpec& spec = p.nodes_[i];
+    spec.pred = atom.predicate();
+    for (size_t c = 0; c < atom.arity(); ++c) {
+      Term t = atom.arg(c);
+      if (!t.IsVariable()) {
+        spec.const_cols.push_back({static_cast<uint32_t>(c), t});
+        continue;
+      }
+      auto it = std::find(vars[i].begin(), vars[i].end(), t);
+      if (it == vars[i].end()) {
+        vars[i].push_back(t);
+        spec.var_cols.push_back(static_cast<uint32_t>(c));
+      } else {
+        spec.eq_cols.push_back(
+            {static_cast<uint32_t>(c),
+             spec.var_cols[static_cast<size_t>(it - vars[i].begin())]});
+      }
+    }
+  }
+
+  // Semi-join key columns for a tree edge: the shared variables in the
+  // target's variable order, resolved to first-occurrence columns on both
+  // sides. Empty keys (chained disconnected components) keep the row
+  // path's "clear target iff source empty" semantics.
+  auto shared_op = [&](int target, int source) {
+    SemiJoinOp op;
+    op.target = target;
+    op.source = source;
+    for (size_t vi = 0; vi < vars[target].size(); ++vi) {
+      auto it = std::find(vars[source].begin(), vars[source].end(),
+                          vars[target][vi]);
+      if (it != vars[source].end()) {
+        op.target_cols.push_back(p.nodes_[target].var_cols[vi]);
+        op.source_cols.push_back(
+            p.nodes_[source]
+                .var_cols[static_cast<size_t>(it - vars[source].begin())]);
+      }
+    }
+    return op;
+  };
+  for (int node : tree.BottomUpOrder()) {
+    int parent = tree.parent()[node];
+    if (parent >= 0) p.bottom_up_.push_back(shared_op(parent, node));
+  }
+  for (int node : tree.TopDownOrder()) {
+    for (int child : tree.children()[node]) {
+      p.top_down_.push_back(shared_op(child, node));
+    }
+  }
+
+  // Answer-assembly DP, variable layouts resolved statically: acc starts
+  // as the node's own variables, each child join appends the child carry's
+  // new variables, and the projection keeps head variables plus the
+  // connector to the parent *atom* (exactly the row path's keep set).
+  std::unordered_set<Term> free_vars;
+  for (Term h : q.head()) {
+    if (h.IsVariable()) free_vars.insert(h);
+  }
+  std::vector<std::vector<Term>> carry(n);
+  for (int node : tree.BottomUpOrder()) {
+    DpSpec spec;
+    spec.node = node;
+    std::vector<Term> acc_vars = vars[static_cast<size_t>(node)];
+    for (int child : tree.children()[node]) {
+      JoinStep step;
+      step.child = child;
+      const std::vector<Term>& cv = carry[static_cast<size_t>(child)];
+      for (size_t i = 0; i < acc_vars.size(); ++i) {
+        auto it = std::find(cv.begin(), cv.end(), acc_vars[i]);
+        if (it != cv.end()) {
+          step.left_pos.push_back(static_cast<uint32_t>(i));
+          step.right_pos.push_back(static_cast<uint32_t>(it - cv.begin()));
+        }
+      }
+      for (size_t i = 0; i < cv.size(); ++i) {
+        if (std::find(acc_vars.begin(), acc_vars.end(), cv[i]) ==
+            acc_vars.end()) {
+          step.extra_pos.push_back(static_cast<uint32_t>(i));
+          acc_vars.push_back(cv[i]);
+        }
+      }
+      spec.joins.push_back(std::move(step));
+    }
+    int parent = tree.parent()[node];
+    for (size_t i = 0; i < acc_vars.size(); ++i) {
+      bool keep = free_vars.count(acc_vars[i]) > 0;
+      if (!keep && parent >= 0) {
+        const std::vector<Term>& pv = vars[static_cast<size_t>(parent)];
+        keep = std::find(pv.begin(), pv.end(), acc_vars[i]) != pv.end();
+      }
+      if (keep) {
+        spec.proj_pos.push_back(static_cast<uint32_t>(i));
+        carry[static_cast<size_t>(node)].push_back(acc_vars[i]);
+      }
+    }
+    p.dp_.push_back(std::move(spec));
+  }
+  p.root_ = tree.root();
+
+  const std::vector<Term>& root_carry = carry[static_cast<size_t>(p.root_)];
+  for (Term h : q.head()) {
+    AnswerSlot slot;
+    if (!h.IsVariable()) {
+      slot.is_const = true;
+      slot.constant = h;
+    } else {
+      auto it = std::find(root_carry.begin(), root_carry.end(), h);
+      if (it == root_carry.end()) {
+        // Unreachable for connected queries; mirror the row path's
+        // defensive empty-answer behavior rather than crash.
+        p.head_unreachable_ = true;
+      } else {
+        slot.root_pos = static_cast<uint32_t>(it - root_carry.begin());
+      }
+    }
+    p.answer_.push_back(slot);
+  }
+  return p;
+}
+
+int SemiJoinProgram::Reduce(const ColumnarInstance& db,
+                            const ExecOptions& opts,
+                            std::vector<std::vector<uint32_t>>* sel,
+                            ExecStats* stats) const {
+  CancelToken* cancel = opts.cancel;
+  const size_t n = nodes_.size();
+  sel->assign(n, {});
+
+  // Match ops.
+  for (size_t i = 0; i < n; ++i) {
+    if (cancel != nullptr && cancel->PollNow()) return -1;
+    const NodeSpec& spec = nodes_[i];
+    std::vector<uint32_t>& out = (*sel)[i];
+    const Relation* rel = db.RelationOf(spec.pred);
+    if (rel == nullptr || rel->rows == 0) return 0;  // empty relation
+    // Resolve constants against the dictionary once per execution.
+    std::vector<std::pair<uint32_t, uint32_t>> const_vids;
+    bool absent = false;
+    for (const auto& [col, term] : spec.const_cols) {
+      uint32_t vid = db.ValueIdOf(term);
+      if (vid == kNoValue) {
+        absent = true;
+        break;
+      }
+      const_vids.push_back({col, vid});
+    }
+    if (absent) return 0;
+    auto row_ok = [&](uint32_t r) {
+      for (const auto& [col, vid] : const_vids) {
+        if (rel->columns[col][r] != vid) return false;
+      }
+      for (const auto& [col, first] : spec.eq_cols) {
+        if (rel->columns[col][r] != rel->columns[first][r]) return false;
+      }
+      return true;
+    };
+    if (!const_vids.empty()) {
+      // Index path: the run is ordered by row id within one value, so the
+      // selection vector stays ascending like the scan path's.
+      auto [lo, hi] = db.EqualRange(*rel, const_vids[0].first,
+                                    const_vids[0].second);
+      stats->rows_scanned += static_cast<size_t>(hi - lo);
+      for (const uint32_t* r = lo; r != hi; ++r) {
+        if (PollEvery(static_cast<size_t>(r - lo), cancel)) return -1;
+        if (row_ok(*r)) out.push_back(*r);
+      }
+    } else {
+      stats->rows_scanned += rel->rows;
+      if (spec.eq_cols.empty()) {
+        // Unconstrained atom: the selection is the identity.
+        out.resize(rel->rows);
+        for (size_t r = 0; r < rel->rows; ++r) {
+          out[r] = static_cast<uint32_t>(r);
+        }
+      } else {
+        for (size_t r = 0; r < rel->rows; ++r) {
+          if (PollEvery(r, cancel)) return -1;
+          if (row_ok(static_cast<uint32_t>(r))) {
+            out.push_back(static_cast<uint32_t>(r));
+          }
+        }
+      }
+    }
+    if (out.empty()) return 0;
+  }
+
+  // Bottom-up semi-joins (parent ⋉ child).
+  for (const SemiJoinOp& op : bottom_up_) {
+    if (cancel != nullptr && cancel->PollNow()) return -1;
+    if (!ExecSemiJoin(db, op, sel, cancel, stats)) return -1;
+    if ((*sel)[static_cast<size_t>(op.target)].empty()) return 0;
+  }
+  return 1;
+}
+
+bool SemiJoinProgram::ExecSemiJoin(const ColumnarInstance& db,
+                                   const SemiJoinOp& op,
+                                   std::vector<std::vector<uint32_t>>* sel,
+                                   CancelToken* cancel,
+                                   ExecStats* stats) const {
+  std::vector<uint32_t>& tsel = (*sel)[static_cast<size_t>(op.target)];
+  std::vector<uint32_t>& ssel = (*sel)[static_cast<size_t>(op.source)];
+  if (op.target_cols.empty()) {
+    // Chained disconnected components share no variables: the semi-join
+    // degenerates to "clear the target iff the source is empty".
+    if (ssel.empty()) tsel.clear();
+    return true;
+  }
+  if (ssel.empty()) {
+    tsel.clear();
+    return true;
+  }
+  if (tsel.empty()) return true;
+  const Relation& trel =
+      *db.RelationOf(nodes_[static_cast<size_t>(op.target)].pred);
+  const Relation& srel =
+      *db.RelationOf(nodes_[static_cast<size_t>(op.source)].pred);
+  const size_t kn = op.target_cols.size();
+  const bool exact = kn <= 2;
+
+  uint32_t key_buf[8];
+  std::vector<uint32_t> wide_buf;
+  uint32_t* keys = kn <= 8 ? key_buf : (wide_buf.resize(kn), wide_buf.data());
+  auto gather = [&](const Relation& rel, const std::vector<uint32_t>& cols,
+                    uint32_t row) {
+    for (size_t i = 0; i < kn; ++i) keys[i] = rel.columns[cols[i]][row];
+    return PackKey(keys, kn);
+  };
+
+  // Exact path: a set of packed keys. Hashed path: buckets of source rows,
+  // verified column-by-column on every probe.
+  std::unordered_set<uint64_t> key_set;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> key_rows;
+  if (exact) key_set.reserve(ssel.size());
+  for (size_t i = 0; i < ssel.size(); ++i) {
+    if (PollEvery(i, cancel)) return false;
+    uint64_t k = gather(srel, op.source_cols, ssel[i]);
+    if (exact) {
+      key_set.insert(k);
+    } else {
+      key_rows[k].push_back(ssel[i]);
+    }
+  }
+
+  size_t kept = 0;
+  for (size_t i = 0; i < tsel.size(); ++i) {
+    if (PollEvery(i, cancel)) return false;
+    ++stats->semijoin_probes;
+    uint32_t row = tsel[i];
+    uint64_t k = gather(trel, op.target_cols, row);
+    bool hit;
+    if (exact) {
+      hit = key_set.count(k) > 0;
+    } else {
+      hit = false;
+      auto it = key_rows.find(k);
+      if (it != key_rows.end()) {
+        for (uint32_t srow : it->second) {
+          bool same = true;
+          for (size_t c = 0; c < kn && same; ++c) {
+            same = trel.columns[op.target_cols[c]][row] ==
+                   srel.columns[op.source_cols[c]][srow];
+          }
+          if (same) {
+            hit = true;
+            break;
+          }
+        }
+      }
+    }
+    if (hit) tsel[kept++] = row;
+  }
+  tsel.resize(kept);
+  return true;
+}
+
+ColumnarEvalResult SemiJoinProgram::Execute(const ColumnarInstance& db,
+                                            const ExecOptions& opts) const {
+  ColumnarEvalResult result;
+  if (trivial_true_) {
+    std::vector<Term> answer;
+    answer.reserve(answer_.size());
+    for (const AnswerSlot& slot : answer_) answer.push_back(slot.constant);
+    result.answers.push_back(std::move(answer));
+    return result;
+  }
+  if (head_unreachable_) return result;
+
+  CancelToken* cancel = opts.cancel;
+  std::vector<std::vector<uint32_t>> sel;
+  int reduced = Reduce(db, opts, &sel, &result.stats);
+  if (reduced < 0) {
+    result.aborted = true;
+    return result;
+  }
+  if (reduced == 0) return result;
+
+  // Top-down semi-joins (child ⋉ parent).
+  for (const SemiJoinOp& op : top_down_) {
+    if (cancel != nullptr && cancel->PollNow()) {
+      result.aborted = true;
+      return result;
+    }
+    if (!ExecSemiJoin(db, op, &sel, cancel, &result.stats)) {
+      result.aborted = true;
+      return result;
+    }
+    if (sel[static_cast<size_t>(op.target)].empty()) return result;
+  }
+
+  // Answer assembly: bottom-up DP over flat value-id tables.
+  std::vector<FlatTable> dp(nodes_.size());
+  for (const DpSpec& spec : dp_) {
+    if (cancel != nullptr && cancel->PollNow()) {
+      result.aborted = true;
+      return result;
+    }
+    const NodeSpec& ns = nodes_[static_cast<size_t>(spec.node)];
+    const Relation& rel = *db.RelationOf(ns.pred);
+    const std::vector<uint32_t>& s = sel[static_cast<size_t>(spec.node)];
+
+    FlatTable acc;
+    acc.width = ns.var_cols.size();
+    acc.nrows = s.size();
+    acc.data.reserve(s.size() * acc.width);
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (PollEvery(i, cancel)) {
+        result.aborted = true;
+        return result;
+      }
+      for (uint32_t c : ns.var_cols) acc.data.push_back(rel.columns[c][s[i]]);
+    }
+    result.stats.dp_rows += acc.nrows;
+
+    uint32_t key_buf[8];
+    std::vector<uint32_t> wide_buf;
+    for (const JoinStep& step : spec.joins) {
+      if (cancel != nullptr && cancel->PollNow()) {
+        result.aborted = true;
+        return result;
+      }
+      const FlatTable& child = dp[static_cast<size_t>(step.child)];
+      const size_t kn = step.left_pos.size();
+      const bool exact = kn <= 2;
+      uint32_t* keys =
+          kn <= 8 ? key_buf : (wide_buf.resize(kn), wide_buf.data());
+      auto gather = [&](const uint32_t* row, const std::vector<uint32_t>& pos) {
+        for (size_t i = 0; i < kn; ++i) keys[i] = row[pos[i]];
+        return PackKey(keys, kn);
+      };
+      // Empty keys (kn == 0) means cross product: every row keys to 0.
+      std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+      index.reserve(child.nrows);
+      for (size_t cr = 0; cr < child.nrows; ++cr) {
+        if (PollEvery(cr, cancel)) {
+          result.aborted = true;
+          return result;
+        }
+        index[kn == 0 ? 0 : gather(child.row(cr), step.right_pos)].push_back(
+            static_cast<uint32_t>(cr));
+      }
+      FlatTable joined;
+      joined.width = acc.width + step.extra_pos.size();
+      for (size_t ar = 0; ar < acc.nrows; ++ar) {
+        if (PollEvery(ar, cancel)) {
+          result.aborted = true;
+          return result;
+        }
+        const uint32_t* arow = acc.row(ar);
+        auto it = index.find(kn == 0 ? 0 : gather(arow, step.left_pos));
+        if (it == index.end()) continue;
+        for (uint32_t cr : it->second) {
+          const uint32_t* crow = child.row(cr);
+          if (!exact && kn > 0) {
+            bool same = true;
+            for (size_t c = 0; c < kn && same; ++c) {
+              same = arow[step.left_pos[c]] == crow[step.right_pos[c]];
+            }
+            if (!same) continue;
+          }
+          joined.data.insert(joined.data.end(), arow, arow + acc.width);
+          for (uint32_t ep : step.extra_pos) joined.data.push_back(crow[ep]);
+          ++joined.nrows;
+        }
+      }
+      result.stats.dp_rows += joined.nrows;
+      acc = std::move(joined);
+    }
+
+    // Project to the carry and dedup.
+    FlatTable out;
+    out.width = spec.proj_pos.size();
+    VidTupleSet seen(&out.data, out.width);
+    std::vector<uint32_t> buf(out.width);
+    for (size_t ar = 0; ar < acc.nrows; ++ar) {
+      if (PollEvery(ar, cancel)) {
+        result.aborted = true;
+        return result;
+      }
+      const uint32_t* arow = acc.row(ar);
+      for (size_t i = 0; i < out.width; ++i) buf[i] = arow[spec.proj_pos[i]];
+      if (seen.InsertIfNew(buf.data())) {
+        out.data.insert(out.data.end(), buf.begin(), buf.end());
+        ++out.nrows;
+      }
+    }
+    dp[static_cast<size_t>(spec.node)] = std::move(out);
+  }
+
+  // Assemble answers from the root carry. Carry tuples are distinct over
+  // the distinct head variables, so the assembled answers are distinct.
+  const FlatTable& root = dp[static_cast<size_t>(root_)];
+  result.answers.reserve(root.nrows);
+  for (size_t r = 0; r < root.nrows; ++r) {
+    if (PollEvery(r, cancel)) {
+      result.aborted = true;
+      result.answers.clear();
+      return result;
+    }
+    std::vector<Term> answer;
+    answer.reserve(answer_.size());
+    const uint32_t* row = root.row(r);
+    for (const AnswerSlot& slot : answer_) {
+      answer.push_back(slot.is_const ? slot.constant
+                                     : db.TermOf(row[slot.root_pos]));
+    }
+    result.answers.push_back(std::move(answer));
+  }
+  return result;
+}
+
+int SemiJoinProgram::ExecuteBoolean(const ColumnarInstance& db,
+                                    const ExecOptions& opts) const {
+  if (trivial_true_) return 1;
+  ExecStats stats;
+  std::vector<std::vector<uint32_t>> sel;
+  return Reduce(db, opts, &sel, &stats);
+}
+
+std::string SemiJoinProgram::ToString() const {
+  std::string out;
+  auto cols = [](const std::vector<uint32_t>& v) {
+    std::string s = "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(v[i]);
+    }
+    return s + "]";
+  };
+  if (trivial_true_) return "trivial-true\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeSpec& ns = nodes_[i];
+    out += "match " + std::to_string(i) + ": " + ns.pred.ToString() +
+           " vars@" + cols(ns.var_cols);
+    for (const auto& [col, term] : ns.const_cols) {
+      out += " col" + std::to_string(col) + "==" + term.ToString();
+    }
+    for (const auto& [col, first] : ns.eq_cols) {
+      out += " col" + std::to_string(col) + "==col" + std::to_string(first);
+    }
+    out += "\n";
+  }
+  for (const SemiJoinOp& op : bottom_up_) {
+    out += "semijoin-up " + std::to_string(op.target) + " ⋉ " +
+           std::to_string(op.source) + " on " + cols(op.target_cols) + "=" +
+           cols(op.source_cols) + "\n";
+  }
+  for (const SemiJoinOp& op : top_down_) {
+    out += "semijoin-down " + std::to_string(op.target) + " ⋉ " +
+           std::to_string(op.source) + " on " + cols(op.target_cols) + "=" +
+           cols(op.source_cols) + "\n";
+  }
+  for (const DpSpec& spec : dp_) {
+    out += "dp " + std::to_string(spec.node) + ":";
+    for (const JoinStep& step : spec.joins) {
+      out += " join(child=" + std::to_string(step.child) + " keys=" +
+             cols(step.left_pos) + "=" + cols(step.right_pos) + " extra=" +
+             cols(step.extra_pos) + ")";
+    }
+    out += " proj=" + cols(spec.proj_pos) + "\n";
+  }
+  out += "answer:";
+  for (const AnswerSlot& slot : answer_) {
+    out += slot.is_const ? " const:" + slot.constant.ToString()
+                         : " root[" + std::to_string(slot.root_pos) + "]";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace semacyc::data

@@ -59,14 +59,58 @@ std::vector<Term> SharedVars(const NodeRelation& a, const NodeRelation& b) {
   return out;
 }
 
-std::string KeyOf(const std::vector<Term>& tuple,
-                  const std::vector<int>& positions) {
-  std::string key;
+/// 64-bit key of a tuple's projection onto `positions`. Collisions are
+/// possible, so every probe re-verifies the projected terms themselves
+/// (ProjectionsEqual) — correctness never rests on the hash.
+uint64_t KeyOf(const std::vector<Term>& tuple,
+               const std::vector<int>& positions) {
+  size_t seed = 0x9e3779b97f4a7c15ull ^ positions.size();
   for (int p : positions) {
-    key += std::to_string(tuple[static_cast<size_t>(p)].raw_bits()) + ",";
+    HashCombine(&seed, TermHash{}(tuple[static_cast<size_t>(p)]));
   }
-  return key;
+  return seed;
 }
+
+/// 64-bit key over the whole tuple (dedup sets).
+uint64_t KeyOfAll(const std::vector<Term>& tuple) {
+  size_t seed = 0x9e3779b97f4a7c15ull ^ tuple.size();
+  for (Term t : tuple) HashCombine(&seed, TermHash{}(t));
+  return seed;
+}
+
+bool ProjectionsEqual(const std::vector<Term>& a, const std::vector<int>& pa,
+                      const std::vector<Term>& b, const std::vector<int>& pb) {
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (a[static_cast<size_t>(pa[i])] != b[static_cast<size_t>(pb[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Collision-safe dedup set over whole tuples: 64-bit key buckets holding
+/// indices into the owning tuple vector, equality by the tuples themselves.
+class TupleSeenSet {
+ public:
+  explicit TupleSeenSet(const std::vector<std::vector<Term>>* owner)
+      : owner_(owner) {}
+
+  /// True iff `t` was not seen before. The caller must push `t` onto the
+  /// owner vector right after a true return (the recorded index points at
+  /// the owner's current end).
+  bool InsertIfNew(const std::vector<Term>& t) {
+    std::vector<size_t>& bucket = buckets_[KeyOfAll(t)];
+    for (size_t idx : bucket) {
+      if ((*owner_)[idx] == t) return false;
+    }
+    bucket.push_back(owner_->size());
+    return true;
+  }
+
+ private:
+  const std::vector<std::vector<Term>>* owner_;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+};
 
 std::vector<int> PositionsOf(const std::vector<Term>& vars,
                              const std::vector<Term>& subset) {
@@ -90,12 +134,19 @@ void SemiJoin(NodeRelation* target, const NodeRelation& source,
   }
   std::vector<int> src_pos = PositionsOf(source.vars, shared);
   std::vector<int> dst_pos = PositionsOf(target->vars, shared);
-  std::unordered_set<std::string> keys;
-  for (const auto& t : source.tuples) keys.insert(KeyOf(t, src_pos));
+  std::unordered_map<uint64_t, std::vector<const std::vector<Term>*>> keys;
+  for (const auto& t : source.tuples) keys[KeyOf(t, src_pos)].push_back(&t);
   std::vector<std::vector<Term>> kept;
   for (auto& t : target->tuples) {
     ++*probes;
-    if (keys.count(KeyOf(t, dst_pos))) kept.push_back(std::move(t));
+    auto it = keys.find(KeyOf(t, dst_pos));
+    if (it == keys.end()) continue;
+    for (const std::vector<Term>* s : it->second) {
+      if (ProjectionsEqual(t, dst_pos, *s, src_pos)) {
+        kept.push_back(std::move(t));
+        break;
+      }
+    }
   }
   target->tuples = std::move(kept);
 }
@@ -105,11 +156,13 @@ void SemiJoin(NodeRelation* target, const NodeRelation& source,
 YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
                                  const Instance& database) {
   // View-based join tree over the GYO parent array: only integer arrays
-  // are built per evaluation, never atom copies.
+  // are built per evaluation, never atom copies. Re-rooting at an atom
+  // covering the head keeps the answer-assembly DP linear (join_tree.h).
   std::optional<JoinTreeView> tree =
       BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
   if (!tree.has_value()) return YannakakisResult{};
-  return EvaluateAcyclic(q, *tree, database);
+  JoinTreeView rooted = RerootForHead(*tree, q.head());
+  return EvaluateAcyclic(q, rooted, database);
 }
 
 YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
@@ -173,7 +226,7 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
       std::vector<Term> shared = SharedVars(acc, dp[child]);
       std::vector<int> left_pos = PositionsOf(acc.vars, shared);
       std::vector<int> right_pos = PositionsOf(dp[child].vars, shared);
-      std::unordered_map<std::string, std::vector<const std::vector<Term>*>>
+      std::unordered_map<uint64_t, std::vector<const std::vector<Term>*>>
           index;
       for (const auto& t : dp[child].tuples) {
         index[KeyOf(t, right_pos)].push_back(&t);
@@ -189,6 +242,7 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
         auto it = index.find(KeyOf(t, left_pos));
         if (it == index.end()) continue;
         for (const std::vector<Term>* rt : it->second) {
+          if (!ProjectionsEqual(t, left_pos, *rt, right_pos)) continue;
           std::vector<Term> merged = t;
           for (int p : extra) merged.push_back((*rt)[static_cast<size_t>(p)]);
           joined.tuples.push_back(std::move(merged));
@@ -214,20 +268,19 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
       if (keep.count(v)) projected.vars.push_back(v);
     }
     std::vector<int> proj_pos = PositionsOf(acc.vars, projected.vars);
-    std::unordered_set<std::string> seen;
+    TupleSeenSet seen(&projected.tuples);
     for (const auto& t : acc.tuples) {
       std::vector<Term> p;
       p.reserve(proj_pos.size());
       for (int pos : proj_pos) p.push_back(t[static_cast<size_t>(pos)]);
-      std::string key = KeyOf(p, PositionsOf(projected.vars, projected.vars));
-      if (seen.insert(key).second) projected.tuples.push_back(std::move(p));
+      if (seen.InsertIfNew(p)) projected.tuples.push_back(std::move(p));
     }
     dp[node] = std::move(projected);
   }
 
   // Assemble answers from the root DP relation.
   const NodeRelation& root = dp[static_cast<size_t>(tree.root())];
-  std::unordered_set<std::string> out_seen;
+  TupleSeenSet out_seen(&result.answers);
   for (const auto& t : root.tuples) {
     std::vector<Term> answer;
     answer.reserve(q.head().size());
@@ -245,9 +298,7 @@ YannakakisResult EvaluateAcyclic(const ConjunctiveQuery& q,
       answer.push_back(t[static_cast<size_t>(it - root.vars.begin())]);
     }
     if (!ok) continue;
-    std::string key;
-    for (Term a : answer) key += std::to_string(a.raw_bits()) + ",";
-    if (out_seen.insert(key).second) result.answers.push_back(answer);
+    if (out_seen.InsertIfNew(answer)) result.answers.push_back(answer);
   }
   return result;
 }

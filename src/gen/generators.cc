@@ -1,6 +1,7 @@
 #include "gen/generators.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "core/hypergraph.h"
 
@@ -434,6 +435,113 @@ StickyBlowupWorkload MakeStickyBlowupWorkload(int n) {
   std::vector<Term> qargs(static_cast<size_t>(arity - 1), zero);
   qargs.push_back(one);
   w.q = ConjunctiveQuery({}, {Atom(P[0], qargs)});
+  return w;
+}
+
+namespace {
+
+/// `n` constants named <prefix>0..<prefix>(n-1), interned once up front so
+/// million-tuple generation never touches the string interner per tuple.
+std::vector<Term> ConstantPool(const std::string& prefix, int n) {
+  std::vector<Term> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pool.push_back(Term::Constant(prefix + std::to_string(i)));
+  }
+  return pool;
+}
+
+}  // namespace
+
+EvalWorkload MakeStarEvalWorkload(uint64_t seed, int spokes,
+                                  size_t tuples_per_relation, int hubs,
+                                  int spoke_domain) {
+  assert(spokes >= 1 && hubs >= 1 && spoke_domain >= 1);
+  EvalWorkload w;
+  w.name = "star" + std::to_string(spokes) + "_n" +
+           std::to_string(tuples_per_relation);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> hub_of(0, hubs - 1);
+  std::uniform_int_distribution<int> spoke_of(0, spoke_domain - 1);
+  std::vector<Term> hub_pool = ConstantPool("h", hubs);
+  std::vector<Term> spoke_pool = ConstantPool("s", spoke_domain);
+
+  Term x = Term::Variable("x");
+  std::vector<Atom> body;
+  w.database.Reserve(tuples_per_relation * static_cast<size_t>(spokes));
+  for (int i = 0; i < spokes; ++i) {
+    Predicate r = Predicate::Get("R" + std::to_string(i + 1), 2);
+    body.push_back(Atom(r, {x, Term::Variable("y" + std::to_string(i + 1))}));
+    for (size_t t = 0; t < tuples_per_relation; ++t) {
+      w.database.Insert(
+          Atom(r, {hub_pool[static_cast<size_t>(hub_of(rng))],
+                   spoke_pool[static_cast<size_t>(spoke_of(rng))]}));
+    }
+  }
+  w.q = ConjunctiveQuery({x}, std::move(body));
+  return w;
+}
+
+EvalWorkload MakePathEvalWorkload(uint64_t seed, int length,
+                                  size_t tuples_per_relation, int domain) {
+  assert(length >= 1 && domain >= 1);
+  EvalWorkload w;
+  w.name = "path" + std::to_string(length) + "_n" +
+           std::to_string(tuples_per_relation);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> node_of(0, domain - 1);
+  std::vector<Term> pool = ConstantPool("v", domain);
+
+  std::vector<Term> xs;
+  for (int i = 0; i <= length; ++i) {
+    xs.push_back(Term::Variable("x" + std::to_string(i)));
+  }
+  std::vector<Atom> body;
+  w.database.Reserve(tuples_per_relation * static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    Predicate e = Predicate::Get("E" + std::to_string(i + 1), 2);
+    body.push_back(Atom(e, {xs[static_cast<size_t>(i)],
+                            xs[static_cast<size_t>(i) + 1]}));
+    for (size_t t = 0; t < tuples_per_relation; ++t) {
+      w.database.Insert(
+          Atom(e, {pool[static_cast<size_t>(node_of(rng))],
+                   pool[static_cast<size_t>(node_of(rng))]}));
+    }
+  }
+  w.q = ConjunctiveQuery({xs[0]}, std::move(body));
+  return w;
+}
+
+EvalWorkload MakeSkewEvalWorkload(uint64_t seed, size_t tuples_per_relation,
+                                  int domain, double skew) {
+  assert(domain >= 1 && skew >= 1.0);
+  EvalWorkload w;
+  w.name = "skew_n" + std::to_string(tuples_per_relation);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> flat(0, domain - 1);
+  std::vector<Term> pool = ConstantPool("k", domain);
+  // Power-law index: u^skew concentrates toward 0 for skew > 1, so a few
+  // hot keys absorb most of the mass (the hash-imbalance stressor).
+  auto skewed = [&]() {
+    int i = static_cast<int>(static_cast<double>(domain) * std::pow(u(rng),
+                                                                    skew));
+    return pool[static_cast<size_t>(std::min(i, domain - 1))];
+  };
+
+  Predicate r = Predicate::Get("Rsk", 2);
+  Predicate s = Predicate::Get("Ssk", 2);
+  Term x = Term::Variable("x");
+  Term y = Term::Variable("y");
+  Term z = Term::Variable("z");
+  w.database.Reserve(tuples_per_relation * 2);
+  for (size_t t = 0; t < tuples_per_relation; ++t) {
+    w.database.Insert(
+        Atom(r, {pool[static_cast<size_t>(flat(rng))], skewed()}));
+    w.database.Insert(
+        Atom(s, {skewed(), pool[static_cast<size_t>(flat(rng))]}));
+  }
+  w.q = ConjunctiveQuery({x}, {Atom(r, {x, y}), Atom(s, {y, z})});
   return w;
 }
 

@@ -137,6 +137,37 @@ struct StickyBlowupWorkload {
 
 StickyBlowupWorkload MakeStickyBlowupWorkload(int n);
 
+/// Scalable evaluation workloads for the data plane (10⁴–10⁶ tuples):
+/// one instance family plus the acyclic query shaped to it, sized by a
+/// tuple budget. Used by bench_columnar_eval and the differential
+/// columnar-vs-row tests. Instances dedup on insert, so a relation holds
+/// *at most* its tuple budget (slightly fewer under small domains).
+struct EvalWorkload {
+  std::string name;
+  ConjunctiveQuery q;  // acyclic by construction (star / path shaped)
+  Instance database;
+};
+
+/// Star join: binary relations R1..R<spokes> over a shared hub column.
+/// q(x) :- R1(x,y1), ..., R<spokes>(x,y<spokes>) — answers are the hubs
+/// present in every relation (≤ `hubs`), so the output stays small while
+/// the reduction streams every tuple.
+EvalWorkload MakeStarEvalWorkload(uint64_t seed, int spokes,
+                                  size_t tuples_per_relation, int hubs,
+                                  int spoke_domain);
+
+/// Path join: E1(x0,x1), E2(x1,x2), ..., E<length>(x<length-1>,x<length>)
+/// over one shared `domain`; q(x0) keeps the output ≤ domain while every
+/// connector variable must flow through the semi-join chain.
+EvalWorkload MakePathEvalWorkload(uint64_t seed, int length,
+                                  size_t tuples_per_relation, int domain);
+
+/// Skewed join: q(x) :- R(x,y), S(y,z) where the join column y follows a
+/// power law (value index = domain · u^skew, so skew > 1 piles mass onto
+/// few hot keys). Stresses hash-bucket imbalance in the join/semijoin.
+EvalWorkload MakeSkewEvalWorkload(uint64_t seed, size_t tuples_per_relation,
+                                  int domain, double skew);
+
 }  // namespace semacyc
 
 #endif  // SEMACYC_GEN_GENERATORS_H_

@@ -851,35 +851,98 @@ ApproximateOutcome Engine::Approximate(const PreparedQuery& pq) const {
   return out;
 }
 
-EvalOutcome Engine::Eval(const PreparedQuery& q, const Instance& database) const {
-  EvalOutcome out;
-  SemAcResult decision = Decide(q);
+bool Engine::EvalPrologue(const PreparedQuery& q, CancelToken* cancel,
+                          EvalOutcome* out,
+                          std::optional<JoinTreeView>* tree) const {
+  SemAcResult decision = Decide(q, cancel);
   if (decision.strategy == Strategy::kDeadlineExceeded) {
-    out.status = Status::DeadlineExceeded(
+    out->status = Status::DeadlineExceeded(
         "decision aborted by deadline before a reformulation was found");
-    return out;
+    return false;
   }
   if (decision.answer != SemAcAnswer::kYes || !decision.witness.has_value()) {
-    out.status = Status::NotFound(
+    out->status = Status::NotFound(
         decision.answer == SemAcAnswer::kYes
             ? "q is empty under the schema (failing chase); its answer set "
               "is empty on every database satisfying it"
             : "no acyclic reformulation found within the budgets");
-    return out;
+    return false;
   }
-  out.reformulated = true;
-  out.witness = *decision.witness;
+  out->reformulated = true;
+  out->witness = *decision.witness;
   // View-based join tree over the witness body: the view references the
   // outcome's own witness (already in place above), so nothing is copied.
-  std::optional<JoinTreeView> tree =
-      BuildJoinTreeView(out.witness.body(), ConnectingTerms::kVariables);
-  if (!tree.has_value()) {
+  *tree = BuildJoinTreeView(out->witness.body(), ConnectingTerms::kVariables);
+  if (!tree->has_value()) {
     // Unreachable for a verified witness; fail soft rather than crash.
-    out.reformulated = false;
-    out.status = Status::NotFound("witness unexpectedly cyclic");
+    out->reformulated = false;
+    out->status = Status::NotFound("witness unexpectedly cyclic");
+    return false;
+  }
+  // Root at a head-covering atom so the answer-assembly DP stays linear
+  // (join_tree.h RerootForHead) — both evaluation paths use this view.
+  **tree = RerootForHead(**tree, out->witness.head());
+  return true;
+}
+
+EvalOutcome Engine::Eval(const PreparedQuery& q,
+                         const Instance& database) const {
+  return Eval(q, database, EvalOptions{});
+}
+
+EvalOutcome Engine::Eval(const PreparedQuery& q, const Instance& database,
+                         const EvalOptions& opts) const {
+  if (opts.path == EvalOptions::Path::kColumnar) {
+    return Eval(q, data::ColumnarInstance::FromInstance(database), opts);
+  }
+  EvalOutcome out;
+  // With no external token, options_.deadline_ms still applies: a local
+  // token carries it through the decision and the evaluation (mirrors
+  // Decide(PreparedQuery)'s deadline behavior).
+  CancelToken deadline_token;
+  CancelToken* cancel = opts.cancel;
+  if (cancel == nullptr && options_.deadline_ms > 0) cancel = &deadline_token;
+  std::optional<JoinTreeView> tree;
+  if (!EvalPrologue(q, cancel, &out, &tree)) return out;
+  obs::PhaseTimer timer(&metrics_, nullptr, obs::Phase::kEval);
+  out.evaluation = EvaluateAcyclic(out.witness, *tree, database);
+  metrics_.Add(obs::Counter::kEvalSemijoinProbes,
+               out.evaluation.semijoin_probes);
+  return out;
+}
+
+EvalOutcome Engine::Eval(const PreparedQuery& q,
+                         const data::ColumnarInstance& database,
+                         const EvalOptions& opts) const {
+  EvalOutcome out;
+  // Same deadline fallback as the row path: a local token carries
+  // options_.deadline_ms through the decision and the program run.
+  CancelToken deadline_token;
+  CancelToken* cancel = opts.cancel;
+  if (cancel == nullptr && options_.deadline_ms > 0) cancel = &deadline_token;
+  std::optional<JoinTreeView> tree;
+  if (!EvalPrologue(q, cancel, &out, &tree)) return out;
+  obs::PhaseTimer timer(&metrics_, nullptr, obs::Phase::kEval);
+  data::SemiJoinProgram program =
+      data::SemiJoinProgram::Compile(out.witness, *tree);
+  data::ExecOptions exec;
+  exec.cancel = cancel;
+  data::ColumnarEvalResult result = program.Execute(database, exec);
+  out.exec_stats = result.stats;
+  metrics_.Add(obs::Counter::kEvalRowsScanned, result.stats.rows_scanned);
+  metrics_.Add(obs::Counter::kEvalSemijoinProbes,
+               result.stats.semijoin_probes);
+  metrics_.Add(obs::Counter::kEvalDpRows, result.stats.dp_rows);
+  if (result.aborted) {
+    out.status = Status::DeadlineExceeded(
+        "evaluation aborted by deadline/cancellation mid-program; the "
+        "engine stays reusable");
     return out;
   }
-  out.evaluation = EvaluateAcyclic(out.witness, *tree, database);
+  out.columnar = true;
+  out.evaluation.ok = true;
+  out.evaluation.answers = std::move(result.answers);
+  out.evaluation.semijoin_probes = result.stats.semijoin_probes;
   return out;
 }
 

@@ -11,6 +11,8 @@
 
 #include "core/fingerprint_cache.h"
 #include "core/obs.h"
+#include "data/columnar.h"
+#include "data/semijoin_program.h"
 #include "deps/classify.h"
 #include "eval/yannakakis.h"
 #include "semacyc/approximation.h"
@@ -199,13 +201,33 @@ struct ApproximateOutcome {
   ApproximationResult result;  // meaningful when status.ok()
 };
 
+/// Switches for Engine::Eval. The default is the production path: compile
+/// the witness into a SemiJoinProgram and run it over the columnar data
+/// plane. The row path survives as the differential baseline — both paths
+/// produce identical answer sets (pinned by tests/columnar_eval_test).
+struct EvalOptions {
+  enum class Path {
+    kColumnar,  // SemiJoinProgram over a ColumnarInstance (default)
+    kRow,       // legacy tuple-at-a-time EvaluateAcyclic
+  };
+  Path path = Path::kColumnar;
+  /// Polled throughout the decision and at every op boundary of the
+  /// evaluation (not owned; may be null). A fired token yields
+  /// Status::kDeadlineExceeded with the engine immediately reusable.
+  CancelToken* cancel = nullptr;
+};
+
 /// Result of Engine::Eval — the Prop 24 FPT pipeline with an explicit
 /// status instead of a silent `reformulated = false`.
 struct EvalOutcome {
   Status status;
   bool reformulated = false;
+  /// True when the answers came from the columnar data plane.
+  bool columnar = false;
   ConjunctiveQuery witness;
   YannakakisResult evaluation;  // meaningful when reformulated
+  /// Columnar execution cost accounting (zeros on the row path).
+  data::ExecStats exec_stats;
 };
 
 /// Session-oriented entrypoint for the realistic workload — many queries
@@ -311,8 +333,19 @@ class Engine {
   UcqSemAcResult DecideUcq(const UnionQuery& Q) const;
 
   /// Prop 24 FPT evaluation: reformulate (cached), then Yannakakis over a
-  /// view-based join tree of the witness (no atom copies per call).
+  /// view-based join tree of the witness. The default path compiles the
+  /// witness into a SemiJoinProgram and runs it over a columnar encoding
+  /// of the database (EvalOptions::Path::kColumnar); pass Path::kRow for
+  /// the legacy tuple-at-a-time evaluator. Answer sets are identical.
   EvalOutcome Eval(const PreparedQuery& q, const Instance& database) const;
+  EvalOutcome Eval(const PreparedQuery& q, const Instance& database,
+                   const EvalOptions& opts) const;
+  /// Same, over a pre-encoded columnar database (always the columnar
+  /// path; `opts.path` is ignored). Encode once with
+  /// data::ColumnarInstance::FromInstance/FromFile, evaluate many times.
+  EvalOutcome Eval(const PreparedQuery& q,
+                   const data::ColumnarInstance& database,
+                   const EvalOptions& opts = {}) const;
 
   /// Point-in-time aggregate of the cache counters (gathers the per-oracle
   /// counters under their locks; safe concurrently with decisions). For
@@ -394,6 +427,12 @@ class Engine {
   /// q1 ⊆Σ q2 through the chase cache (Lemma 1).
   Tri ContainedUnderCached(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) const;
+
+  /// Shared Eval prologue: Decide under `cancel`, extract the witness into
+  /// `out` and build its join-tree view. Returns false with out->status
+  /// set on any non-Ok outcome.
+  bool EvalPrologue(const PreparedQuery& q, CancelToken* cancel,
+                    EvalOutcome* out, std::optional<JoinTreeView>* tree) const;
 
   PreparedSchema schema_;
   SemAcOptions options_;

@@ -356,6 +356,93 @@ std::optional<std::string> BatchLineResponse(const Engine& engine,
   return DecideResponse(engine, line, reported_deadline_ms, cancel);
 }
 
+std::string EvalResponse(const Engine& engine,
+                         const data::ColumnarInstance& db,
+                         const std::string& query_text,
+                         int64_t reported_deadline_ms, CancelToken* cancel,
+                         size_t max_answers) {
+  ParseResult<ConjunctiveQuery> q = ParseQuery(query_text);
+  if (!q.ok()) {
+    return "{\"query\": \"" + JsonEscape(query_text) + "\", \"error\": \"" +
+           JsonEscape(q.error) + "\"}";
+  }
+  try {
+    PreparedQuery pq = engine.Prepare(*q.value);
+    EvalOptions opts;
+    opts.cancel = cancel;
+    EvalOutcome out = engine.Eval(pq, db, opts);
+    std::string line = "{\"query\": \"" + JsonEscape(q->ToString()) + "\"";
+    char buf[256];
+    if (reported_deadline_ms > 0) {
+      std::snprintf(buf, sizeof(buf), ", \"deadline_ms\": %lld",
+                    static_cast<long long>(reported_deadline_ms));
+      line += buf;
+    }
+    if (!out.status.ok()) {
+      const char* status = "unsupported";
+      switch (out.status.code) {
+        case Status::Code::kNotFound:
+          status = "not_found";
+          break;
+        case Status::Code::kDeadlineExceeded:
+          status = "deadline_exceeded";
+          break;
+        default:
+          break;
+      }
+      line += ", \"status\": \"" + std::string(status) + "\", \"message\": \"" +
+              JsonEscape(out.status.message) + "\"}";
+      return line;
+    }
+    line += ", \"status\": \"ok\", \"witness\": \"" +
+            JsonEscape(out.witness.ToString()) + "\", \"columnar\": " +
+            (out.columnar ? "true" : "false");
+    std::snprintf(buf, sizeof(buf),
+                  ", \"answer_count\": %zu, \"rows_scanned\": %zu, "
+                  "\"semijoin_probes\": %zu, \"dp_rows\": %zu",
+                  out.evaluation.answers.size(), out.exec_stats.rows_scanned,
+                  out.exec_stats.semijoin_probes, out.exec_stats.dp_rows);
+    line += buf;
+    if (max_answers > 0) {
+      line += ", \"answers\": [";
+      size_t shown = std::min(max_answers, out.evaluation.answers.size());
+      for (size_t i = 0; i < shown; ++i) {
+        if (i > 0) line += ", ";
+        line += "[";
+        const std::vector<Term>& tuple = out.evaluation.answers[i];
+        for (size_t j = 0; j < tuple.size(); ++j) {
+          if (j > 0) line += ", ";
+          line += "\"" + JsonEscape(tuple[j].ToString()) + "\"";
+        }
+        line += "]";
+      }
+      line += "]";
+      if (shown < out.evaluation.answers.size()) {
+        std::snprintf(buf, sizeof(buf), ", \"answers_truncated\": %zu",
+                      out.evaluation.answers.size() - shown);
+        line += buf;
+      }
+    }
+    line += "}";
+    return line;
+  } catch (const std::exception& e) {
+    return "{\"query\": \"" + JsonEscape(query_text) +
+           "\", \"error\": \"internal: " + JsonEscape(e.what()) + "\"}";
+  }
+}
+
+std::optional<std::string> EvalLineResponse(const Engine& engine,
+                                            const data::ColumnarInstance& db,
+                                            const std::string& line,
+                                            int64_t reported_deadline_ms,
+                                            CancelToken* cancel,
+                                            size_t max_answers) {
+  size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '%') return std::nullopt;
+  return EvalResponse(engine, db, line, reported_deadline_ms, cancel,
+                      max_answers);
+}
+
 namespace {
 
 void AppendCacheStatsJson(std::string* out, const char* name,

@@ -64,6 +64,36 @@ std::optional<std::string> BatchLineResponse(const Engine& engine,
                                              int64_t reported_deadline_ms,
                                              CancelToken* cancel);
 
+/// Evaluates `query_text` on `engine` over the preloaded columnar
+/// database (the Prop 24 pipeline: reformulate, then the compiled
+/// semi-join program) and renders one JSON line (no trailing newline) —
+/// the `--eval` output schema of docs/CLI.md:
+///
+///   {"query": ..., "status": "ok", "witness": ..., "columnar": true,
+///    "answer_count": N, "answers": [["'a'","'b'"], ...],
+///    "rows_scanned": ..., "semijoin_probes": ..., "dp_rows": ...}
+///
+/// `answers` carries at most `max_answers` tuples (0 = answer_count
+/// only); the count is always the full answer-set size. Non-ok statuses
+/// ("not_found" — no acyclic reformulation; "deadline_exceeded";
+/// "unsupported") carry a "message" instead of answers; parse and
+/// internal errors use the same two-field shapes as DecideResponse.
+std::string EvalResponse(const Engine& engine,
+                         const data::ColumnarInstance& db,
+                         const std::string& query_text,
+                         int64_t reported_deadline_ms, CancelToken* cancel,
+                         size_t max_answers);
+
+/// Raw-line semantics on top of EvalResponse: std::nullopt for blank and
+/// '%'-comment lines, an eval line otherwise (`semacyc_cli --eval
+/// --batch` is exactly this per line).
+std::optional<std::string> EvalLineResponse(const Engine& engine,
+                                            const data::ColumnarInstance& db,
+                                            const std::string& line,
+                                            int64_t reported_deadline_ms,
+                                            CancelToken* cancel,
+                                            size_t max_answers);
+
 /// Renders the `--stats` payload object for one engine (the value of the
 /// "stats" key: prepares/decisions/oracle counters + per-cache
 /// CacheStats). Shared by the CLI's trailing {"stats": ...} line and the

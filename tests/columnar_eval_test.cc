@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/homomorphism.h"
+#include "core/hypergraph.h"
+#include "core/join_tree.h"
+#include "core/parser.h"
+#include "data/columnar.h"
+#include "data/semijoin_program.h"
+#include "eval/yannakakis.h"
+#include "gen/generators.h"
+#include "semacyc/engine.h"
+
+namespace semacyc {
+namespace {
+
+Term C(const std::string& s) { return Term::Constant(s); }
+
+Instance Db(const std::string& atoms) {
+  Instance inst;
+  inst.InsertAll(MustParseAtoms(atoms));
+  return inst;
+}
+
+std::set<std::vector<Term>> AsSet(std::vector<std::vector<Term>> v) {
+  return std::set<std::vector<Term>>(v.begin(), v.end());
+}
+
+/// The core differential check: the compiled columnar program and the
+/// row-path evaluator agree on the full answer set, and the Boolean fast
+/// paths agree too.
+void ExpectColumnarMatchesRow(const ConjunctiveQuery& q, const Instance& db) {
+  std::optional<JoinTreeView> tree =
+      BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
+  ASSERT_TRUE(tree.has_value()) << "query unexpectedly cyclic";
+  data::ColumnarInstance col = data::ColumnarInstance::FromInstance(db);
+  data::SemiJoinProgram prog = data::SemiJoinProgram::Compile(q, *tree);
+  data::ColumnarEvalResult res = prog.Execute(col);
+  ASSERT_FALSE(res.aborted);
+  YannakakisResult row = EvaluateAcyclic(q, *tree, db);
+  ASSERT_TRUE(row.ok);
+  EXPECT_EQ(AsSet(res.answers), AsSet(row.answers));
+
+  ConjunctiveQuery boolean_q({}, q.body());
+  data::SemiJoinProgram bool_prog =
+      data::SemiJoinProgram::Compile(boolean_q, *tree);
+  EXPECT_EQ(bool_prog.ExecuteBoolean(col),
+            EvaluateAcyclicBoolean(boolean_q, *tree, db));
+}
+
+TEST(ColumnarInstanceTest, FromInstanceRoundTrips) {
+  Instance db = Db("E('a','b'), E('b','c'), P('a'), F('a','b','c')");
+  data::ColumnarInstance col = data::ColumnarInstance::FromInstance(db);
+  EXPECT_EQ(col.TotalRows(), db.size());
+  EXPECT_EQ(col.relations().size(), 3u);
+  Instance back = col.ToInstance();
+  EXPECT_EQ(back.size(), db.size());
+  for (const Atom& a : db.atoms()) EXPECT_TRUE(back.Contains(a));
+  EXPECT_GT(col.ApproxBytes(), 0u);
+}
+
+TEST(ColumnarInstanceTest, DictionaryAndEqualRange) {
+  Instance db = Db("E('a','b'), E('a','c'), E('b','c')");
+  data::ColumnarInstance col = data::ColumnarInstance::FromInstance(db);
+  uint32_t a = col.ValueIdOf(C("a"));
+  ASSERT_NE(a, data::kNoValue);
+  EXPECT_EQ(col.TermOf(a), C("a"));
+  EXPECT_EQ(col.ValueIdOf(C("zzz")), data::kNoValue);
+  const data::ColumnarInstance::Relation* rel =
+      col.RelationOf(Predicate::Get("E", 2));
+  ASSERT_NE(rel, nullptr);
+  auto [lo, hi] = col.EqualRange(*rel, 0, a);
+  EXPECT_EQ(hi - lo, 2);  // two E-rows with 'a' in position 0
+  for (const uint32_t* r = lo; r != hi; ++r) {
+    EXPECT_EQ(rel->columns[0][*r], a);
+  }
+}
+
+TEST(ColumnarInstanceTest, FromTextParsesGroundFacts) {
+  std::string error;
+  std::optional<data::ColumnarInstance> col = data::ColumnarInstance::FromText(
+      "% a comment line\n"
+      "E('a','b'), E('b','c')\n"
+      "\n"
+      "P(42)\n",
+      &error);
+  ASSERT_TRUE(col.has_value()) << error;
+  EXPECT_EQ(col->TotalRows(), 3u);
+  Instance back = col->ToInstance();
+  EXPECT_TRUE(back.Contains(MustParseAtoms("E('a','b')")[0]));
+  EXPECT_TRUE(back.Contains(MustParseAtoms("P(42)")[0]));
+}
+
+TEST(ColumnarInstanceTest, FromTextRejectsVariablesWithLineNumber) {
+  std::string error;
+  std::optional<data::ColumnarInstance> col = data::ColumnarInstance::FromText(
+      "E('a','b')\nE(x,'c')\n", &error);
+  EXPECT_FALSE(col.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("ground"), std::string::npos) << error;
+}
+
+TEST(ColumnarInstanceTest, FromTextReportsParseErrors) {
+  std::string error;
+  std::optional<data::ColumnarInstance> col =
+      data::ColumnarInstance::FromText("E('a','b')\nE('a',\n", &error);
+  EXPECT_FALSE(col.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(SemiJoinProgramTest, SimplePath) {
+  ExpectColumnarMatchesRow(MustParseQuery("q(x,z) :- E(x,y), E(y,z)"),
+                           Db("E('a','b'), E('b','c'), E('c','d')"));
+}
+
+TEST(SemiJoinProgramTest, ConstantsInAtoms) {
+  ExpectColumnarMatchesRow(MustParseQuery("q(x) :- E(x,'b')"),
+                           Db("E('a','b'), E('c','b'), E('c','d')"));
+}
+
+TEST(SemiJoinProgramTest, ConstantAbsentFromInstance) {
+  // The constant never occurs in the database: the dictionary lookup
+  // fails and the whole program short-circuits to empty.
+  ExpectColumnarMatchesRow(MustParseQuery("q(x) :- E(x,'nope')"),
+                           Db("E('a','b')"));
+}
+
+TEST(SemiJoinProgramTest, RepeatedVariableInAtom) {
+  ExpectColumnarMatchesRow(
+      MustParseQuery("q(x,y) :- E(x,x), F(x,y)"),
+      Db("E('a','a'), E('a','b'), E('c','c'), F('a','u'), F('c','v')"));
+}
+
+TEST(SemiJoinProgramTest, HeadConstants) {
+  ConjunctiveQuery parsed = MustParseQuery("q(x) :- E(x,y), E(y,z)");
+  // Head mixes a constant slot with a variable slot.
+  std::vector<Term> head = {C("tag"), parsed.head()[0]};
+  ExpectColumnarMatchesRow(ConjunctiveQuery(head, parsed.body()),
+                           Db("E('a','b'), E('b','c')"));
+}
+
+TEST(SemiJoinProgramTest, EmptyRelationShortCircuits) {
+  // Z has no facts at all: the match op finds no relation and exits
+  // before any semi-join work.
+  ExpectColumnarMatchesRow(MustParseQuery("q(x) :- E(x,y), Z(y)"),
+                           Db("E('a','b')"));
+}
+
+TEST(SemiJoinProgramTest, DisconnectedQueryCrossProduct) {
+  ExpectColumnarMatchesRow(MustParseQuery("q(u,v) :- A(u), B(v)"),
+                           Db("A('x'), B('y'), B('z')"));
+  // And the empty side clears the product.
+  ExpectColumnarMatchesRow(MustParseQuery("q(u,v) :- A(u), B(v)"),
+                           Db("A('x'), C('y')"));
+}
+
+TEST(SemiJoinProgramTest, StarQueryPrunesDanglingTuples) {
+  ExpectColumnarMatchesRow(
+      MustParseQuery("q(u) :- R(u,v), S(v,s), R(u,w), T(w,t)"),
+      Db("R('a','b'), R('a','c'), S('b','x1'), T('c','y1'), "
+         "R('q','w'), S('w','x2')"));
+}
+
+TEST(SemiJoinProgramTest, WideAtomHashedKeys) {
+  // A 4-column connector forces the hashed (collision-verified) key path.
+  ExpectColumnarMatchesRow(
+      MustParseQuery("q(a) :- G(a,b,c,d,e), H(b,c,d,e)"),
+      Db("G('1','2','3','4','5'), G('1','2','3','4','6'), "
+         "G('7','8','9','a','b'), H('2','3','4','5'), H('2','3','4','6'), "
+         "H('8','9','a','b')"));
+}
+
+TEST(SemiJoinProgramTest, AbortsOnFiredToken) {
+  ConjunctiveQuery q = MustParseQuery("q(x,z) :- E(x,y), E(y,z)");
+  Instance db = Db("E('a','b'), E('b','c')");
+  std::optional<JoinTreeView> tree =
+      BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
+  ASSERT_TRUE(tree.has_value());
+  data::ColumnarInstance col = data::ColumnarInstance::FromInstance(db);
+  data::SemiJoinProgram prog = data::SemiJoinProgram::Compile(q, *tree);
+  CancelToken token;
+  token.RequestCancel();
+  data::ExecOptions opts;
+  opts.cancel = &token;
+  data::ColumnarEvalResult res = prog.Execute(col, opts);
+  EXPECT_TRUE(res.aborted);
+  EXPECT_TRUE(res.answers.empty());
+  EXPECT_EQ(prog.ExecuteBoolean(col, opts), -1);
+  // The program is immutable: a clean re-run succeeds.
+  data::ColumnarEvalResult again = prog.Execute(col);
+  EXPECT_FALSE(again.aborted);
+  EXPECT_EQ(again.answers.size(), 1u);
+}
+
+/// Differential sweep over random acyclic queries and databases — the
+/// columnar program must agree with both the row path and the exact
+/// backtracking evaluator.
+class ColumnarSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColumnarSweep, AgreesWithRowPathAndBruteForce) {
+  Generator gen(static_cast<uint64_t>(GetParam()) + 97);
+  ConjunctiveQuery shape = gen.RandomAcyclicQuery(5, 2, 2, "Y");
+  std::vector<Term> vars = shape.Variables();
+  std::vector<Term> head;
+  for (size_t i = 0; i < vars.size() && head.size() < 2; i += 3) {
+    head.push_back(vars[i]);
+  }
+  ConjunctiveQuery q(head, shape.body());
+  std::vector<Predicate> preds = {Predicate::Get("Y0", 2),
+                                  Predicate::Get("Y1", 2)};
+  Instance db = gen.RandomDatabase(preds, 40, 5);
+  ExpectColumnarMatchesRow(q, db);
+
+  std::optional<JoinTreeView> tree =
+      BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
+  ASSERT_TRUE(tree.has_value());
+  data::ColumnarInstance col = data::ColumnarInstance::FromInstance(db);
+  data::SemiJoinProgram prog = data::SemiJoinProgram::Compile(q, *tree);
+  EXPECT_EQ(AsSet(prog.Execute(col).answers), AsSet(EvaluateQuery(q, db)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarSweep, ::testing::Range(0, 20));
+
+TEST(ColumnarWorkloadTest, StarFamilyMatchesRowPath) {
+  EvalWorkload w = MakeStarEvalWorkload(3, 3, 2000, 50, 100);
+  ExpectColumnarMatchesRow(w.q, w.database);
+}
+
+TEST(ColumnarWorkloadTest, PathFamilyMatchesRowPath) {
+  EvalWorkload w = MakePathEvalWorkload(4, 3, 2000, 60);
+  ExpectColumnarMatchesRow(w.q, w.database);
+}
+
+TEST(ColumnarWorkloadTest, SkewFamilyMatchesRowPath) {
+  EvalWorkload w = MakeSkewEvalWorkload(5, 2000, 100, 3.0);
+  ExpectColumnarMatchesRow(w.q, w.database);
+}
+
+TEST(RerootForHeadTest, RootCoversHeadAndAnswersUnchanged) {
+  // Chain E1-E2-E3 with the head variable at the far end: GYO may root
+  // the tree at E3, which would make the answer DP carry x0 through every
+  // join (Θ(|D|·|answers|) intermediates). RerootForHead must move the
+  // root to E1 and leave the answer set untouched on both paths.
+  ConjunctiveQuery q = MustParseQuery(
+      "q(x0) :- E1(x0,x1), E2(x1,x2), E3(x2,x3)");
+  std::optional<JoinTreeView> tree =
+      BuildJoinTreeView(q.body(), ConnectingTerms::kVariables);
+  ASSERT_TRUE(tree.has_value());
+  JoinTreeView rooted = RerootForHead(*tree, q.head());
+  EXPECT_TRUE(rooted.atom(rooted.root()).Mentions(Term::Variable("x0")));
+  EXPECT_TRUE(rooted.Validate({Term::Variable("x0"), Term::Variable("x1"),
+                               Term::Variable("x2"), Term::Variable("x3")}));
+
+  Instance db = Db(
+      "E1('a','m'), E1('b','m'), E1('c','n'), "
+      "E2('m','u'), E2('n','u'), E2('n','w'), "
+      "E3('u','z'), E3('w','z')");
+  data::ColumnarInstance col = data::ColumnarInstance::FromInstance(db);
+  auto on_tree = [&](const JoinTreeView& t) {
+    data::SemiJoinProgram prog = data::SemiJoinProgram::Compile(q, t);
+    data::ColumnarEvalResult res = prog.Execute(col);
+    EXPECT_FALSE(res.aborted);
+    YannakakisResult row = EvaluateAcyclic(q, t, db);
+    EXPECT_TRUE(row.ok);
+    EXPECT_EQ(AsSet(res.answers), AsSet(row.answers));
+    return AsSet(res.answers);
+  };
+  EXPECT_EQ(on_tree(*tree), on_tree(rooted));
+  EXPECT_EQ(on_tree(rooted), AsSet(EvaluateQuery(q, db)));
+
+  // Boolean heads (no variables) keep the tree as-is.
+  ConjunctiveQuery boolean_q({}, q.body());
+  JoinTreeView same = RerootForHead(*tree, boolean_q.head());
+  EXPECT_EQ(same.root(), tree->root());
+}
+
+TEST(EngineEvalTest, ColumnarIsDefaultAndMatchesRowPath) {
+  MusicStoreWorkload w = MakeMusicStoreWorkload(11, 6, 8, 3, 0.4);
+  Engine engine(w.sigma);
+  PreparedQuery pq = engine.Prepare(w.q);
+
+  EvalOutcome columnar = engine.Eval(pq, w.database);
+  ASSERT_TRUE(columnar.status.ok()) << columnar.status.message;
+  ASSERT_TRUE(columnar.reformulated);
+  EXPECT_TRUE(columnar.columnar);
+  ASSERT_TRUE(columnar.evaluation.ok);
+
+  EvalOptions row_opts;
+  row_opts.path = EvalOptions::Path::kRow;
+  EvalOutcome row = engine.Eval(pq, w.database, row_opts);
+  ASSERT_TRUE(row.status.ok());
+  EXPECT_FALSE(row.columnar);
+  EXPECT_EQ(AsSet(columnar.evaluation.answers), AsSet(row.evaluation.answers));
+  EXPECT_EQ(AsSet(columnar.evaluation.answers),
+            AsSet(EvaluateQuery(w.q, w.database)));
+  // The EVAL phase shows up in the engine's metrics.
+  obs::MetricsSnapshot snap = engine.Metrics();
+  bool saw_eval = false;
+  for (const auto& phase : snap.phases) {
+    if (phase.name == "EVAL" && phase.latency.count > 0) saw_eval = true;
+  }
+  EXPECT_TRUE(saw_eval);
+}
+
+TEST(EngineEvalTest, PreEncodedColumnarDatabase) {
+  MusicStoreWorkload w = MakeMusicStoreWorkload(12, 5, 6, 3, 0.5);
+  Engine engine(w.sigma);
+  PreparedQuery pq = engine.Prepare(w.q);
+  data::ColumnarInstance col =
+      data::ColumnarInstance::FromInstance(w.database);
+  EvalOutcome out = engine.Eval(pq, col);
+  ASSERT_TRUE(out.status.ok()) << out.status.message;
+  EXPECT_TRUE(out.columnar);
+  EXPECT_EQ(AsSet(out.evaluation.answers),
+            AsSet(EvaluateQuery(w.q, w.database)));
+}
+
+TEST(EngineEvalTest, CancelledEvalLeavesEngineReusable) {
+  MusicStoreWorkload w = MakeMusicStoreWorkload(13, 6, 8, 3, 0.4);
+  Engine engine(w.sigma);
+  PreparedQuery pq = engine.Prepare(w.q);
+  // Warm the decision cache so the abort lands in the evaluation itself.
+  ASSERT_TRUE(engine.Eval(pq, w.database).status.ok());
+
+  CancelToken token;
+  token.RequestCancel();
+  EvalOptions opts;
+  opts.cancel = &token;
+  EvalOutcome aborted = engine.Eval(pq, w.database, opts);
+  EXPECT_EQ(aborted.status.code, Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(aborted.evaluation.answers.empty());
+
+  // The engine is immediately reusable for the exact answer.
+  EvalOutcome retry = engine.Eval(pq, w.database);
+  ASSERT_TRUE(retry.status.ok());
+  EXPECT_EQ(AsSet(retry.evaluation.answers),
+            AsSet(EvaluateQuery(w.q, w.database)));
+}
+
+TEST(EngineEvalTest, NonSemAcQueryReportsNotFound) {
+  Generator gen(8);
+  Engine engine(DependencySet{});
+  PreparedQuery pq = engine.Prepare(gen.CycleQuery(3));
+  EvalOutcome out = engine.Eval(pq, Db("E('a','b')"));
+  EXPECT_EQ(out.status.code, Status::Code::kNotFound);
+  EXPECT_FALSE(out.reformulated);
+}
+
+}  // namespace
+}  // namespace semacyc
