@@ -24,7 +24,9 @@
 // BENCH_witness_pipeline.json via bench_util's JsonReport.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "acyclic/gamma.h"
@@ -299,6 +301,116 @@ void HomShowdown(bench::JsonReport* report) {
   table.Print();
 }
 
+/// One exhaustive run at a thread count; threads <= 1 is the sequential
+/// reference strategy, threads > 1 the work-stealing pool. The oracle is
+/// built `synchronized` so concurrent workers may share it (the
+/// sequential run pays the same — uncontended — locks, keeping the
+/// comparison honest).
+HomRun RunParallel(const Workload& w, size_t threads) {
+  ChaseOptions chase_options;
+  RewriteOptions rewrite_options;
+  QueryChaseResult chase = ChaseQuery(w.q, w.sigma, chase_options);
+  ContainmentOracle oracle(w.q, w.sigma, chase_options, rewrite_options,
+                           SchemaFacts::Compute(w.sigma),
+                           /*rewrite_cache=*/nullptr, /*try_rewriting=*/true,
+                           /*memoize=*/true, /*synchronized=*/true);
+  WitnessTuning tuning;
+  HomRun run;
+  run.ms = TimeMs(3, [&] {
+    run.outcome =
+        threads <= 1
+            ? ExhaustiveWitnessSearch(w.q, w.sigma, chase, oracle,
+                                      w.max_atoms, w.budget, w.target, tuning)
+            : ParallelExhaustiveWitnessSearch(w.q, w.sigma, chase, oracle,
+                                              w.max_atoms, w.budget, threads,
+                                              w.target, tuning);
+  });
+  return run;
+}
+
+/// The work-stealing pool vs the sequential exhaustive strategy at
+/// identical budgets. Parity is the correctness claim on EVERY row
+/// (bitwise: answer, candidates, visits, exhaustion, the witness itself);
+/// the >= 2x speedup claim at 4 threads is gated on the exhaustive-alpha
+/// rows, and — under --gate — only enforced when the host actually has 4
+/// cores (the parity half of the gate runs regardless). Returns the
+/// number of gate violations (0 when not gating).
+int ParallelShowdown(bench::JsonReport* report, bool gate) {
+  bench::Banner(
+      "E-P4 - work-stealing parallel Decide vs sequential, identical budgets",
+      "idle workers steal subtree roots of the exhaustive DFS and replay "
+      "their incremental sessions to the stolen prefix; the ordered commit "
+      "protocol keeps every outcome bitwise-sequential, so threads buy "
+      "latency only — target >= 2x at 4 threads on the alpha rows");
+  unsigned hw = std::thread::hardware_concurrency();
+  bool enforce_speedup = gate && hw >= 4;
+  if (gate && !enforce_speedup) {
+    std::printf("note: %u hardware threads < 4 — parity gated, speedup "
+                "reported only\n", hw);
+  }
+  int failures = 0;
+  bench::Table table({"workload", "1t ms", "2t ms", "4t ms", "x2", "x4",
+                      "steals", "waste", "parity"});
+  for (const Workload& w : Workloads()) {
+    if (w.kind != Kind::kExhaustive) continue;
+    HomRun seq = RunParallel(w, 1);
+    HomRun p2 = RunParallel(w, 2);
+    HomRun p4 = RunParallel(w, 4);
+    double x2 = seq.ms / p2.ms;
+    double x4 = seq.ms / p4.ms;
+    auto bitwise = [&](const WitnessSearchOutcome& p) {
+      return seq.outcome.answer == p.answer &&
+             seq.outcome.candidates_tested == p.candidates_tested &&
+             seq.outcome.visits == p.visits &&
+             seq.outcome.exhausted == p.exhausted &&
+             seq.outcome.witness.has_value() == p.witness.has_value() &&
+             (!seq.outcome.witness.has_value() ||
+              *seq.outcome.witness == *p.witness);
+    };
+    bool parity = bitwise(p2.outcome) && bitwise(p4.outcome);
+    // Speedup is gated on the alpha rows only: the beta/berge rows bottom
+    // out in a handful of milliseconds where thread startup dominates.
+    bool gated = w.name.rfind("exhaustive-alpha", 0) == 0;
+    table.AddRow({w.name, std::to_string(seq.ms), std::to_string(p2.ms),
+                  std::to_string(p4.ms), std::to_string(x2),
+                  std::to_string(x4),
+                  std::to_string(p4.outcome.parallel.steals),
+                  std::to_string(p4.outcome.parallel.wasted_visits),
+                  parity ? "identical" : "MISMATCH"});
+    report->AddRow(
+        "parallel",
+        {{"workload", bench::JsonReport::Str(w.name)},
+         {"seq_ms", bench::JsonReport::Num(seq.ms)},
+         {"p2_ms", bench::JsonReport::Num(p2.ms)},
+         {"p4_ms", bench::JsonReport::Num(p4.ms)},
+         {"speedup2", bench::JsonReport::Num(x2)},
+         {"speedup4", bench::JsonReport::Num(x4)},
+         {"units", bench::JsonReport::Num(static_cast<double>(
+                       p4.outcome.parallel.units_claimed))},
+         {"steals", bench::JsonReport::Num(
+                        static_cast<double>(p4.outcome.parallel.steals))},
+         {"replays", bench::JsonReport::Num(
+                         static_cast<double>(p4.outcome.parallel.replays))},
+         {"wasted_visits",
+          bench::JsonReport::Num(
+              static_cast<double>(p4.outcome.parallel.wasted_visits))},
+         {"gated", gated ? "true" : "false"},
+         {"parity", parity ? "true" : "false"}});
+    if (!parity) {
+      std::printf("*** parallel outcome parity BROKEN on %s\n",
+                  w.name.c_str());
+      if (gate) ++failures;
+    }
+    if (gated && x4 < 2.0) {
+      std::printf("*** parallel speedup target missed on %s: %.1fx < 2x at "
+                  "4 threads\n", w.name.c_str(), x4);
+      if (enforce_speedup) ++failures;
+    }
+  }
+  table.Print();
+  return failures;
+}
+
 void GammaShowdown(bench::JsonReport* report) {
   bench::Banner(
       "E-P2 - worklist gamma decider vs round-based fixpoint",
@@ -355,9 +467,14 @@ void GammaShowdown(bench::JsonReport* report) {
 }  // namespace semacyc
 
 int main(int argc, char** argv) {
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+  }
   semacyc::bench::JsonReport report(argc, argv, "witness_pipeline");
   semacyc::WitnessShowdown(&report);
   semacyc::HomShowdown(&report);
+  int failures = semacyc::ParallelShowdown(&report, gate);
   semacyc::GammaShowdown(&report);
-  return 0;
+  return failures > 0 ? 1 : 0;
 }

@@ -31,6 +31,10 @@
 //                 an elapsed deadline aborts that decision gracefully —
 //                 answer "unknown", strategy "deadline-exceeded" — and the
 //                 batch continues with the next line.
+//   --decide-threads N  worker threads for the subsets/exhaustive witness
+//                 searches of each single decision (core/worksteal.h);
+//                 answers, strategies and witnesses are bitwise identical
+//                 to one thread. Default 1 (sequential).
 //
 // Serve mode (the semacycd network server as a CLI flag; one setup path,
 // docs/SERVING.md):
@@ -84,7 +88,8 @@ void PrintStatsJson(const Engine& engine) {
 int RunBatch(const char* schema_path, const char* queries_path,
              bool print_stats, size_t cache_mb, bool trace,
              const char* trace_path, bool print_metrics,
-             int64_t deadline_ms, const data::ColumnarInstance* eval_db,
+             int64_t deadline_ms, size_t decide_threads,
+             const data::ColumnarInstance* eval_db,
              size_t max_answers) {
   std::ifstream schema_file(schema_path);
   if (!schema_file) {
@@ -115,6 +120,7 @@ int RunBatch(const char* schema_path, const char* queries_path,
   // repeated (or isomorphic) query is served from the shared caches.
   EngineOptions options;
   options.semac.deadline_ms = deadline_ms;
+  options.semac.decide_threads = decide_threads;
   if (cache_mb > 0) {
     options.SetTotalCacheBudget(cache_mb * size_t{1024} * 1024);
   }
@@ -163,7 +169,7 @@ int RunBatch(const char* schema_path, const char* queries_path,
 }
 
 int RunOneShot(const char* query_text, const char* sigma_text,
-               int64_t deadline_ms) {
+               int64_t deadline_ms, size_t decide_threads) {
   ParseResult<ConjunctiveQuery> q = ParseQuery(query_text);
   if (!q.ok()) {
     std::fprintf(stderr, "query parse error: %s\n", q.error.c_str());
@@ -189,6 +195,7 @@ int RunOneShot(const char* query_text, const char* sigma_text,
 
   SemAcOptions semac;
   semac.deadline_ms = deadline_ms;
+  semac.decide_threads = decide_threads;
   SemAcResult result = DecideSemanticAcyclicity(*q.value, *sigma.value, semac);
   if (result.strategy == Strategy::kDeadlineExceeded) {
     std::printf("deadline:   exceeded after %lld ms (answer is unknown; "
@@ -251,10 +258,12 @@ int RunEvalOneShot(const char* query_text, const char* sigma_text,
 /// the two in sync.
 void PrintUsage(FILE* out, const char* prog) {
   std::fprintf(out,
-               "usage: %s [--deadline-ms <n>] '<query>' '<dependencies>'\n"
+               "usage: %s [--deadline-ms <n>] [--decide-threads <n>] "
+               "'<query>' '<dependencies>'\n"
                "       %s [--stats] [--metrics] [--trace[=FILE]] "
                "[--cache-mb <n>]\n"
-               "          [--deadline-ms <n>] --batch <schema-file> "
+               "          [--deadline-ms <n>] [--decide-threads <n>] "
+               "--batch <schema-file> "
                "[<queries-file>]\n"
                "       %s [--cache-mb <n>] [--deadline-ms <n>] "
                "--serve <port> <schema-file>\n"
@@ -297,6 +306,13 @@ void PrintUsage(FILE* out, const char* prog) {
                "                strategy deadline-exceeded) and the run "
                "continues;\n"
                "                default: none\n"
+               "  --decide-threads: worker threads for the witness "
+               "searches of each\n"
+               "                single decision (one-shot and batch); "
+               "answers, strategies\n"
+               "                and witnesses are bitwise identical to 1 "
+               "thread — threads\n"
+               "                buy latency only; default 1 (sequential)\n"
                "  --serve:      run the semacycd network server on "
                "127.0.0.1:<port>\n"
                "                (0 = ephemeral) over <schema-file> — the "
@@ -350,6 +366,7 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   size_t cache_mb = 0;
   int64_t deadline_ms = 0;
+  size_t decide_threads = 1;
   bool eval_mode = false;
   const char* db_path = nullptr;
   size_t max_answers = 20;
@@ -407,6 +424,24 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       cache_mb = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--decide-threads") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const char* text = argv[++i];
+      // Same validation shape as --cache-mb: digits only (strtoull would
+      // silently wrap "-1"), no zero (1 already means sequential; 0 is
+      // more likely a typo), no absurd widths.
+      if (*text == '\0') return Usage(argv[0]);
+      for (const char* c = text; *c != '\0'; ++c) {
+        if (*c < '0' || *c > '9') return Usage(argv[0]);
+      }
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(text, &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0' || n == 0 ||
+          n > 1024) {
+        return Usage(argv[0]);
+      }
+      decide_threads = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--eval") == 0) {
       eval_mode = true;
     } else if (std::strcmp(argv[i], "--db") == 0) {
@@ -499,7 +534,7 @@ int main(int argc, char** argv) {
     return RunBatch(positional[0],
                     positional.size() >= 2 ? positional[1] : nullptr,
                     print_stats, cache_mb, trace, trace_path, print_metrics,
-                    deadline_ms,
+                    deadline_ms, decide_threads,
                     eval_db.has_value() ? &*eval_db : nullptr, max_answers);
   }
   if (positional.size() != 2 || print_stats || cache_mb > 0 || trace ||
@@ -510,5 +545,6 @@ int main(int argc, char** argv) {
     return RunEvalOneShot(positional[0], positional[1], *eval_db,
                           deadline_ms, max_answers);
   }
-  return RunOneShot(positional[0], positional[1], deadline_ms);
+  return RunOneShot(positional[0], positional[1], deadline_ms,
+                    decide_threads);
 }

@@ -74,6 +74,16 @@ const char* ToString(Counter c) {
       return "eval_semijoin_probes";
     case Counter::kEvalDpRows:
       return "eval_dp_rows";
+    case Counter::kParallelUnits:
+      return "parallel_units";
+    case Counter::kParallelSteals:
+      return "parallel_steals";
+    case Counter::kParallelReplays:
+      return "parallel_replays";
+    case Counter::kParallelWastedVisits:
+      return "parallel_wasted_visits";
+    case Counter::kParallelCommitWaits:
+      return "parallel_commit_waits";
   }
   return "?";
 }

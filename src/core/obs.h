@@ -76,8 +76,13 @@ enum class Counter : uint8_t {
   kEvalRowsScanned,       // rows examined by columnar match-atom filters
   kEvalSemijoinProbes,    // semi-join probes during evaluation (both paths)
   kEvalDpRows,            // tuples materialized by the answer-assembly DP
+  kParallelUnits,         // search units claimed by parallel Decide workers
+  kParallelSteals,        // unit claims that jumped another worker's run
+  kParallelReplays,       // worker sessions replayed to a stolen prefix
+  kParallelWastedVisits,  // speculative visits beyond the official prefix
+  kParallelCommitWaits,   // finished units stalled behind an earlier unit
 };
-inline constexpr size_t kNumCounters = 17;
+inline constexpr size_t kNumCounters = 22;
 const char* ToString(Counter c);
 
 /// One named counter on a trace span. `name` must be a string literal (or

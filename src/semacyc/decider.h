@@ -61,6 +61,13 @@ struct SemAcOptions {
   size_t image_homs = 5000;
   size_t subset_budget = 200000;
   size_t exhaustive_budget = 300000;
+  /// Worker threads for the subsets/exhaustive witness searches of ONE
+  /// decision (core/worksteal.h). 1 (the default) keeps the sequential
+  /// path; N > 1 runs the same ordered search space over N workers with
+  /// the deterministic commit protocol, so answers, strategies, budgets
+  /// and witnesses are bitwise identical to 1 thread — threads buy
+  /// latency, never a different result. Ignored by the legacy tuning.
+  size_t decide_threads = 1;
   /// Cap applied on top of the theoretical small-query bound when
   /// enumerating witnesses exhaustively (the theoretical bound for NR/S is
   /// the exponential 2·f_C(q,Σ); enumeration beyond ~8 atoms is hopeless).

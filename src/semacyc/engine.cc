@@ -471,9 +471,15 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
   // Strategy 4: target-acyclic sub-instances of the chase.
   if (options_.enable_subsets) {
     obs::PhaseTimer timer(&metrics_, tracer, obs::Phase::kSubsets);
-    WitnessSearchOutcome subsets = FindWitnessInChaseSubsets(
-        q, chase, *oracle, bound, options_.subset_budget, target,
-        options_.witness, cancel);
+    WitnessSearchOutcome subsets =
+        options_.decide_threads > 1 && !options_.witness.legacy
+            ? ParallelFindWitnessInChaseSubsets(
+                  q, chase, *oracle, bound, options_.subset_budget,
+                  options_.decide_threads, target, options_.witness, cancel)
+            : FindWitnessInChaseSubsets(q, chase, *oracle, bound,
+                                        options_.subset_budget, target,
+                                        options_.witness, cancel);
+    AddParallelStats(subsets.parallel);
     result.candidates_tested += subsets.candidates_tested;
     metrics_.Add(obs::Counter::kCandidatesTested, subsets.candidates_tested);
     metrics_.Add(obs::Counter::kEnumVisits, subsets.visits);
@@ -505,9 +511,15 @@ SemAcResult Engine::DecideUncached(const PreparedQuery& pq,
     WitnessTuning tuning = options_.witness;
     SEMACYC_FAILPOINT_FLIP("exhaustive.flip_inc_hom",
                            &tuning.incremental_hom);
-    WitnessSearchOutcome exhaustive = ExhaustiveWitnessSearch(
-        q, sigma, chase, *oracle, bound, options_.exhaustive_budget, target,
-        tuning, cancel);
+    WitnessSearchOutcome exhaustive =
+        options_.decide_threads > 1 && !tuning.legacy
+            ? ParallelExhaustiveWitnessSearch(
+                  q, sigma, chase, *oracle, bound, options_.exhaustive_budget,
+                  options_.decide_threads, target, tuning, cancel)
+            : ExhaustiveWitnessSearch(q, sigma, chase, *oracle, bound,
+                                      options_.exhaustive_budget, target,
+                                      tuning, cancel);
+    AddParallelStats(exhaustive.parallel);
     result.candidates_tested += exhaustive.candidates_tested;
     metrics_.Add(obs::Counter::kCandidatesTested,
                  exhaustive.candidates_tested);
@@ -625,6 +637,15 @@ Tri Engine::ContainedUnderCached(const ConjunctiveQuery& q1,
   if (chased->failed) return Tri::kYes;  // q1 is empty on every model of Σ
   if (EvaluatesTo(q2, chased->instance, chased->frozen_head)) return Tri::kYes;
   return chased->saturated ? Tri::kNo : Tri::kUnknown;
+}
+
+void Engine::AddParallelStats(const WorkStealStats& s) const {
+  if (s.units_claimed == 0) return;
+  metrics_.Add(obs::Counter::kParallelUnits, s.units_claimed);
+  metrics_.Add(obs::Counter::kParallelSteals, s.steals);
+  metrics_.Add(obs::Counter::kParallelReplays, s.replays);
+  metrics_.Add(obs::Counter::kParallelWastedVisits, s.wasted_visits);
+  metrics_.Add(obs::Counter::kParallelCommitWaits, s.commit_waits);
 }
 
 UcqSemAcResult Engine::DecideUcq(const UnionQuery& Q) const {

@@ -428,6 +428,11 @@ class Engine {
   Tri ContainedUnderCached(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2) const;
 
+  /// Folds one parallel witness search's scheduling stats into the
+  /// registry. No-op for sequential runs (zero units claimed), so the
+  /// sequential counter stream is untouched by the parallel plumbing.
+  void AddParallelStats(const WorkStealStats& s) const;
+
   /// Shared Eval prologue: Decide under `cancel`, extract the witness into
   /// `out` and build its join-tree view. Returns false with out->status
   /// set on any non-Ok outcome.

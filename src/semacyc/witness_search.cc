@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
+#include <memory>
 #include <unordered_set>
 
 #include "acyclic/incremental.h"
@@ -218,8 +220,12 @@ Tri ContainmentOracle::DecideChaseFree(
   // chase needed. Exact in both directions. Runs the q-side compiled at
   // construction (cm_atoms_) over a dense binding array — this is the
   // per-candidate inner loop of exhaustive witness search, so it must not
-  // allocate or hash.
-  cm_binding_.assign(cm_num_vars_, Term());
+  // allocate or hash. Scratch is thread_local (retaining capacity across
+  // calls) so concurrent workers of a parallel search never contend: the
+  // compiled q-side they read is immutable.
+  thread_local std::vector<Term> binding;
+  thread_local std::vector<int> undo;
+  binding.assign(cm_num_vars_, Term());
   for (size_t i = 0; i < q_.head().size(); ++i) {
     Term c = candidate.head()[i];
     int v = cm_head_var_[i];
@@ -227,24 +233,25 @@ Tri ContainmentOracle::DecideChaseFree(
       if (q_.head()[i] != c) return Tri::kNo;
       continue;
     }
-    Term& bound = cm_binding_[static_cast<size_t>(v)];
+    Term& bound = binding[static_cast<size_t>(v)];
     if (bound.IsValid()) {
       if (bound != c) return Tri::kNo;
     } else {
       bound = c;
     }
   }
-  cm_undo_.clear();
-  return CmDfs(candidate.body(), 0) ? Tri::kYes : Tri::kNo;
+  undo.clear();
+  return CmDfs(candidate.body(), 0, binding, undo) ? Tri::kYes : Tri::kNo;
 }
 
 bool ContainmentOracle::CmDfs(const std::vector<Atom>& target_atoms,
-                              size_t depth) const {
+                              size_t depth, std::vector<Term>& binding,
+                              std::vector<int>& undo) const {
   if (depth == cm_atoms_.size()) return true;
   const CmAtom& a = cm_atoms_[depth];
   for (const Atom& t : target_atoms) {
     if (t.predicate() != a.pred) continue;
-    size_t undo_mark = cm_undo_.size();
+    size_t undo_mark = undo.size();
     bool ok = true;
     for (size_t i = 0; i < a.var_at.size() && ok; ++i) {
       int v = a.var_at[i];
@@ -252,18 +259,18 @@ bool ContainmentOracle::CmDfs(const std::vector<Atom>& target_atoms,
         ok = a.const_at[i] == t.arg(i);
         continue;
       }
-      Term& bound = cm_binding_[static_cast<size_t>(v)];
+      Term& bound = binding[static_cast<size_t>(v)];
       if (bound.IsValid()) {
         ok = bound == t.arg(i);
         continue;
       }
       bound = t.arg(i);
-      cm_undo_.push_back(v);
+      undo.push_back(v);
     }
-    if (ok && CmDfs(target_atoms, depth + 1)) return true;
-    while (cm_undo_.size() > undo_mark) {
-      cm_binding_[static_cast<size_t>(cm_undo_.back())] = Term();
-      cm_undo_.pop_back();
+    if (ok && CmDfs(target_atoms, depth + 1, binding, undo)) return true;
+    while (undo.size() > undo_mark) {
+      binding[static_cast<size_t>(undo.back())] = Term();
+      undo.pop_back();
     }
   }
   return false;
@@ -271,58 +278,54 @@ bool ContainmentOracle::CmDfs(const std::vector<Atom>& target_atoms,
 
 Tri ContainmentOracle::ContainedInQ(const ConjunctiveQuery& candidate,
                                     CancelToken* cancel) const {
-  if (!synchronized_) return ContainedInQLocked(candidate, cancel);
-  std::lock_guard<std::mutex> lock(mu_);
-  return ContainedInQLocked(candidate, cancel);
-}
-
-size_t ContainmentOracle::cache_hits() const {
-  if (!synchronized_) return hits_;
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-size_t ContainmentOracle::cache_misses() const {
-  if (!synchronized_) return misses_;
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
-}
-
-size_t ContainmentOracle::prefiltered() const {
-  if (!synchronized_) return prefiltered_;
-  std::lock_guard<std::mutex> lock(mu_);
-  return prefiltered_;
-}
-
-size_t ContainmentOracle::memo_bytes() const {
-  if (!synchronized_) return memo_bytes_;
-  std::lock_guard<std::mutex> lock(mu_);
-  return memo_bytes_;
-}
-
-Tri ContainmentOracle::ContainedInQLocked(const ConjunctiveQuery& candidate,
-                                          CancelToken* cancel) const {
   SEMACYC_FAILPOINT("oracle.candidate", cancel);
   if (cancel != nullptr && cancel->Poll()) return Tri::kUnknown;
+  // Everything up to the memo reads only state frozen at construction
+  // (plus relaxed counter bumps), so synchronized oracles run these
+  // paths — the per-candidate inner loops of the parallel strategies —
+  // without touching the lock.
   if (!memoize_) return Decide(candidate, cancel);
   if (prefilter_ && !PassesPredicateFilter(candidate)) {
-    ++prefiltered_;
+    prefiltered_.fetch_add(1, std::memory_order_relaxed);
     return Tri::kNo;
   }
   // Chase-free candidates decide in one homomorphism test — cheaper than
   // the memo's own bookkeeping, so skip the cache entirely.
   if (chase_free_) return DecideChaseFree(candidate);
+  if (!synchronized_) return ContainedInQMemo(candidate, cancel);
+  std::lock_guard<std::mutex> lock(mu_);
+  return ContainedInQMemo(candidate, cancel);
+}
+
+size_t ContainmentOracle::cache_hits() const {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+size_t ContainmentOracle::cache_misses() const {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+size_t ContainmentOracle::prefiltered() const {
+  return prefiltered_.load(std::memory_order_relaxed);
+}
+
+size_t ContainmentOracle::memo_bytes() const {
+  return memo_bytes_.load(std::memory_order_relaxed);
+}
+
+Tri ContainmentOracle::ContainedInQMemo(const ConjunctiveQuery& candidate,
+                                        CancelToken* cancel) const {
   // Sound across isomorphism: candidate ⊆Σ q is invariant under bijective
   // variable renamings that preserve the head position-wise — exactly what
   // AreIsomorphic certifies after the fingerprint pre-filter.
   auto& bucket = memo_[CanonicalFingerprint(candidate)];
   for (const auto& [cached, answer] : bucket) {
     if (AreIsomorphic(cached, candidate)) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return answer;
     }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   Tri answer = Decide(candidate, cancel);
   // An answer computed under a fired token may rest on a truncated chase
   // or hom search: never memoize it, so a later uncancelled call (or the
@@ -331,8 +334,10 @@ Tri ContainmentOracle::ContainedInQLocked(const ConjunctiveQuery& candidate,
   // Running memo footprint for honest cache accounting: the candidate
   // copy plus pair/bucket bookkeeping (an empty bucket also costs a map
   // node, folded into the per-entry constant).
-  memo_bytes_ += candidate.ApproxBytes() +
-                 sizeof(std::pair<ConjunctiveQuery, Tri>) + 4 * sizeof(void*);
+  memo_bytes_.fetch_add(candidate.ApproxBytes() +
+                            sizeof(std::pair<ConjunctiveQuery, Tri>) +
+                            4 * sizeof(void*),
+                        std::memory_order_relaxed);
   bucket.push_back({candidate, answer});
   return answer;
 }
@@ -377,6 +382,112 @@ class CandidateDedup {
   std::unordered_set<std::string> strings_;
   std::unordered_set<Key128, Key128Hash> keys_;
 };
+
+/// Enumeration signature of the exhaustive strategy: the predicates that
+/// can occur in chase(q,Σ), the constants available to candidates, and
+/// the ordered fresh-variable pool with its index. The construction
+/// ORDER of these vectors fixes the enumeration order — the sequential
+/// enumerator and the parallel unit plan must agree on it exactly (the
+/// parity suite pins this), hence the single shared builder.
+struct EnumSignature {
+  std::vector<Predicate> predicates;
+  std::vector<Term> constants;
+  std::vector<Term> pool;
+  std::unordered_map<Term, size_t, TermHash> pool_index;
+
+  EnumSignature(const ConjunctiveQuery& q, const DependencySet& sigma,
+                size_t max_atoms) {
+    // Predicates of q plus head predicates of Σ's tgds (only those can
+    // occur in chase(q,Σ), hence in any witness); first-seen order.
+    std::unordered_set<uint32_t> seen;
+    for (const Atom& a : q.body()) {
+      if (seen.insert(a.predicate().id()).second) {
+        predicates.push_back(a.predicate());
+      }
+    }
+    for (const Tgd& t : sigma.tgds) {
+      for (const Atom& a : t.head()) {
+        if (seen.insert(a.predicate().id()).second) {
+          predicates.push_back(a.predicate());
+        }
+      }
+    }
+    // Constants available to candidates: those of q and Σ.
+    std::unordered_set<Term> cseen;
+    for (const Atom& a : q.body()) {
+      for (Term t : a.args()) {
+        if (t.IsConstant() && cseen.insert(t).second) constants.push_back(t);
+      }
+    }
+    for (const Tgd& t : sigma.tgds) {
+      for (const Atom& a : t.body()) {
+        for (Term arg : a.args()) {
+          if (arg.IsConstant() && cseen.insert(arg).second) {
+            constants.push_back(arg);
+          }
+        }
+      }
+      for (const Atom& a : t.head()) {
+        for (Term arg : a.args()) {
+          if (arg.IsConstant() && cseen.insert(arg).second) {
+            constants.push_back(arg);
+          }
+        }
+      }
+    }
+    int max_arity = 1;
+    for (Predicate p : predicates) {
+      max_arity = std::max(max_arity, p.arity());
+    }
+    // Variable pool: enough for max_atoms atoms of maximal arity.
+    size_t n = max_atoms * static_cast<size_t>(max_arity);
+    for (size_t i = 0; i < n; ++i) {
+      pool.push_back(Term::Variable("w$" + std::to_string(i)));
+      pool_index.emplace(pool.back(), i);
+    }
+  }
+};
+
+using Key128 = std::pair<uint64_t, uint64_t>;
+struct Key128Hash {
+  size_t operator()(const Key128& k) const {
+    return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// One candidate test inside a parallel unit, recorded at per-unit dedup
+/// insert time (even when the shared NO-set suppressed the oracle call).
+/// The commit-time replay walks these in unit order through one global
+/// dedup set, reconstructing the sequential candidates_tested exactly.
+struct CandidateEvent {
+  uint64_t local_visit;
+  Key128 key;
+};
+
+/// Sequential-equivalent candidates_tested from per-unit test events:
+/// committed units count in full, the final unit up to its cutoff
+/// (found_at for a win, the unit's allowance for a truncation); a global
+/// dedup replay makes per-unit re-tests of earlier-seen candidates count
+/// exactly once, like the sequential global dedup.
+size_t ReplayCandidatesTested(
+    const ParallelSearchPool::Result& res,
+    const std::vector<std::vector<CandidateEvent>>& unit_events) {
+  std::unordered_set<Key128, Key128Hash> seen;
+  size_t tested = 0;
+  auto count_unit = [&](size_t u, uint64_t cutoff) {
+    for (const CandidateEvent& e : unit_events[u]) {
+      if (e.local_visit > cutoff) break;  // events ascend in local visit
+      if (seen.insert(e.key).second) ++tested;
+    }
+  };
+  for (size_t u = 0; u < res.committed_units; ++u) {
+    count_unit(u, ~uint64_t{0});
+  }
+  if (res.final_unit != ParallelSearchPool::Result::kNoUnit) {
+    count_unit(res.final_unit, res.final_unit_cutoff);
+  }
+  return tested;
+}
 
 }  // namespace
 
@@ -598,6 +709,297 @@ WitnessSearchOutcome FindWitnessInChaseSubsets(const ConjunctiveQuery& q,
 
 namespace {
 
+/// Shared read-only view of the subsets search space, precomputed once by
+/// the orchestrator. The vertex interning fixes one vertex numbering all
+/// workers share; nothing here mutates after construction.
+struct SubsetsSpace {
+  const std::vector<Atom>* atoms = nullptr;
+  std::vector<Term> required;
+  std::vector<std::vector<int>> atom_verts;
+  std::vector<std::vector<size_t>> atom_required;
+};
+
+/// One subtree-root unit of the subsets DFS, in sequential visit order:
+/// the root visit of an iterative-deepening round (first < 0), or the
+/// dfs subtree rooted at subset = {first} within that round.
+struct SubsetsUnit {
+  size_t limit;
+  int64_t first;
+};
+
+/// Per-worker subsets search state: own classifier session, own coverage
+/// counters, own child cancel token, own variable pool — sharing only the
+/// immutable SubsetsSpace, the synchronized oracle, and the NO-only
+/// fingerprint set. Failpoints take the PARENT token (RequestCancel is
+/// thread-safe; a fired steal/replay/visit failpoint aborts the whole
+/// decision, like the sequential strategies); per-visit polls use the
+/// child (CancelToken::Poll is single-caller).
+class SubsetsWorker {
+ public:
+  SubsetsWorker(const SubsetsSpace& space, const QueryChaseResult& chase,
+                const ContainmentOracle& oracle,
+                acyclic::AcyclicityClass target, CancelToken* parent,
+                ConcurrentFingerprintSet* shared_no)
+      : space_(space),
+        chase_(chase),
+        oracle_(oracle),
+        parent_(parent),
+        shared_no_(shared_no),
+        inc_(target),
+        req_cover_(space.required.size(), 0) {
+    if (parent != nullptr) child_.SetParent(parent);
+  }
+
+  SearchUnitOutcome RunUnit(const SubsetsUnit& u,
+                            ParallelSearchPool::WorkerContext& ctx,
+                            std::vector<CandidateEvent>* events,
+                            std::optional<ConjunctiveQuery>* witness_slot) {
+    ctx_ = &ctx;
+    events_ = events;
+    witness_slot_ = witness_slot;
+    visits_ = 0;
+    truncated_ = false;
+    found_ = false;
+    found_at_ = 0;
+    unit_seen_.clear();
+    SEMACYC_FAILPOINT("parallel.steal", parent_);
+    if (u.first < 0) {
+      // The round's root visit: subset is empty, nothing is tested.
+      Visit();
+    } else {
+      // Replay the stolen prefix: push the first atom into the fresh
+      // session exactly as the sequential child loop would, pruned
+      // prefixes yielding zero-visit exhausted units.
+      SEMACYC_FAILPOINT("parallel.replay", parent_);
+      ctx.NoteReplay();
+      const size_t i = static_cast<size_t>(u.first);
+      subset_.push_back(static_cast<uint32_t>(i));
+      for (size_t k : space_.atom_required[i]) {
+        if (req_cover_[k]++ == 0) ++covered_;
+      }
+      inc_.PushEdge(space_.atom_verts[i]);
+      if (!inc_.CannotRecover()) Dfs(i + 1, u.limit);
+      inc_.PopEdge();
+      for (size_t k : space_.atom_required[i]) {
+        if (--req_cover_[k] == 0) --covered_;
+      }
+      subset_.pop_back();
+    }
+    // A token fired during the unit's last oracle check may have hidden
+    // an answer (kUnknown reads as "not contained"); never let such a
+    // unit count as exhausted — mirrors the sequential post-run check.
+    if (child_.triggered()) truncated_ = true;
+    SearchUnitOutcome out;
+    out.visits = visits_;
+    out.found = found_;
+    out.found_at = found_at_;
+    out.exhausted = !found_ && !truncated_;
+    return out;
+  }
+
+  size_t classifier_pushes() const { return inc_.pushes(); }
+  size_t classifier_pops() const { return inc_.pops(); }
+
+ private:
+  /// One DFS node: failpoint, allowance cap, visit count, cancel poll —
+  /// the sequential visit prefix with Cap() standing in for the budget.
+  /// False stops the unit (cap or cancel → not exhausted).
+  bool Visit() {
+    SEMACYC_FAILPOINT("subsets.visit", parent_);
+    if (visits_ >= ctx_->Cap()) {
+      truncated_ = true;
+      return false;
+    }
+    ++visits_;
+    if (child_.Poll()) {
+      truncated_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool Dfs(size_t next, size_t limit) {
+    if (!Visit()) return false;
+    if (!subset_.empty() && covered_ == space_.required.size() &&
+        inc_.Meets() && TestSubset()) {
+      return true;
+    }
+    if (subset_.size() >= limit) return false;
+    const size_t m = space_.atoms->size();
+    for (size_t i = next; i < m; ++i) {
+      subset_.push_back(static_cast<uint32_t>(i));
+      for (size_t k : space_.atom_required[i]) {
+        if (req_cover_[k]++ == 0) ++covered_;
+      }
+      inc_.PushEdge(space_.atom_verts[i]);
+      bool found = !inc_.CannotRecover() && Dfs(i + 1, limit);
+      inc_.PopEdge();
+      for (size_t k : space_.atom_required[i]) {
+        if (--req_cover_[k] == 0) --covered_;
+      }
+      subset_.pop_back();
+      if (found) return true;
+      if (truncated_) return false;
+    }
+    return false;
+  }
+
+  bool TestSubset() {
+    ConjunctiveQuery candidate = PooledQuery();
+    Key128 key = CanonicalFingerprint128(candidate);
+    // Per-unit dedup decides event recording; the shared NO-set only
+    // suppresses the oracle CALL for already-refuted candidates (answers
+    // are invariant — kYes stops the search, kUnknown is never inserted).
+    if (!unit_seen_.insert(key).second) return false;
+    events_->push_back({visits_, key});
+    if (shared_no_->Contains(key)) return false;
+    Tri r = oracle_.ContainedInQ(candidate, &child_);
+    if (r == Tri::kYes) {
+      found_ = true;
+      found_at_ = visits_;
+      *witness_slot_ = std::move(candidate);
+      return true;
+    }
+    if (r == Tri::kNo) shared_no_->Insert(key);
+    return false;
+  }
+
+  /// The sequential strategy's pooled inverse freezing, per worker: the
+  /// "s$<i>" names intern to the same process-wide Terms, so candidates
+  /// (and the published witness) are bitwise-identical to the sequential
+  /// build for the same subset.
+  ConjunctiveQuery PooledQuery() {
+    Substitution rename;
+    size_t next_var = 0;
+    auto var_of = [&](Term t) -> Term {
+      if (t.IsConstant() && !t.IsFrozenNull()) return t;  // real constant
+      auto it = rename.find(t);
+      if (it != rename.end()) return it->second;
+      if (next_var == var_pool_.size()) {
+        var_pool_.push_back(
+            Term::Variable("s$" + std::to_string(var_pool_.size())));
+      }
+      Term v = var_pool_[next_var++];
+      rename.emplace(t, v);
+      return v;
+    };
+    std::vector<Atom> body;
+    body.reserve(subset_.size());
+    for (uint32_t i : subset_) {
+      const Atom& a = (*space_.atoms)[i];
+      std::vector<Term> args;
+      args.reserve(a.arity());
+      for (Term t : a.args()) args.push_back(var_of(t));
+      body.emplace_back(a.predicate(), std::move(args));
+    }
+    std::vector<Term> head;
+    head.reserve(chase_.frozen_head.size());
+    for (Term t : chase_.frozen_head) head.push_back(var_of(t));
+    return ConjunctiveQuery(std::move(head), std::move(body));
+  }
+
+  const SubsetsSpace& space_;
+  const QueryChaseResult& chase_;
+  const ContainmentOracle& oracle_;
+  CancelToken* parent_;
+  ConcurrentFingerprintSet* shared_no_;
+  CancelToken child_;
+  acyclic::IncrementalClassifier inc_;
+  std::vector<int> req_cover_;
+  size_t covered_ = 0;
+  std::vector<uint32_t> subset_;
+  std::vector<Term> var_pool_;
+  std::unordered_set<Key128, Key128Hash> unit_seen_;
+  ParallelSearchPool::WorkerContext* ctx_ = nullptr;
+  std::vector<CandidateEvent>* events_ = nullptr;
+  std::optional<ConjunctiveQuery>* witness_slot_ = nullptr;
+  uint64_t visits_ = 0;
+  bool truncated_ = false;
+  bool found_ = false;
+  uint64_t found_at_ = 0;
+};
+
+}  // namespace
+
+WitnessSearchOutcome ParallelFindWitnessInChaseSubsets(
+    const ConjunctiveQuery& q, const QueryChaseResult& chase,
+    const ContainmentOracle& oracle, size_t max_atoms, size_t budget,
+    size_t threads, acyclic::AcyclicityClass target,
+    const WitnessTuning& tuning, CancelToken* cancel) {
+  if (threads <= 1 || tuning.legacy) {
+    return FindWitnessInChaseSubsets(q, chase, oracle, max_atoms, budget,
+                                     target, tuning, cancel);
+  }
+  (void)q;  // the chase already encodes q; kept for interface symmetry
+  WitnessSearchOutcome outcome;
+  SubsetsSpace space;
+  space.atoms = &chase.instance.atoms();
+  space.required = RequiredHeadTerms(chase);
+  const size_t m = space.atoms->size();
+  space.atom_verts.resize(m);
+  space.atom_required.resize(m);
+  {
+    std::unordered_map<Term, int, TermHash> vertex_of;
+    for (size_t i = 0; i < m; ++i) {
+      // kAllTerms: in a frozen-query chase every term connects.
+      for (Term t : (*space.atoms)[i].DistinctTerms()) {
+        space.atom_verts[i].push_back(
+            vertex_of.emplace(t, static_cast<int>(vertex_of.size()))
+                .first->second);
+      }
+      for (size_t k = 0; k < space.required.size(); ++k) {
+        if ((*space.atoms)[i].Mentions(space.required[k])) {
+          space.atom_required[i].push_back(k);
+        }
+      }
+    }
+  }
+  // Ordered unit list = the sequential visit order: per deepening round,
+  // the root visit, then one subtree per first chase atom.
+  std::vector<SubsetsUnit> units;
+  for (size_t limit = 1; limit <= max_atoms; ++limit) {
+    units.push_back({limit, -1});
+    for (size_t i = 0; i < m; ++i) {
+      units.push_back({limit, static_cast<int64_t>(i)});
+    }
+  }
+  ConcurrentFingerprintSet shared_no;
+  std::vector<std::vector<CandidateEvent>> unit_events(units.size());
+  std::vector<std::optional<ConjunctiveQuery>> unit_witness(units.size());
+  ParallelSearchPool pool(units.size(), threads, budget);
+  std::vector<std::unique_ptr<SubsetsWorker>> workers(pool.workers());
+  ParallelSearchPool::Result res =
+      pool.Run([&](size_t u, ParallelSearchPool::WorkerContext& ctx) {
+        std::unique_ptr<SubsetsWorker>& w = workers[ctx.worker()];
+        if (w == nullptr) {
+          w = std::make_unique<SubsetsWorker>(space, chase, oracle, target,
+                                              cancel, &shared_no);
+        }
+        return w->RunUnit(units[u], ctx, &unit_events[u], &unit_witness[u]);
+      });
+  bool truncated = res.truncated;
+  // A token fired during the last oracle check truncates the search even
+  // when no later DFS poll ran to observe it.
+  if (cancel != nullptr && cancel->triggered()) truncated = true;
+  if (res.found) {
+    outcome.answer = Tri::kYes;
+    outcome.witness = std::move(unit_witness[res.final_unit]);
+  } else {
+    outcome.exhausted = !truncated;
+  }
+  outcome.visits = res.official_visits;
+  outcome.candidates_tested = ReplayCandidatesTested(res, unit_events);
+  for (const auto& w : workers) {
+    if (w == nullptr) continue;
+    outcome.classifier_pushes += w->classifier_pushes();
+    outcome.classifier_pops += w->classifier_pops();
+  }
+  outcome.parallel = pool.stats();
+  return outcome;
+}
+
+namespace {
+
 /// Fixed total order on atoms for canonical-growth enumeration: predicate
 /// id, then argument handles lexicographically. The allocation-free
 /// replacement for comparing EncodeAtom strings.
@@ -611,6 +1013,154 @@ bool AtomOrderLess(const Atom& a, const Atom& b) {
     }
   }
   return a.arity() < b.arity();
+}
+
+/// Per-head-pattern invariants of the exhaustive enumeration,
+/// precomputed by the parallel plan in the sequential pattern order.
+struct HpPlan {
+  std::vector<Term> head;
+  Substitution fixed;
+  std::vector<Term> choices;
+};
+
+enum class ExhUnitKind {
+  kWholeHp,    // root Search() with empty prefix (coarse fallback)
+  kRootVisit,  // the root visit alone (tests nothing: atoms_ is empty)
+  kA1Visit,    // the [a1] node alone: one visit + one candidate test
+  kA1Subtree,  // full subtree rooted at [a1] (coarse fallback)
+  kA2Subtree,  // full subtree rooted at [a1, a2]
+};
+
+struct ExhUnit {
+  uint32_t hp;
+  ExhUnitKind kind;
+  std::optional<Atom> a1;
+  std::optional<Atom> a2;
+};
+
+struct ExhaustivePlan {
+  std::vector<HpPlan> hps;
+  std::vector<ExhUnit> units;
+};
+
+/// Builds the ordered unit plan combinatorially, without running any
+/// search or session: head patterns in restricted-growth order; per
+/// pattern the root visit, then per first atom the [a1] node, then per
+/// valid second atom the full [a1,a2] subtree — the concatenation is
+/// exactly the sequential preorder. Classifier/hom pruning is NOT
+/// evaluated here; pruned prefixes become zero-visit units discovered by
+/// whichever worker claims them. Past kSplitBudget units the
+/// decomposition degrades to whole-[a1] and then whole-pattern units —
+/// granularity only, the commit protocol keeps the official outcome
+/// exact at any split.
+ExhaustivePlan BuildExhaustivePlan(const ConjunctiveQuery& q,
+                                   const QueryChaseResult& chase,
+                                   const EnumSignature& sig,
+                                   size_t max_atoms) {
+  constexpr size_t kSplitBudget = 4096;
+  ExhaustivePlan plan;
+  // Head patterns: set partitions of head positions refining the equality
+  // pattern of the frozen head (mirrors EnumerateHeadPatterns, including
+  // the "h$<b>" block-variable names — identical interned Terms).
+  const size_t k = q.head().size();
+  std::vector<int> block(k, -1);
+  std::function<void(size_t, int)> patterns = [&](size_t pos, int num_blocks) {
+    if (pos == k) {
+      HpPlan hp;
+      hp.head.resize(k);
+      std::vector<Term> block_var(static_cast<size_t>(num_blocks));
+      for (int b = 0; b < num_blocks; ++b) {
+        block_var[b] = Term::Variable("h$" + std::to_string(b));
+      }
+      for (size_t i = 0; i < k; ++i) hp.head[i] = block_var[block[i]];
+      for (size_t i = 0; i < k; ++i) {
+        hp.fixed[hp.head[i]] = chase.frozen_head[i];
+      }
+      // ArgChoices, verbatim: deduped head variables, the pool, constants.
+      std::unordered_set<Term> seen;
+      for (Term h : hp.head) {
+        if (seen.insert(h).second) hp.choices.push_back(h);
+      }
+      for (Term v : sig.pool) hp.choices.push_back(v);
+      for (Term c : sig.constants) hp.choices.push_back(c);
+      plan.hps.push_back(std::move(hp));
+      return;
+    }
+    for (int b = 0; b <= num_blocks; ++b) {
+      bool ok = true;
+      for (size_t j = 0; j < pos; ++j) {
+        if (block[j] == b && chase.frozen_head[j] != chase.frozen_head[pos]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      block[pos] = b;
+      patterns(pos + 1, std::max(num_blocks, b + 1));
+      block[pos] = -1;
+    }
+  };
+  patterns(0, 0);
+
+  // Argument-tuple enumeration, exactly as BuildArgs walks it: choices in
+  // order, fresh pool variables introduced in order via the `used`
+  // frontier threaded down the positions.
+  auto for_each_atom = [&](Predicate p, const std::vector<Term>& choices,
+                           size_t used0,
+                           const std::function<void(Atom&&, size_t)>& fn) {
+    std::vector<Term> args(static_cast<size_t>(p.arity()));
+    std::function<void(size_t, size_t)> go = [&](size_t pos, size_t used) {
+      if (pos == args.size()) {
+        fn(Atom(p, args), used);
+        return;
+      }
+      for (Term t : choices) {
+        size_t next_used = used;
+        auto it = sig.pool_index.find(t);
+        if (it != sig.pool_index.end()) {
+          if (it->second > used) continue;  // beyond the next fresh one
+          next_used = std::max(used, it->second + 1);
+        }
+        args[pos] = t;
+        go(pos + 1, next_used);
+      }
+    };
+    go(0, used0);
+  };
+
+  for (uint32_t h = 0; h < plan.hps.size(); ++h) {
+    if (plan.units.size() >= kSplitBudget) {
+      plan.units.push_back({h, ExhUnitKind::kWholeHp, {}, {}});
+      continue;
+    }
+    plan.units.push_back({h, ExhUnitKind::kRootVisit, {}, {}});
+    if (max_atoms == 0) continue;  // the root visit is the whole pattern
+    const HpPlan& hp = plan.hps[h];
+    for (Predicate p : sig.predicates) {
+      for_each_atom(p, hp.choices, 0, [&](Atom&& a1, size_t f1) {
+        if (plan.units.size() >= kSplitBudget) {
+          plan.units.push_back({h, ExhUnitKind::kA1Subtree, std::move(a1), {}});
+          return;
+        }
+        if (max_atoms == 1) {
+          // The [a1] node has no children; its visit is the subtree.
+          plan.units.push_back({h, ExhUnitKind::kA1Visit, std::move(a1), {}});
+          return;
+        }
+        plan.units.push_back({h, ExhUnitKind::kA1Visit, a1, {}});
+        for (Predicate p2 : sig.predicates) {
+          for_each_atom(p2, hp.choices, f1, [&](Atom&& a2, size_t) {
+            // Canonical growth: non-decreasing atom order, no duplicates
+            // (the sequential BuildArgs rejections at depth 1).
+            if (AtomOrderLess(a2, a1) || a2 == a1) return;
+            plan.units.push_back(
+                {h, ExhUnitKind::kA2Subtree, a1, std::move(a2)});
+          });
+        }
+      });
+    }
+  }
+  return plan;
 }
 
 /// Canonical enumerator of acyclic candidate queries (strategy
@@ -633,59 +1183,96 @@ class CandidateEnumerator {
         inc_(target),
         hom_(chase.instance),
         use_inc_hom_(!tuning.legacy && tuning.incremental_hom),
-        tested_(tuning.legacy) {
+        tested_(tuning.legacy),
+        failpoint_token_(cancel) {
     // The incremental session bails from repair search once the token
     // fires; its outcomes are then discarded with the whole enumeration.
     hom_.SetCancel(cancel);
     hom_options_.cancel = cancel;
-    // Signature: predicates of q plus head predicates of Σ's tgds (only
-    // those can occur in chase(q,Σ), hence in any witness).
-    std::unordered_set<uint32_t> seen;
-    for (const Atom& a : q.body()) {
-      if (seen.insert(a.predicate().id()).second) {
-        predicates_.push_back(a.predicate());
-      }
+    EnumSignature sig(q, sigma, max_atoms);
+    predicates_ = std::move(sig.predicates);
+    constants_ = std::move(sig.constants);
+    pool_ = std::move(sig.pool);
+    pool_index_ = std::move(sig.pool_index);
+  }
+
+  /// ---- Parallel-worker mode ----------------------------------------
+  /// The enumerator doubles as one worker of the parallel exhaustive
+  /// search: the SAME Search/BuildArgs drive each unit (so enumeration
+  /// order cannot diverge from the sequential strategy), with the budget
+  /// check swapped for the pool's allowance cap and TestCandidate rewired
+  /// to per-unit dedup + the shared NO-set. Failpoints take the parent
+  /// token (thread-safe RequestCancel → whole-decision abort); polls use
+  /// this worker's chained child token.
+  void EnterParallelMode(CancelToken* parent,
+                         ConcurrentFingerprintSet* shared_no) {
+    parallel_ = true;
+    failpoint_token_ = parent;
+    shared_no_ = shared_no;
+    if (parent != nullptr) child_.SetParent(parent);
+    cancel_ = &child_;
+    hom_.SetCancel(&child_);
+    hom_options_.cancel = &child_;
+  }
+
+  SearchUnitOutcome RunUnit(const ExhaustivePlan& plan, const ExhUnit& u,
+                            ParallelSearchPool::WorkerContext& ctx,
+                            std::vector<CandidateEvent>* events,
+                            std::optional<ConjunctiveQuery>* witness_slot) {
+    pctx_ = &ctx;
+    events_ = events;
+    visits_ = 0;
+    truncated_ = false;
+    found_at_ = 0;
+    outcome_.answer = Tri::kUnknown;
+    outcome_.witness.reset();
+    unit_seen_.clear();
+    SEMACYC_FAILPOINT("parallel.steal", failpoint_token_);
+    // Once this worker's token fired, its hom session bails spuriously —
+    // a prefix push could masquerade as a prune and mis-report a unit as
+    // exhausted. Report cancelled units as truncated instead (the commit
+    // turns the first one official; real cancels abort at the engine).
+    if (child_.PollNow()) {
+      SearchUnitOutcome out;
+      out.exhausted = false;
+      return out;
     }
-    for (const Tgd& t : sigma.tgds) {
-      for (const Atom& a : t.head()) {
-        if (seen.insert(a.predicate().id()).second) {
-          predicates_.push_back(a.predicate());
+    if (u.kind == ExhUnitKind::kRootVisit) {
+      // Root node: one visit, atoms_ empty, nothing tested (TestCandidate
+      // skips empty candidates) — no session state needed.
+      VisitNode(/*test=*/false);
+    } else {
+      SetupHeadPattern(plan, u.hp);
+      size_t pushed = 0;
+      bool pruned = false;
+      if (u.a1.has_value()) pruned = !PushPrefixAtom(*u.a1, &pushed);
+      if (!pruned && u.a2.has_value()) pruned = !PushPrefixAtom(*u.a2, &pushed);
+      if (!pruned) {
+        if (u.kind == ExhUnitKind::kA1Visit) {
+          VisitNode(/*test=*/true);
+        } else {  // kWholeHp, kA1Subtree, kA2Subtree
+          Search();
         }
       }
+      PopPrefix(pushed);
     }
-    // Constants available to candidates: those of q and Σ.
-    std::unordered_set<Term> cseen;
-    for (const Atom& a : q.body()) {
-      for (Term t : a.args()) {
-        if (t.IsConstant() && cseen.insert(t).second) constants_.push_back(t);
-      }
-    }
-    for (const Tgd& t : sigma.tgds) {
-      for (const Atom& a : t.body()) {
-        for (Term arg : a.args()) {
-          if (arg.IsConstant() && cseen.insert(arg).second) {
-            constants_.push_back(arg);
-          }
-        }
-      }
-      for (const Atom& a : t.head()) {
-        for (Term arg : a.args()) {
-          if (arg.IsConstant() && cseen.insert(arg).second) {
-            constants_.push_back(arg);
-          }
-        }
-      }
-    }
-    int max_arity = 1;
-    for (Predicate p : predicates_) {
-      max_arity = std::max(max_arity, p.arity());
-    }
-    // Variable pool: enough for max_atoms atoms of maximal arity.
-    size_t pool = max_atoms_ * static_cast<size_t>(max_arity);
-    for (size_t i = 0; i < pool; ++i) {
-      pool_.push_back(Term::Variable("w$" + std::to_string(i)));
-      pool_index_.emplace(pool_.back(), i);
-    }
+    // A token fired during the unit's last oracle check may have hidden
+    // an answer (kUnknown reads as "not contained"); never let such a
+    // unit count as exhausted — mirrors the sequential post-run check.
+    if (child_.triggered()) truncated_ = true;
+    SearchUnitOutcome out;
+    out.visits = visits_;
+    out.found = outcome_.answer == Tri::kYes;
+    out.found_at = found_at_;
+    out.exhausted = !out.found && !truncated_;
+    if (out.found) *witness_slot = std::move(outcome_.witness);
+    return out;
+  }
+
+  size_t classifier_pushes() const { return inc_.pushes(); }
+  size_t classifier_pops() const { return inc_.pops(); }
+  const IncrementalHomomorphism::Stats* hom_stats() const {
+    return use_inc_hom_ ? &hom_.stats() : nullptr;
   }
 
   WitnessSearchOutcome Run() {
@@ -826,6 +1413,90 @@ class CandidateEnumerator {
     return FindHomomorphisms(atoms_, chase_.instance, hom_options_).found;
   }
 
+  /// Parallel mode: install one head pattern's invariants from the plan
+  /// (identical to the pos == k arm of EnumerateHeadPatterns). A pattern
+  /// switch is a session replay: the hom session re-seeds to the new
+  /// fixed binding.
+  void SetupHeadPattern(const ExhaustivePlan& plan, uint32_t hp) {
+    if (cur_hp_ == static_cast<int64_t>(hp)) return;
+    SEMACYC_FAILPOINT("parallel.replay", failpoint_token_);
+    pctx_->NoteReplay();
+    const HpPlan& h = plan.hps[hp];
+    head_ = h.head;
+    hom_options_.fixed = h.fixed;
+    hom_options_.max_solutions = 1;
+    if (use_inc_hom_) hom_.Reset(hom_options_.fixed);
+    choices_ = h.choices;
+    cur_hp_ = static_cast<int64_t>(hp);
+  }
+
+  /// Parallel mode: replay one stolen-prefix atom with the sequential
+  /// push nesting (classifier first, then hom). False = the prefix is
+  /// pruned exactly where the sequential BuildArgs would prune it — the
+  /// unit is a zero-visit exhausted unit. On success `pushed` counts the
+  /// levels PopPrefix must unwind.
+  bool PushPrefixAtom(const Atom& atom, size_t* pushed) {
+    size_t saved_frontier = used_frontier_;
+    atoms_.push_back(atom);
+    used_frontier_ = FrontierAfter(atom, saved_frontier);
+    inc_.PushEdge(VarVertices(atom));
+    bool ok = !inc_.CannotRecover();
+    if (ok) {
+      if (use_inc_hom_) {
+        ok = hom_.PushAtom(atom);
+        if (!ok) hom_.PopAtom();
+      } else {
+        ok = MapsIntoChase();
+      }
+    }
+    if (!ok) {
+      inc_.PopEdge();
+      atoms_.pop_back();
+      used_frontier_ = saved_frontier;
+      return false;
+    }
+    frontier_stack_.push_back(saved_frontier);
+    ++*pushed;
+    return true;
+  }
+
+  void PopPrefix(size_t pushed) {
+    while (pushed-- > 0) {
+      if (use_inc_hom_) hom_.PopAtom();
+      inc_.PopEdge();
+      atoms_.pop_back();
+      used_frontier_ = frontier_stack_.back();
+      frontier_stack_.pop_back();
+    }
+  }
+
+  /// The in-order-introduction frontier after `atom`, from pool-index
+  /// lookups — the same value BuildArgs threads down its recursion.
+  size_t FrontierAfter(const Atom& atom, size_t used) const {
+    for (Term t : atom.args()) {
+      auto it = pool_index_.find(t);
+      if (it != pool_index_.end()) used = std::max(used, it->second + 1);
+    }
+    return used;
+  }
+
+  /// Parallel mode: one enumeration node by itself (the kRootVisit /
+  /// kA1Visit units) — the visit prefix of Search() without the child
+  /// recursion, which belongs to other units.
+  void VisitNode(bool test) {
+    SEMACYC_FAILPOINT("exhaustive.visit", failpoint_token_);
+    if (visits_ >= pctx_->Cap()) {
+      truncated_ = true;
+      return;
+    }
+    ++visits_;
+    if (cancel_ != nullptr && cancel_->Poll()) {
+      truncated_ = true;
+      return;
+    }
+    if (test) TestCandidate();
+  }
+
   void TestCandidate() {
     if (atoms_.empty() || !HeadCovered()) return;
     bool meets = tuning_.legacy
@@ -834,6 +1505,27 @@ class CandidateEnumerator {
                      : inc_.Meets();
     if (!meets) return;
     ConjunctiveQuery candidate(head_, atoms_);
+    if (parallel_) {
+      // Per-unit dedup gates the event record; the shared NO-set only
+      // suppresses oracle CALLS for already-refuted candidates (kYes
+      // stops the search, kUnknown is never inserted — answer-invariant).
+      // The official candidates_tested is reconstructed by the
+      // commit-time replay of these events.
+      Key128 key = CanonicalFingerprint128(candidate);
+      if (!unit_seen_.insert(key).second) return;
+      events_->push_back({visits_, key});
+      ++outcome_.candidates_tested;
+      if (shared_no_->Contains(key)) return;
+      Tri r = oracle_.ContainedInQ(candidate, cancel_);
+      if (r == Tri::kYes) {
+        outcome_.answer = Tri::kYes;
+        outcome_.witness = std::move(candidate);
+        found_at_ = visits_;
+      } else if (r == Tri::kNo) {
+        shared_no_->Insert(key);
+      }
+      return;
+    }
     if (!tested_.Insert(candidate)) return;
     ++outcome_.candidates_tested;
     if (oracle_.ContainedInQ(candidate, cancel_) == Tri::kYes) {
@@ -844,8 +1536,18 @@ class CandidateEnumerator {
 
   void Search() {
     if (truncated_ || outcome_.answer == Tri::kYes) return;
-    SEMACYC_FAILPOINT("exhaustive.visit", cancel_);
-    if (++visits_ > budget_) {
+    SEMACYC_FAILPOINT("exhaustive.visit", failpoint_token_);
+    if (parallel_) {
+      // Unit-local visits against the pool's allowance floor: Cap() can
+      // only be too generous while earlier units are in flight, so a
+      // capped unit provably overran its final allowance — speculation
+      // wasted, never an answer changed.
+      if (visits_ >= pctx_->Cap()) {
+        truncated_ = true;
+        return;
+      }
+      ++visits_;
+    } else if (++visits_ > budget_) {
       truncated_ = true;
       return;
     }
@@ -992,6 +1694,20 @@ class CandidateEnumerator {
   size_t visits_ = 0;
   bool truncated_ = false;
   WitnessSearchOutcome outcome_;
+
+  /// Parallel-worker mode state (inert on the sequential path).
+  /// failpoint_token_ is the engine token on the sequential path and the
+  /// PARENT token in parallel mode; cancel_ then points at child_.
+  bool parallel_ = false;
+  CancelToken* failpoint_token_;
+  CancelToken child_;
+  ParallelSearchPool::WorkerContext* pctx_ = nullptr;
+  ConcurrentFingerprintSet* shared_no_ = nullptr;
+  std::vector<CandidateEvent>* events_ = nullptr;
+  std::unordered_set<Key128, Key128Hash> unit_seen_;
+  uint64_t found_at_ = 0;
+  int64_t cur_hp_ = -1;
+  std::vector<size_t> frontier_stack_;
 };
 
 }  // namespace
@@ -1007,6 +1723,70 @@ WitnessSearchOutcome ExhaustiveWitnessSearch(const ConjunctiveQuery& q,
   CandidateEnumerator enumerator(q, sigma, chase, oracle, max_atoms, budget,
                                  target, tuning, cancel);
   return enumerator.Run();
+}
+
+WitnessSearchOutcome ParallelExhaustiveWitnessSearch(
+    const ConjunctiveQuery& q, const DependencySet& sigma,
+    const QueryChaseResult& chase, const ContainmentOracle& oracle,
+    size_t max_atoms, size_t budget, size_t threads,
+    acyclic::AcyclicityClass target, const WitnessTuning& tuning,
+    CancelToken* cancel) {
+  if (threads <= 1 || tuning.legacy) {
+    return ExhaustiveWitnessSearch(q, sigma, chase, oracle, max_atoms, budget,
+                                   target, tuning, cancel);
+  }
+  WitnessSearchOutcome outcome;
+  EnumSignature sig(q, sigma, max_atoms);
+  ExhaustivePlan plan = BuildExhaustivePlan(q, chase, sig, max_atoms);
+  ConcurrentFingerprintSet shared_no;
+  std::vector<std::vector<CandidateEvent>> unit_events(plan.units.size());
+  std::vector<std::optional<ConjunctiveQuery>> unit_witness(plan.units.size());
+  ParallelSearchPool pool(plan.units.size(), threads, budget);
+  // One enumerator per worker slot, created lazily on the worker's own
+  // thread (each builds its own sessions and child token; the plan, the
+  // oracle and the NO-set are the only shared state).
+  std::vector<std::unique_ptr<CandidateEnumerator>> workers(pool.workers());
+  ParallelSearchPool::Result res =
+      pool.Run([&](size_t u, ParallelSearchPool::WorkerContext& ctx) {
+        std::unique_ptr<CandidateEnumerator>& w = workers[ctx.worker()];
+        if (w == nullptr) {
+          w = std::make_unique<CandidateEnumerator>(q, sigma, chase, oracle,
+                                                    max_atoms, budget, target,
+                                                    tuning, nullptr);
+          w->EnterParallelMode(cancel, &shared_no);
+        }
+        return w->RunUnit(plan, plan.units[u], ctx, &unit_events[u],
+                          &unit_witness[u]);
+      });
+  bool truncated = res.truncated;
+  // A fired token may have pruned subtrees silently; the whole run counts
+  // as truncated even if no visit poll tripped (mirrors the sequential
+  // post-run check).
+  if (cancel != nullptr && cancel->triggered()) truncated = true;
+  if (res.found) {
+    outcome.answer = Tri::kYes;
+    outcome.witness = std::move(unit_witness[res.final_unit]);
+  }
+  // Like the sequential Run(): exhausted reports "no budget/cancel
+  // truncation", also on kYes.
+  outcome.exhausted = !truncated;
+  outcome.visits = res.official_visits;
+  outcome.candidates_tested = ReplayCandidatesTested(res, unit_events);
+  for (const auto& w : workers) {
+    if (w == nullptr) continue;
+    outcome.classifier_pushes += w->classifier_pushes();
+    outcome.classifier_pops += w->classifier_pops();
+    if (const IncrementalHomomorphism::Stats* hs = w->hom_stats()) {
+      outcome.hom.pushes += hs->pushes;
+      outcome.hom.fc_rejects += hs->fc_rejects;
+      outcome.hom.extends += hs->extends;
+      outcome.hom.repairs += hs->repairs;
+      outcome.hom.repair_fails += hs->repair_fails;
+      outcome.hom.dead_prefix += hs->dead_prefix;
+    }
+  }
+  outcome.parallel = pool.stats();
+  return outcome;
 }
 
 }  // namespace semacyc

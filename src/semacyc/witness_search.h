@@ -1,6 +1,7 @@
 #ifndef SEMACYC_SEMACYC_WITNESS_SEARCH_H_
 #define SEMACYC_SEMACYC_WITNESS_SEARCH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include "acyclic/classify.h"
 #include "chase/query_chase.h"
 #include "core/incremental_hom.h"
+#include "core/worksteal.h"
 #include "deps/classify.h"
 #include "rewrite/ucq_rewriter.h"
 
@@ -86,8 +88,9 @@ class ContainmentOracle {
   /// analysis (consumed during construction, not stored), `rewrite_cache`
   /// (may be null) shares UCQ rewritings across oracles for the same q,
   /// and `synchronized = true` makes ContainedInQ safe to call from
-  /// concurrent threads (one lock per answer; the memo and counters are
-  /// shared state).
+  /// concurrent threads (the prefilter and chase-free paths are
+  /// lock-free over immutable compiled state; only the memo takes a
+  /// lock per answer).
   ContainmentOracle(const ConjunctiveQuery& q, const DependencySet& sigma,
                     const ChaseOptions& chase_options,
                     const RewriteOptions& rewrite_options,
@@ -122,8 +125,11 @@ class ContainmentOracle {
   size_t prefiltered() const;
 
  private:
-  Tri ContainedInQLocked(const ConjunctiveQuery& candidate,
-                         CancelToken* cancel) const;
+  /// The memoized slow path (cache lookup / chase / insert); takes mu_
+  /// itself when synchronized. The lock-free prefix (failpoint, poll,
+  /// prefilter, chase-free CM) lives in ContainedInQ.
+  Tri ContainedInQMemo(const ConjunctiveQuery& candidate,
+                       CancelToken* cancel) const;
   Tri Decide(const ConjunctiveQuery& candidate, CancelToken* cancel) const;
   Tri DecideChaseFree(const ConjunctiveQuery& candidate) const;
   bool PassesPredicateFilter(const ConjunctiveQuery& candidate) const;
@@ -146,9 +152,11 @@ class ContainmentOracle {
   /// construction: body variables dense-indexed, atoms pre-ordered
   /// greedily connected (bound-variables-first), positions split into
   /// variable/constant so the per-candidate check is an allocation-free
-  /// backtracking over a dense binding array. Scratch is guarded by mu_
-  /// when synchronized; unsynchronized oracles are single-caller like
-  /// the memo.
+  /// backtracking over a dense binding array. The compiled form is
+  /// immutable after construction; per-check scratch lives in
+  /// thread_local buffers (witness_search.cc), so this path — like the
+  /// prefilter and the non-memoized Decide — needs no lock even from
+  /// concurrent workers. Only the memo takes mu_ (when synchronized).
   struct CmAtom {
     Predicate pred;
     /// Per position: dense variable index, or -1 for a constant.
@@ -159,17 +167,18 @@ class ContainmentOracle {
   size_t cm_num_vars_ = 0;
   /// Per head position of q: dense variable index, or -1 (constant).
   std::vector<int> cm_head_var_;
-  mutable std::vector<Term> cm_binding_;
-  mutable std::vector<int> cm_undo_;
-  bool CmDfs(const std::vector<Atom>& target_atoms, size_t depth) const;
+  bool CmDfs(const std::vector<Atom>& target_atoms, size_t depth,
+             std::vector<Term>& binding, std::vector<int>& undo) const;
   std::vector<std::unordered_set<uint32_t>> q_pred_sources_;
   mutable std::unordered_map<uint64_t,
                              std::vector<std::pair<ConjunctiveQuery, Tri>>>
       memo_;
-  mutable size_t hits_ = 0;
-  mutable size_t misses_ = 0;
-  mutable size_t prefiltered_ = 0;
-  mutable size_t memo_bytes_ = 0;
+  /// Relaxed atomics: exact under the memo lock, monotone race-free
+  /// tallies on the lock-free paths (prefilter / chase-free).
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+  mutable std::atomic<size_t> prefiltered_{0};
+  mutable std::atomic<size_t> memo_bytes_{0};
 };
 
 /// Per-candidate machinery switches for the witness strategies. The
@@ -211,8 +220,13 @@ struct WitnessSearchOutcome {
   size_t classifier_pushes = 0;
   size_t classifier_pops = 0;
   /// Incremental chase-homomorphism session totals (exhaustive strategy
-  /// with tuning.incremental_hom only; all-zero otherwise).
+  /// with tuning.incremental_hom only; all-zero otherwise). Under the
+  /// parallel strategies these sum over workers — real work performed,
+  /// scheduling-dependent, and deliberately outside the parity contract.
   IncrementalHomomorphism::Stats hom;
+  /// Work-stealing bookkeeping (parallel strategies only; all-zero on
+  /// the sequential paths).
+  WorkStealStats parallel;
 };
 
 /// Every strategy takes a `target` acyclicity class: candidates are kept
@@ -257,6 +271,33 @@ WitnessSearchOutcome ExhaustiveWitnessSearch(
     const ConjunctiveQuery& q, const DependencySet& sigma,
     const QueryChaseResult& chase, const ContainmentOracle& oracle,
     size_t max_atoms, size_t budget,
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
+    const WitnessTuning& tuning = {}, CancelToken* cancel = nullptr);
+
+/// Work-stealing parallel variants of the two budgeted strategies
+/// (core/worksteal.h has the determinism argument; docs/ARCHITECTURE.md
+/// the prose). The search space is pre-split into ordered subtree-root
+/// units (subsets: per iterative-deepening limit and first chase atom;
+/// exhaustive: per head pattern and first/second body atom); `threads`
+/// workers each own a replayed IncrementalClassifier +
+/// IncrementalHomomorphism session and share a NO-only concurrent
+/// fingerprint set, and the ordered commit protocol reproduces the
+/// sequential budget semantics exactly — answer, witness, exhausted,
+/// visits and candidates_tested are bitwise-identical to the sequential
+/// strategy at the same budget, for every thread count. The oracle must
+/// be `synchronized` when threads > 1. Requires the fast pipeline
+/// (callers route legacy tuning to the sequential strategies).
+WitnessSearchOutcome ParallelFindWitnessInChaseSubsets(
+    const ConjunctiveQuery& q, const QueryChaseResult& chase,
+    const ContainmentOracle& oracle, size_t max_atoms, size_t budget,
+    size_t threads,
+    acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
+    const WitnessTuning& tuning = {}, CancelToken* cancel = nullptr);
+
+WitnessSearchOutcome ParallelExhaustiveWitnessSearch(
+    const ConjunctiveQuery& q, const DependencySet& sigma,
+    const QueryChaseResult& chase, const ContainmentOracle& oracle,
+    size_t max_atoms, size_t budget, size_t threads,
     acyclic::AcyclicityClass target = acyclic::AcyclicityClass::kAlpha,
     const WitnessTuning& tuning = {}, CancelToken* cancel = nullptr);
 

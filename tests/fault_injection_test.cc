@@ -222,6 +222,57 @@ TEST(FaultInjectionTest, BadAllocAnywhereIsContainedAndRecoverable) {
   }
 }
 
+/// The work-stealing path (decide_threads > 1): `parallel.steal` fires at
+/// a worker's unit claim and `parallel.replay` at a session replay to a
+/// stolen prefix — both inside worker threads. Cancel and bad_alloc there
+/// must abort the WHOLE decision gracefully (the injection lands on the
+/// decision's parent token / propagates out of the pool join), and the
+/// same engine must afterwards decide like a fresh one. Cache deltas are
+/// deliberately NOT compared: parallel workers insert speculative oracle
+/// memo entries whose count is scheduling-dependent (answers are not).
+TEST(FaultInjectionTest, ParallelStealFailpointsAbortAndRecover) {
+  DisarmOnExit cleanup;
+  auto& reg = FailpointRegistry::Global();
+  for (const Workload& w : Workloads()) {
+    for (const ConjunctiveQuery& q : w.queries) {
+      for (const char* point : {"parallel.steal", "parallel.replay"}) {
+        for (FailpointAction action :
+             {FailpointAction::kCancel, FailpointAction::kBadAlloc}) {
+          for (uint64_t fire_on : {uint64_t{1}, uint64_t{25}}) {
+            std::string context =
+                w.name + " / " + q.ToString() + " / " + point +
+                (action == FailpointAction::kCancel ? "=cancel@"
+                                                    : "=bad_alloc@") +
+                std::to_string(fire_on);
+            SemAcOptions options = SweepOptions();
+            options.decide_threads = 4;
+            Engine engine(w.sigma, options);
+            PreparedQuery pq = engine.Prepare(q);
+
+            reg.Arm(point, action, fire_on);
+            CancelToken token;
+            SemAcResult injected;
+            EXPECT_NO_THROW(injected = engine.Decide(pq, &token)) << context;
+            bool fired = reg.Fired(point);
+            reg.DisarmAll();
+            if (fired) {
+              ExpectAborted(injected);
+            } else {
+              EXPECT_NE(injected.strategy, Strategy::kDeadlineExceeded)
+                  << context;
+            }
+
+            SemAcResult warm = engine.Decide(pq);
+            Engine fresh(w.sigma, options);
+            SemAcResult cold = fresh.Decide(fresh.Prepare(q));
+            ExpectSameDecision(cold, warm, context);
+          }
+        }
+      }
+    }
+  }
+}
+
 /// The flip failpoint drives the exhaustive strategy through its
 /// non-default hom-machinery configuration; WitnessTuning switches are
 /// answer-preserving, so the decision must not change.

@@ -304,6 +304,9 @@ TEST(EngineDeadlineTest, ExternalCancelFromAnotherThreadMidFlight) {
   PreparedQuery pq = engine.Prepare(gen.CycleQuery(5));
   CancelToken token;
   std::thread canceller([&token]() {
+    // The sleep only shapes the interleaving; it cannot flake. Whether
+    // the cancel lands before the first poll or mid-search (TSan's 5-15x
+    // slowdown shifts it either way), the decision aborts identically.
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     token.RequestCancel();
   });

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/homomorphism.h"
+#include "core/interrupt.h"
+#include "core/parser.h"
+#include "gen/generators.h"
+#include "semacyc/engine.h"
+
+namespace semacyc {
+namespace {
+
+/// The parity contract of SemAcOptions::decide_threads: N workers run the
+/// SAME ordered search space under the deterministic commit protocol
+/// (core/worksteal.h), so every observable field of the decision —
+/// including the budget-truncation point, the candidates-tested counter
+/// and the witness itself — is bitwise identical to the sequential run.
+/// This is strictly stronger than engine_test's ExpectSameDecision (which
+/// tolerates witness renaming across unrelated runs): the parallel
+/// witness strategies mint their variables from deterministic per-
+/// candidate pools, so even the names must match.
+void ExpectBitwiseParity(const SemAcResult& seq, const SemAcResult& par,
+                         const std::string& context) {
+  EXPECT_EQ(seq.answer, par.answer) << context;
+  EXPECT_EQ(seq.strategy, par.strategy) << context;
+  EXPECT_EQ(seq.exact, par.exact) << context;
+  EXPECT_EQ(seq.small_query_bound, par.small_query_bound) << context;
+  EXPECT_EQ(seq.bound_justified, par.bound_justified) << context;
+  EXPECT_EQ(seq.bound_used, par.bound_used) << context;
+  EXPECT_EQ(seq.candidates_tested, par.candidates_tested) << context;
+  ASSERT_EQ(seq.witness.has_value(), par.witness.has_value()) << context;
+  if (seq.witness.has_value()) {
+    EXPECT_EQ(seq.witness_class, par.witness_class) << context;
+    if (seq.strategy == Strategy::kSubsets ||
+        seq.strategy == Strategy::kExhaustive) {
+      EXPECT_EQ(seq.witness->ToString(), par.witness->ToString()) << context;
+    } else {
+      // Other strategies run identical sequential code either way, but
+      // their witnesses use the process-wide fresh-name counter, which
+      // two separate decisions legitimately advance apart.
+      EXPECT_TRUE(AreIsomorphic(*seq.witness, *par.witness))
+          << context << "\n  " << seq.witness->ToString() << "\n  vs\n  "
+          << par.witness->ToString();
+    }
+  }
+}
+
+struct Workload {
+  std::string name;
+  DependencySet sigma;
+  std::vector<ConjunctiveQuery> queries;
+};
+
+/// One workload per generator family / schema class, mirroring
+/// engine_test's parity sweep: guarded tgds (chase oracles), a
+/// non-recursive set (UCQ-rewriting oracles), and egds (K2 machinery).
+/// Cyclic members drive the subsets and exhaustive strategies — the two
+/// with a parallel implementation.
+std::vector<Workload> Workloads(uint64_t seed) {
+  std::vector<Workload> out;
+  Generator gen(seed);
+  {
+    Workload w;
+    w.name = "guarded";
+    w.sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+    w.queries.push_back(MustParseQuery("T(x,y), E(y,z), E(z,x)"));
+    w.queries.push_back(gen.CycleQuery(3));
+    w.queries.push_back(gen.CycleQuery(4));
+    w.queries.push_back(gen.RandomAcyclicQuery(4, 2, 2, "E"));
+    w.queries.push_back(MustParseQuery("E(a,b), E(b,c), E(a,d), E(d,c)"));
+    w.queries.push_back(gen.AlphaNotBetaQuery(1));
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "nr";
+    w.sigma = MustParseDependencySet("B1(x,y), B2(y,z) -> B3(z,x)");
+    w.queries.push_back(MustParseQuery("B1(x,y), B2(y,z), B3(z,x)"));
+    w.queries.push_back(MustParseQuery("B1(x,y), B2(y,x)"));
+    w.queries.push_back(gen.CycleQuery(3, "B3"));
+    w.queries.push_back(gen.BetaNotGammaQuery(1));
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "egd";
+    w.sigma = MustParseDependencySet("R(a,b), R(a,c) -> b = c");
+    w.queries.push_back(MustParseQuery("R(x,y), R(x,z), E(y,z)"));
+    w.queries.push_back(MustParseQuery("E(a,b), E(b,c), E(c,a)"));
+    w.queries.push_back(MustParseQuery("R(x,y), E(y,y)"));
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+SemAcOptions SweepOptions(size_t threads) {
+  SemAcOptions options;
+  options.subset_budget = 8000;
+  options.exhaustive_budget = 8000;
+  options.decide_threads = threads;
+  return options;
+}
+
+/// The tentpole harness: a seeded sweep over every generator family,
+/// 1 thread vs {2, 4, 8} threads at identical budgets, every decision
+/// field compared bitwise. Fresh engines per thread count so no cache
+/// state can paper over a divergence.
+TEST(ParallelDecideTest, BitwiseParityAcrossGeneratorFamilies) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (const Workload& w : Workloads(seed)) {
+      Engine reference(w.sigma, SweepOptions(1));
+      std::vector<SemAcResult> seq;
+      for (const auto& q : w.queries) {
+        seq.push_back(reference.Decide(reference.Prepare(q)));
+      }
+      for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+        Engine engine(w.sigma, SweepOptions(threads));
+        for (size_t i = 0; i < w.queries.size(); ++i) {
+          std::string context = w.name + " seed " + std::to_string(seed) +
+                                " / " + w.queries[i].ToString() + " @ " +
+                                std::to_string(threads) + " threads";
+          SemAcResult par = engine.Decide(engine.Prepare(w.queries[i]));
+          ExpectBitwiseParity(seq[i], par, context);
+        }
+      }
+    }
+  }
+}
+
+/// Budget-edge parity: tiny budgets land the truncation point inside
+/// arbitrary units (including unit 0 and mid-unit), the exact territory
+/// where a racy shared budget would drift. The commit protocol must
+/// reproduce the sequential truncation bitwise at every budget.
+TEST(ParallelDecideTest, BudgetTruncationPointsMatchSequential) {
+  Generator gen(23);
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  std::vector<ConjunctiveQuery> queries;
+  queries.push_back(gen.CycleQuery(3));
+  queries.push_back(gen.CycleQuery(4));
+  queries.push_back(MustParseQuery("E(a,b), E(b,c), E(a,d), E(d,c)"));
+  for (size_t budget : {size_t{1}, size_t{3}, size_t{17}, size_t{101},
+                        size_t{555}}) {
+    SemAcOptions seq_options = SweepOptions(1);
+    seq_options.subset_budget = budget;
+    seq_options.exhaustive_budget = budget;
+    Engine reference(sigma, seq_options);
+    for (const ConjunctiveQuery& q : queries) {
+      SemAcResult seq = reference.Decide(reference.Prepare(q));
+      for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+        SemAcOptions options = SweepOptions(threads);
+        options.subset_budget = budget;
+        options.exhaustive_budget = budget;
+        Engine engine(sigma, options);
+        SemAcResult par = engine.Decide(engine.Prepare(q));
+        ExpectBitwiseParity(seq, par,
+                            q.ToString() + " budget " +
+                                std::to_string(budget) + " @ " +
+                                std::to_string(threads) + " threads");
+      }
+    }
+  }
+}
+
+/// The legacy tuning has no parallel implementation; decide_threads must
+/// silently keep the sequential reference path and still agree with it.
+TEST(ParallelDecideTest, LegacyTuningIgnoresThreadCount) {
+  Generator gen(23);
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  ConjunctiveQuery q = gen.CycleQuery(4);
+  SemAcOptions seq_options = SweepOptions(1);
+  seq_options.witness.legacy = true;
+  Engine reference(sigma, seq_options);
+  SemAcResult seq = reference.Decide(reference.Prepare(q));
+  SemAcOptions options = SweepOptions(8);
+  options.witness.legacy = true;
+  Engine engine(sigma, options);
+  SemAcResult par = engine.Decide(engine.Prepare(q));
+  ExpectBitwiseParity(seq, par, "legacy tuning @ 8 threads");
+}
+
+/// A deadline that can fire while workers hold stolen subtrees: whatever
+/// the outcome (aborted or completed before the deadline), the SAME
+/// engine must afterwards decide the query exactly like a fresh one — no
+/// torn caches, no leaked worker state.
+TEST(ParallelDecideTest, DeadlineMidParallelSearchLeavesEngineReusable) {
+  Generator gen(23);
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  ConjunctiveQuery q = gen.CycleQuery(4);
+  Engine engine(sigma, SweepOptions(8));
+  PreparedQuery pq = engine.Prepare(q);
+  for (int64_t deadline_ms : {int64_t{0}, int64_t{1}, int64_t{2}}) {
+    CancelToken token;
+    token.SetDeadlineInMs(deadline_ms);
+    if (deadline_ms == 0) token.RequestCancel();  // fires at the first poll
+    SemAcResult interrupted = engine.Decide(pq, &token);
+    if (interrupted.strategy == Strategy::kDeadlineExceeded) {
+      EXPECT_EQ(interrupted.answer, SemAcAnswer::kUnknown);
+      EXPECT_FALSE(interrupted.witness.has_value());
+    }
+  }
+  SemAcResult warm = engine.Decide(pq);
+  Engine fresh(sigma, SweepOptions(8));
+  SemAcResult cold = fresh.Decide(fresh.Prepare(q));
+  ExpectBitwiseParity(cold, warm, "post-deadline reuse");
+}
+
+#if defined(SEMACYC_FAILPOINTS_ENABLED) && SEMACYC_FAILPOINTS_ENABLED
+
+struct DisarmOnExit {
+  ~DisarmOnExit() { FailpointRegistry::Global().DisarmAll(); }
+};
+
+/// Abort-mid-steal reusability: a cancel injected at the steal point
+/// fires inside a worker that owns a stolen subtree. The whole decision
+/// must abort gracefully, and a re-decide on the same engine must match
+/// a fresh engine bitwise — the abort rollback covers state the workers
+/// touched concurrently.
+TEST(ParallelDecideTest, CancelMidStealAbortsAndRecovers) {
+  DisarmOnExit cleanup;
+  auto& reg = FailpointRegistry::Global();
+  Generator gen(23);
+  DependencySet sigma = MustParseDependencySet("T(x,y) -> E(y,z), E(z,x)");
+  for (const char* point : {"parallel.steal", "parallel.replay"}) {
+    for (uint64_t fire_on : {uint64_t{1}, uint64_t{3}}) {
+      std::string context = std::string(point) + "@" +
+                            std::to_string(fire_on);
+      ConjunctiveQuery q = gen.CycleQuery(4);
+      Engine engine(sigma, SweepOptions(4));
+      PreparedQuery pq = engine.Prepare(q);
+
+      reg.Arm(point, FailpointAction::kCancel, fire_on);
+      CancelToken token;
+      SemAcResult injected = engine.Decide(pq, &token);
+      bool fired = reg.Fired(point);
+      reg.DisarmAll();
+      if (fired) {
+        EXPECT_EQ(injected.answer, SemAcAnswer::kUnknown) << context;
+        EXPECT_EQ(injected.strategy, Strategy::kDeadlineExceeded) << context;
+        EXPECT_FALSE(injected.witness.has_value()) << context;
+      }
+
+      SemAcResult warm = engine.Decide(pq);
+      Engine fresh(sigma, SweepOptions(4));
+      SemAcResult cold = fresh.Decide(fresh.Prepare(q));
+      ExpectBitwiseParity(cold, warm, context + " post-abort reuse");
+    }
+  }
+}
+
+#endif  // SEMACYC_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace semacyc

@@ -440,9 +440,16 @@ TEST(ServeTest, ShutdownDrainsInFlightWorkAndLeaksNoFds) {
     // A heavy decision with no deadline: only the drain token's phase-2
     // cancellation can stop it.
     ASSERT_TRUE(client.SendLine(HeavyQueryText()));
-    // Give the request time to reach a worker, then pull the plug the
-    // same way the SIGTERM handler does.
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Wait until a worker has actually BEGUN the decision (the engine
+    // counts a decision at entry), then pull the plug the same way the
+    // SIGTERM handler does. A fixed sleep here flakes under sanitizer
+    // slowdowns (TSan runs 5-15x slower): shutdown could win the race
+    // and drain an empty pool instead of cancelling in-flight work.
+    const Engine* engine = server.tenant_engine("");
+    ASSERT_NE(engine, nullptr);
+    while (engine->stats().decisions == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     server.RequestShutdown();
     // The in-flight decision is cancelled and its deadline-exceeded
     // line still flushes to the client before the close.
