@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximation_test.dir/tests/approximation_test.cc.o"
+  "CMakeFiles/approximation_test.dir/tests/approximation_test.cc.o.d"
+  "approximation_test"
+  "approximation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

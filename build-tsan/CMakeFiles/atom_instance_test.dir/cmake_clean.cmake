@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_instance_test.dir/tests/atom_instance_test.cc.o"
+  "CMakeFiles/atom_instance_test.dir/tests/atom_instance_test.cc.o.d"
+  "atom_instance_test"
+  "atom_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

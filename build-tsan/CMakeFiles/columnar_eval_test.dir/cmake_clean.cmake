@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnar_eval_test.dir/tests/columnar_eval_test.cc.o"
+  "CMakeFiles/columnar_eval_test.dir/tests/columnar_eval_test.cc.o.d"
+  "columnar_eval_test"
+  "columnar_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnar_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_test.dir/tests/compaction_test.cc.o"
+  "CMakeFiles/compaction_test.dir/tests/compaction_test.cc.o.d"
+  "compaction_test"
+  "compaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_core_test.dir/tests/containment_core_test.cc.o"
+  "CMakeFiles/containment_core_test.dir/tests/containment_core_test.cc.o.d"
+  "containment_core_test"
+  "containment_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_cache_test.dir/tests/fingerprint_cache_test.cc.o"
+  "CMakeFiles/fingerprint_cache_test.dir/tests/fingerprint_cache_test.cc.o.d"
+  "fingerprint_cache_test"
+  "fingerprint_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

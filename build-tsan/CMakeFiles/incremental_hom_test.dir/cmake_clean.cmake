@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_hom_test.dir/tests/incremental_hom_test.cc.o"
+  "CMakeFiles/incremental_hom_test.dir/tests/incremental_hom_test.cc.o.d"
+  "incremental_hom_test"
+  "incremental_hom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_hom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_test.dir/tests/interrupt_test.cc.o"
+  "CMakeFiles/interrupt_test.dir/tests/interrupt_test.cc.o.d"
+  "interrupt_test"
+  "interrupt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_decide_test.dir/tests/parallel_decide_test.cc.o"
+  "CMakeFiles/parallel_decide_test.dir/tests/parallel_decide_test.cc.o.d"
+  "parallel_decide_test"
+  "parallel_decide_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_decide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

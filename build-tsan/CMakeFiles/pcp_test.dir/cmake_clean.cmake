@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcp_test.dir/tests/pcp_test.cc.o"
+  "CMakeFiles/pcp_test.dir/tests/pcp_test.cc.o.d"
+  "pcp_test"
+  "pcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acyclic/beta.cc" "CMakeFiles/semacyc.dir/src/acyclic/beta.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/acyclic/beta.cc.o.d"
+  "/root/repo/src/acyclic/classify.cc" "CMakeFiles/semacyc.dir/src/acyclic/classify.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/acyclic/classify.cc.o.d"
+  "/root/repo/src/acyclic/gamma.cc" "CMakeFiles/semacyc.dir/src/acyclic/gamma.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/acyclic/gamma.cc.o.d"
+  "/root/repo/src/acyclic/gyo.cc" "CMakeFiles/semacyc.dir/src/acyclic/gyo.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/acyclic/gyo.cc.o.d"
+  "/root/repo/src/acyclic/hypergraph.cc" "CMakeFiles/semacyc.dir/src/acyclic/hypergraph.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/acyclic/hypergraph.cc.o.d"
+  "/root/repo/src/acyclic/incremental.cc" "CMakeFiles/semacyc.dir/src/acyclic/incremental.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/acyclic/incremental.cc.o.d"
+  "/root/repo/src/acyclic/oracle.cc" "CMakeFiles/semacyc.dir/src/acyclic/oracle.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/acyclic/oracle.cc.o.d"
+  "/root/repo/src/chase/dependency.cc" "CMakeFiles/semacyc.dir/src/chase/dependency.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/chase/dependency.cc.o.d"
+  "/root/repo/src/chase/egd_chase.cc" "CMakeFiles/semacyc.dir/src/chase/egd_chase.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/chase/egd_chase.cc.o.d"
+  "/root/repo/src/chase/query_chase.cc" "CMakeFiles/semacyc.dir/src/chase/query_chase.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/chase/query_chase.cc.o.d"
+  "/root/repo/src/chase/tgd_chase.cc" "CMakeFiles/semacyc.dir/src/chase/tgd_chase.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/chase/tgd_chase.cc.o.d"
+  "/root/repo/src/core/atom.cc" "CMakeFiles/semacyc.dir/src/core/atom.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/atom.cc.o.d"
+  "/root/repo/src/core/canonical.cc" "CMakeFiles/semacyc.dir/src/core/canonical.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/canonical.cc.o.d"
+  "/root/repo/src/core/containment.cc" "CMakeFiles/semacyc.dir/src/core/containment.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/containment.cc.o.d"
+  "/root/repo/src/core/core_min.cc" "CMakeFiles/semacyc.dir/src/core/core_min.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/core_min.cc.o.d"
+  "/root/repo/src/core/gaifman.cc" "CMakeFiles/semacyc.dir/src/core/gaifman.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/gaifman.cc.o.d"
+  "/root/repo/src/core/homomorphism.cc" "CMakeFiles/semacyc.dir/src/core/homomorphism.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/homomorphism.cc.o.d"
+  "/root/repo/src/core/hypergraph.cc" "CMakeFiles/semacyc.dir/src/core/hypergraph.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/hypergraph.cc.o.d"
+  "/root/repo/src/core/incremental_hom.cc" "CMakeFiles/semacyc.dir/src/core/incremental_hom.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/incremental_hom.cc.o.d"
+  "/root/repo/src/core/instance.cc" "CMakeFiles/semacyc.dir/src/core/instance.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/instance.cc.o.d"
+  "/root/repo/src/core/interrupt.cc" "CMakeFiles/semacyc.dir/src/core/interrupt.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/interrupt.cc.o.d"
+  "/root/repo/src/core/join_tree.cc" "CMakeFiles/semacyc.dir/src/core/join_tree.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/join_tree.cc.o.d"
+  "/root/repo/src/core/obs.cc" "CMakeFiles/semacyc.dir/src/core/obs.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/obs.cc.o.d"
+  "/root/repo/src/core/parser.cc" "CMakeFiles/semacyc.dir/src/core/parser.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/parser.cc.o.d"
+  "/root/repo/src/core/query.cc" "CMakeFiles/semacyc.dir/src/core/query.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/query.cc.o.d"
+  "/root/repo/src/core/term.cc" "CMakeFiles/semacyc.dir/src/core/term.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/term.cc.o.d"
+  "/root/repo/src/core/worksteal.cc" "CMakeFiles/semacyc.dir/src/core/worksteal.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/core/worksteal.cc.o.d"
+  "/root/repo/src/data/columnar.cc" "CMakeFiles/semacyc.dir/src/data/columnar.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/data/columnar.cc.o.d"
+  "/root/repo/src/data/semijoin_program.cc" "CMakeFiles/semacyc.dir/src/data/semijoin_program.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/data/semijoin_program.cc.o.d"
+  "/root/repo/src/deps/classify.cc" "CMakeFiles/semacyc.dir/src/deps/classify.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/deps/classify.cc.o.d"
+  "/root/repo/src/deps/connecting.cc" "CMakeFiles/semacyc.dir/src/deps/connecting.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/deps/connecting.cc.o.d"
+  "/root/repo/src/deps/nonrecursive.cc" "CMakeFiles/semacyc.dir/src/deps/nonrecursive.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/deps/nonrecursive.cc.o.d"
+  "/root/repo/src/deps/sticky.cc" "CMakeFiles/semacyc.dir/src/deps/sticky.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/deps/sticky.cc.o.d"
+  "/root/repo/src/deps/weakly_acyclic.cc" "CMakeFiles/semacyc.dir/src/deps/weakly_acyclic.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/deps/weakly_acyclic.cc.o.d"
+  "/root/repo/src/eval/cover_game.cc" "CMakeFiles/semacyc.dir/src/eval/cover_game.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/eval/cover_game.cc.o.d"
+  "/root/repo/src/eval/semac_eval.cc" "CMakeFiles/semacyc.dir/src/eval/semac_eval.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/eval/semac_eval.cc.o.d"
+  "/root/repo/src/eval/yannakakis.cc" "CMakeFiles/semacyc.dir/src/eval/yannakakis.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/eval/yannakakis.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "CMakeFiles/semacyc.dir/src/gen/generators.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/gen/generators.cc.o.d"
+  "/root/repo/src/pcp/pcp.cc" "CMakeFiles/semacyc.dir/src/pcp/pcp.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/pcp/pcp.cc.o.d"
+  "/root/repo/src/pcp/reduction.cc" "CMakeFiles/semacyc.dir/src/pcp/reduction.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/pcp/reduction.cc.o.d"
+  "/root/repo/src/rewrite/rewrite_containment.cc" "CMakeFiles/semacyc.dir/src/rewrite/rewrite_containment.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/rewrite/rewrite_containment.cc.o.d"
+  "/root/repo/src/rewrite/ucq_rewriter.cc" "CMakeFiles/semacyc.dir/src/rewrite/ucq_rewriter.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/rewrite/ucq_rewriter.cc.o.d"
+  "/root/repo/src/rewrite/unify.cc" "CMakeFiles/semacyc.dir/src/rewrite/unify.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/rewrite/unify.cc.o.d"
+  "/root/repo/src/semacyc/approximation.cc" "CMakeFiles/semacyc.dir/src/semacyc/approximation.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/semacyc/approximation.cc.o.d"
+  "/root/repo/src/semacyc/compaction.cc" "CMakeFiles/semacyc.dir/src/semacyc/compaction.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/semacyc/compaction.cc.o.d"
+  "/root/repo/src/semacyc/decider.cc" "CMakeFiles/semacyc.dir/src/semacyc/decider.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/semacyc/decider.cc.o.d"
+  "/root/repo/src/semacyc/engine.cc" "CMakeFiles/semacyc.dir/src/semacyc/engine.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/semacyc/engine.cc.o.d"
+  "/root/repo/src/semacyc/ucq_semac.cc" "CMakeFiles/semacyc.dir/src/semacyc/ucq_semac.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/semacyc/ucq_semac.cc.o.d"
+  "/root/repo/src/semacyc/witness_search.cc" "CMakeFiles/semacyc.dir/src/semacyc/witness_search.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/semacyc/witness_search.cc.o.d"
+  "/root/repo/src/serve/protocol.cc" "CMakeFiles/semacyc.dir/src/serve/protocol.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/serve/protocol.cc.o.d"
+  "/root/repo/src/serve/server.cc" "CMakeFiles/semacyc.dir/src/serve/server.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/serve/server.cc.o.d"
+  "/root/repo/src/serve/worker_pool.cc" "CMakeFiles/semacyc.dir/src/serve/worker_pool.cc.o" "gcc" "CMakeFiles/semacyc.dir/src/serve/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for semacyc.
+# This may be replaced when dependencies are built.

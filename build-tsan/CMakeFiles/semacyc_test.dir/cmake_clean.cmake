@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semacyc_test.dir/tests/semacyc_test.cc.o"
+  "CMakeFiles/semacyc_test.dir/tests/semacyc_test.cc.o.d"
+  "semacyc_test"
+  "semacyc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semacyc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

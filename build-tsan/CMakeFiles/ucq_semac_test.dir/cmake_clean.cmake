@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucq_semac_test.dir/tests/ucq_semac_test.cc.o"
+  "CMakeFiles/ucq_semac_test.dir/tests/ucq_semac_test.cc.o.d"
+  "ucq_semac_test"
+  "ucq_semac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucq_semac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

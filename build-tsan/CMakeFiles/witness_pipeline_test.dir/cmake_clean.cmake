@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_pipeline_test.dir/tests/witness_pipeline_test.cc.o"
+  "CMakeFiles/witness_pipeline_test.dir/tests/witness_pipeline_test.cc.o.d"
+  "witness_pipeline_test"
+  "witness_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
